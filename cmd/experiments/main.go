@@ -1,0 +1,51 @@
+// Command experiments regenerates every table and figure from the paper's
+// evaluation section in one run. The accuracy experiment (Figure 4) trains
+// real models and takes a couple of minutes; skip it with -skip-training.
+//
+// Usage:
+//
+//	go run ./cmd/experiments [-skip-training] [-fig4-epochs N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"darknight/internal/experiments"
+)
+
+func main() {
+	skipTraining := flag.Bool("skip-training", false, "skip the Figure 4 training experiment")
+	fig4Epochs := flag.Int("fig4-epochs", 0, "override Figure 4 epoch count (0 = default)")
+	flag.Parse()
+	log.SetFlags(0)
+
+	out := os.Stdout
+	section := func(s string) { fmt.Fprintf(out, "\n%s\n", s) }
+
+	section(experiments.RenderTable1(experiments.Table1()))
+	section(experiments.RenderTable2(experiments.Table2()))
+	section(experiments.RenderTable3(experiments.Table3()))
+	section(experiments.RenderTable4(experiments.Table4()))
+	section(experiments.RenderFigure3(experiments.Figure3()))
+
+	if !*skipTraining {
+		cfg := experiments.DefaultFigure4Config()
+		if *fig4Epochs > 0 {
+			cfg.Epochs = *fig4Epochs
+		}
+		fmt.Fprintln(out, "\nRunning Figure 4 training experiment (use -skip-training to skip)...")
+		series, err := experiments.Figure4(cfg)
+		if err != nil {
+			log.Fatalf("figure 4: %v", err)
+		}
+		section(experiments.RenderFigure4(series))
+	}
+
+	section(experiments.RenderFigure5(experiments.Figure5()))
+	section(experiments.RenderFigure6a(experiments.Figure6a()))
+	section(experiments.RenderFigure6b(experiments.Figure6b()))
+	section(experiments.RenderFigure7(experiments.Figure7()))
+}

@@ -1,0 +1,207 @@
+// Package darknight is a from-scratch reproduction of "DarKnight: An
+// Accelerated Framework for Privacy and Integrity Preserving Deep Learning
+// Using Trusted Hardware" (MICRO 2021).
+//
+// DarKnight trains and serves DNNs on untrusted GPUs while raw inputs stay
+// visible only inside a trusted execution environment: the TEE linearly
+// combines K private inputs with M uniform noise vectors over the prime
+// field F_p (matrix masking), offloads the bilinear heavy lifting on the
+// coded data, and decodes the exact results. One redundant equation makes
+// tampered GPU results detectable.
+//
+// This package is the public facade over the internal subsystems (masking
+// code, software enclave, simulated GPU cluster, DNN framework, analytic
+// performance model). See DESIGN.md for the architecture and EXPERIMENTS.md
+// for the paper-artifact reproduction index.
+//
+//	model := darknight.TinyCNN(3, 32, 32, 10, 1)
+//	sys, _ := darknight.NewSystem(model, darknight.Config{VirtualBatch: 2})
+//	loss, _ := sys.TrainBatch(batch)
+package darknight
+
+import (
+	"fmt"
+	"math/rand"
+
+	"darknight/internal/dataset"
+	"darknight/internal/enclave"
+	"darknight/internal/gpu"
+	"darknight/internal/nn"
+	"darknight/internal/sched"
+)
+
+// Config selects the privacy/integrity operating point of a System.
+type Config struct {
+	// VirtualBatch is K: how many private inputs are coded together.
+	VirtualBatch int
+	// Collusion is M: the tolerated size of a GPU coalition (default 1).
+	Collusion int
+	// Redundancy is E: extra coded inputs for integrity verification
+	// (0 = off, 1 = the paper's scheme).
+	Redundancy int
+	// GPUs is the cluster size K'; 0 sizes it minimally (K+M+E).
+	GPUs int
+	// MaliciousGPUs marks device indices that corrupt every result —
+	// used to demonstrate integrity detection.
+	MaliciousGPUs []int
+	// EnclaveBytes bounds the software enclave's protected memory;
+	// 0 selects the SGX default (~93 MB usable), negative disables
+	// memory accounting.
+	EnclaveBytes int64
+	// LearningRate and Momentum drive the SGD optimizer.
+	LearningRate, Momentum float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Example is one labelled image (CHW layout).
+type Example = dataset.Example
+
+// System owns a model, a masked trainer, a software enclave and a
+// simulated GPU cluster.
+type System struct {
+	model   *nn.Model
+	trainer *sched.Trainer
+	encl    *enclave.Enclave
+	cluster *gpu.Cluster
+	opt     *nn.SGD
+	cfg     Config
+}
+
+// NewSystem wires a DarKnight deployment around a model.
+func NewSystem(model *Model, cfg Config) (*System, error) {
+	if cfg.VirtualBatch == 0 {
+		cfg.VirtualBatch = 2
+	}
+	if cfg.Collusion == 0 {
+		cfg.Collusion = 1
+	}
+	if cfg.GPUs == 0 {
+		cfg.GPUs = cfg.VirtualBatch + cfg.Collusion + cfg.Redundancy
+	}
+	if cfg.LearningRate == 0 {
+		cfg.LearningRate = 0.05
+	}
+
+	devs := make([]gpu.Device, cfg.GPUs)
+	for i := range devs {
+		devs[i] = gpu.NewHonest(i)
+	}
+	for _, idx := range cfg.MaliciousGPUs {
+		if idx < 0 || idx >= len(devs) {
+			return nil, fmt.Errorf("darknight: malicious GPU index %d outside cluster of %d", idx, len(devs))
+		}
+		devs[idx] = gpu.NewMalicious(devs[idx], gpu.FaultPolicy{EveryNth: 1})
+	}
+	cluster := gpu.NewCluster(devs...)
+
+	var encl *enclave.Enclave
+	if cfg.EnclaveBytes >= 0 {
+		cap := cfg.EnclaveBytes
+		if cap == 0 {
+			cap = enclave.DefaultEPCBytes
+		}
+		var err error
+		encl, err = enclave.New(cap)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	trainer, err := sched.NewTrainer(sched.Config{
+		VirtualBatch: cfg.VirtualBatch,
+		Collusion:    cfg.Collusion,
+		Redundancy:   cfg.Redundancy,
+		Seed:         cfg.Seed,
+	}, model.m, cluster, encl)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		model:   model.m,
+		trainer: trainer,
+		encl:    encl,
+		cluster: cluster,
+		opt:     nn.NewSGD(cfg.LearningRate, cfg.Momentum),
+		cfg:     cfg,
+	}, nil
+}
+
+// TrainBatch runs one private training step over a batch (processed as
+// virtual batches of K with Algorithm 2 aggregation) and returns the mean
+// loss. It fails with an integrity error if GPU results were tampered with
+// and Redundancy >= 1.
+func (s *System) TrainBatch(batch []Example) (float64, error) {
+	loss, _, err := s.trainer.TrainLargeBatch(batch, s.opt, 0)
+	return loss, err
+}
+
+// Predict privately classifies a virtual batch of exactly K images.
+func (s *System) Predict(images [][]float64) ([]int, error) {
+	return s.trainer.Predict(images)
+}
+
+// Evaluate computes top-1 accuracy with the plain (non-masked) forward
+// pass; evaluation data is assumed non-sensitive.
+func (s *System) Evaluate(examples []Example) float64 {
+	if len(examples) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, ex := range examples {
+		if nn.Argmax(s.model.Forward(ex.Image, false)) == ex.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(examples))
+}
+
+// EnclaveStats returns sealing/paging counters (zero value if accounting
+// is disabled).
+func (s *System) EnclaveStats() enclave.Stats {
+	if s.encl == nil {
+		return enclave.Stats{}
+	}
+	return s.encl.Stats()
+}
+
+// GPUTraffic returns the cluster's total TEE<->GPU channel usage.
+func (s *System) GPUTraffic() gpu.Traffic { return s.cluster.TotalTraffic() }
+
+// Model wraps a trainable network.
+type Model struct{ m *nn.Model }
+
+// Name returns the architecture name.
+func (m *Model) Name() string { return m.m.Name }
+
+// ParamCount returns the learnable element count.
+func (m *Model) ParamCount() int64 { return m.m.ParamCount() }
+
+// TinyCNN builds the smallest useful CNN (quickstart-scale).
+func TinyCNN(c, h, w, classes int, seed int64) *Model {
+	return &Model{m: nn.TinyCNN(c, h, w, classes, rand.New(rand.NewSource(seed)))}
+}
+
+// VGG16 builds a width-scaled VGG16-style model.
+func VGG16(c, h, w, classes, width int, seed int64) *Model {
+	return &Model{m: nn.VGG16Scaled(c, h, w, classes, width, rand.New(rand.NewSource(seed)))}
+}
+
+// ResNet50 builds a width-scaled ResNet-style model with bottleneck
+// residual blocks and batch normalization.
+func ResNet50(c, h, w, classes, width int, seed int64) *Model {
+	return &Model{m: nn.ResNet50Scaled(c, h, w, classes, width, rand.New(rand.NewSource(seed)))}
+}
+
+// MobileNetV2 builds a width-scaled MobileNetV2-style model with inverted
+// residuals and depthwise convolutions.
+func MobileNetV2(c, h, w, classes, width int, seed int64) *Model {
+	return &Model{m: nn.MobileNetV2Scaled(c, h, w, classes, width, rand.New(rand.NewSource(seed)))}
+}
+
+// SyntheticDataset generates a learnable labelled image set (the synthetic
+// CIFAR substitution documented in DESIGN.md).
+func SyntheticDataset(n, classes, c, h, w int, seed int64) []Example {
+	d := dataset.SyntheticCIFAR(rand.New(rand.NewSource(seed)), n, classes, c, h, w, 0.05)
+	return d.Items
+}

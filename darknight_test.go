@@ -1,0 +1,98 @@
+package darknight
+
+import (
+	"errors"
+	"testing"
+
+	"darknight/internal/masking"
+)
+
+func TestSystemEndToEnd(t *testing.T) {
+	model := TinyCNN(1, 8, 8, 4, 1)
+	if model.ParamCount() == 0 || model.Name() == "" {
+		t.Fatal("model malformed")
+	}
+	sys, err := NewSystem(model, Config{VirtualBatch: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := SyntheticDataset(120, 4, 1, 8, 8, 5)
+	train, test := data[:96], data[96:]
+	for epoch := 0; epoch < 4; epoch++ {
+		for i := 0; i+8 <= len(train); i += 8 {
+			if _, err := sys.TrainBatch(train[i : i+8]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if acc := sys.Evaluate(test); acc < 0.8 {
+		t.Fatalf("accuracy %.2f < 0.8", acc)
+	}
+	preds, err := sys.Predict([][]float64{test[0].Image, test[1].Image})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != 2 {
+		t.Fatalf("preds = %v", preds)
+	}
+	if sys.GPUTraffic().Jobs == 0 {
+		t.Fatal("no GPU traffic recorded")
+	}
+	if sys.EnclaveStats().SealOps == 0 {
+		t.Fatal("no sealing recorded — Algorithm 2 not exercised")
+	}
+}
+
+func TestSystemIntegrityDetection(t *testing.T) {
+	model := TinyCNN(1, 8, 8, 4, 1)
+	sys, err := NewSystem(model, Config{
+		VirtualBatch:  2,
+		Redundancy:    1,
+		MaliciousGPUs: []int{1},
+		Seed:          3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := SyntheticDataset(8, 4, 1, 8, 8, 5)
+	if _, err := sys.TrainBatch(data); !errors.Is(err, masking.ErrIntegrity) {
+		t.Fatalf("err = %v, want integrity violation", err)
+	}
+}
+
+func TestSystemConfigErrors(t *testing.T) {
+	model := TinyCNN(1, 8, 8, 4, 1)
+	if _, err := NewSystem(model, Config{VirtualBatch: 4, GPUs: 3}); err == nil {
+		t.Fatal("undersized cluster accepted")
+	}
+	if _, err := NewSystem(model, Config{MaliciousGPUs: []int{99}}); err == nil {
+		t.Fatal("out-of-range malicious index accepted")
+	}
+}
+
+func TestSystemDefaults(t *testing.T) {
+	model := TinyCNN(1, 8, 8, 4, 1)
+	sys, err := NewSystem(model, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := SyntheticDataset(4, 4, 1, 8, 8, 5)
+	if _, err := sys.TrainBatch(data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelBuilders(t *testing.T) {
+	for _, m := range []*Model{
+		VGG16(1, 8, 8, 4, 1, 1),
+		ResNet50(1, 8, 8, 4, 1, 1),
+		MobileNetV2(1, 8, 8, 4, 1, 1),
+	} {
+		if m.ParamCount() == 0 {
+			t.Fatalf("%s has no params", m.Name())
+		}
+		if _, err := NewSystem(m, Config{Seed: 1}); err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+// Collusion tolerance: the §4.5/§5 scenario. Build codes with growing M,
+// let coalitions of GPUs pool everything they received, and show that any
+// coalition of size <= M learns nothing (full-rank noise, uniform views)
+// while a coalition of M+1 finds a noise-cancelling combination.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"darknight/internal/field"
+	"darknight/internal/masking"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(31))
+	const n = 64 // vector length (a small "image")
+
+	for _, m := range []int{1, 2, 3} {
+		params := masking.Params{K: 3, M: m}
+		code, err := masking.New(params, rng)
+		if err != nil {
+			panic(err)
+		}
+		inputs := make([]field.Vec, params.K)
+		for i := range inputs {
+			inputs[i] = field.RandVec(rng, n)
+		}
+		coded, err := code.Encode(inputs, rng)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("M=%d: %d coded inputs on %d GPUs (K'=K+M)\n", m, len(coded), params.GPUs())
+
+		// Every coalition up to size M is provably blind.
+		safe := code.MaxSafeCoalition()
+		fmt.Printf("  largest provably-safe coalition: %d (tolerance M=%d)\n", safe, m)
+
+		// Concretely: an M-coalition's noise block is full rank — no
+		// linear combination of their views cancels the noise.
+		coalition := make([]int, m)
+		for i := range coalition {
+			coalition[i] = i
+		}
+		view, err := code.View(coalition)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  coalition %v: noise rank %d/%d, leaks=%v\n",
+			coalition, view.NoiseRank(), m, view.Leaks())
+
+		// An (M+1)-coalition can cancel the noise: privacy is gone, which
+		// is why the paper sizes clusters as K' >= K+M+1.
+		over := append(append([]int(nil), coalition...), m)
+		overView, err := code.View(over)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  coalition %v: leaks=%v  <- one conspirator too many\n\n",
+			over, overView.Leaks())
+	}
+}

@@ -1,0 +1,170 @@
+// Package client implements the data-holder side of DarKnight's system
+// model (§3, Fig 1, flow step 1): the client verifies the enclave via
+// remote attestation, establishes an authenticated-encryption session, and
+// ships training/inference batches to the TEE encrypted end-to-end —
+// "all the client data is first encrypted before being sent to the TEE".
+//
+// The cryptography is real (X25519 key agreement + HKDF-less HMAC KDF +
+// AES-GCM, all stdlib); the attestation root of trust is the simulated
+// platform from internal/enclave.
+package client
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"darknight/internal/dataset"
+	"darknight/internal/enclave"
+)
+
+// ErrSession is returned for malformed or tampered session traffic.
+var ErrSession = errors.New("client: session error")
+
+// Session is one authenticated-encryption channel between a data holder
+// and an attested enclave. Both endpoints hold a Session (with the same
+// keys) after Establish.
+type Session struct {
+	aead cipher.AEAD
+	seq  uint64
+}
+
+// Establish runs the client-side handshake:
+//
+//  1. challenge the platform and verify the enclave quote against the
+//     expected measurement,
+//  2. X25519 key agreement with the enclave's ephemeral public key,
+//  3. derive the session key with HMAC-SHA256 over the transcript.
+//
+// It returns the client session; the enclave side derives the identical
+// key from the peer public key (see Accept).
+func Establish(platform *enclave.Platform, want enclave.Measurement, enclavePub *ecdh.PublicKey, quoteFor func(challenge [16]byte) enclave.Quote) (*Session, *ecdh.PublicKey, error) {
+	var challenge [16]byte
+	if _, err := io.ReadFull(rand.Reader, challenge[:]); err != nil {
+		return nil, nil, err
+	}
+	quote := quoteFor(challenge)
+	if err := platform.Verify(quote, want, challenge); err != nil {
+		return nil, nil, fmt.Errorf("client: attestation rejected: %w", err)
+	}
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, nil, err
+	}
+	shared, err := priv.ECDH(enclavePub)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := newSession(shared, want)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, priv.PublicKey(), nil
+}
+
+// Accept runs the enclave-side key derivation given the client's public
+// key (the enclave's long-lived handshake key is priv).
+func Accept(priv *ecdh.PrivateKey, clientPub *ecdh.PublicKey, measurement enclave.Measurement) (*Session, error) {
+	shared, err := priv.ECDH(clientPub)
+	if err != nil {
+		return nil, err
+	}
+	return newSession(shared, measurement)
+}
+
+func newSession(shared []byte, m enclave.Measurement) (*Session, error) {
+	kdf := hmac.New(sha256.New, shared)
+	kdf.Write([]byte("darknight session v1"))
+	kdf.Write(m[:])
+	key := kdf.Sum(nil)
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{aead: aead}, nil
+}
+
+// SealBatch encrypts a labelled batch for transmission to the TEE. The
+// sequence number is bound into the nonce and the header is authenticated,
+// so replay and reorder are detected.
+func (s *Session) SealBatch(batch []dataset.Example) ([]byte, error) {
+	if len(batch) == 0 {
+		return nil, fmt.Errorf("%w: empty batch", ErrSession)
+	}
+	n := len(batch[0].Image)
+	for _, ex := range batch {
+		if len(ex.Image) != n {
+			return nil, fmt.Errorf("%w: ragged batch", ErrSession)
+		}
+	}
+	plain := make([]byte, 8+len(batch)*(4+8*n))
+	binary.LittleEndian.PutUint64(plain, uint64(n))
+	off := 8
+	for _, ex := range batch {
+		binary.LittleEndian.PutUint32(plain[off:], uint32(int32(ex.Label)))
+		off += 4
+		for _, v := range ex.Image {
+			binary.LittleEndian.PutUint64(plain[off:], math.Float64bits(v))
+			off += 8
+		}
+	}
+	s.seq++
+	nonce := make([]byte, s.aead.NonceSize())
+	binary.LittleEndian.PutUint64(nonce, s.seq)
+	out := make([]byte, 8, 8+len(plain)+s.aead.Overhead())
+	binary.LittleEndian.PutUint64(out, s.seq)
+	return s.aead.Seal(out, nonce, plain, out[:8]), nil
+}
+
+// OpenBatch authenticates and decrypts a sealed batch on the enclave side.
+// Sequence numbers must be strictly increasing.
+func (s *Session) OpenBatch(blob []byte) ([]dataset.Example, error) {
+	if len(blob) < 8 {
+		return nil, fmt.Errorf("%w: truncated frame", ErrSession)
+	}
+	seq := binary.LittleEndian.Uint64(blob[:8])
+	if seq <= s.seq {
+		return nil, fmt.Errorf("%w: replayed or reordered frame %d (last %d)", ErrSession, seq, s.seq)
+	}
+	nonce := make([]byte, s.aead.NonceSize())
+	binary.LittleEndian.PutUint64(nonce, seq)
+	plain, err := s.aead.Open(nil, nonce, blob[8:], blob[:8])
+	if err != nil {
+		return nil, fmt.Errorf("%w: authentication failed: %v", ErrSession, err)
+	}
+	s.seq = seq
+	if len(plain) < 8 {
+		return nil, fmt.Errorf("%w: truncated payload", ErrSession)
+	}
+	n := int(binary.LittleEndian.Uint64(plain))
+	rec := 4 + 8*n
+	if n <= 0 || (len(plain)-8)%rec != 0 {
+		return nil, fmt.Errorf("%w: malformed payload", ErrSession)
+	}
+	count := (len(plain) - 8) / rec
+	out := make([]dataset.Example, count)
+	off := 8
+	for i := range out {
+		out[i].Label = int(int32(binary.LittleEndian.Uint32(plain[off:])))
+		off += 4
+		img := make([]float64, n)
+		for j := range img {
+			img[j] = math.Float64frombits(binary.LittleEndian.Uint64(plain[off:]))
+			off += 8
+		}
+		out[i].Image = img
+	}
+	return out, nil
+}

@@ -1,0 +1,166 @@
+package client
+
+import (
+	"crypto/ecdh"
+	"crypto/rand"
+	"errors"
+	mrand "math/rand"
+	"testing"
+
+	"darknight/internal/dataset"
+	"darknight/internal/enclave"
+)
+
+// handshake sets up both ends of a session against a simulated platform.
+func handshake(t *testing.T) (clientSess, enclaveSess *Session) {
+	t.Helper()
+	platform, err := enclave.NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := enclave.Measure([]byte("darknight enclave v1"))
+	enclaveKey, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, clientPub, err := Establish(platform, m, enclaveKey.PublicKey(),
+		func(ch [16]byte) enclave.Quote { return platform.Attest(m, ch) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := Accept(enclaveKey, clientPub, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cs, es
+}
+
+func sampleBatch(n int) []dataset.Example {
+	rng := mrand.New(mrand.NewSource(1))
+	d := dataset.SyntheticCIFAR(rng, n, 4, 1, 6, 6, 0.05)
+	return d.Items
+}
+
+func TestHandshakeAndBatchRoundTrip(t *testing.T) {
+	cs, es := handshake(t)
+	batch := sampleBatch(5)
+	blob, err := cs.SealBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := es.OpenBatch(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(batch) {
+		t.Fatalf("count = %d", len(got))
+	}
+	for i := range batch {
+		if got[i].Label != batch[i].Label {
+			t.Fatalf("label %d mismatch", i)
+		}
+		for j := range batch[i].Image {
+			if got[i].Image[j] != batch[i].Image[j] {
+				t.Fatalf("pixel (%d,%d) mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestAttestationRejectsWrongEnclave(t *testing.T) {
+	platform, _ := enclave.NewPlatform()
+	good := enclave.Measure([]byte("darknight enclave v1"))
+	evil := enclave.Measure([]byte("evil enclave"))
+	key, _ := ecdh.X25519().GenerateKey(rand.Reader)
+	_, _, err := Establish(platform, good, key.PublicKey(),
+		func(ch [16]byte) enclave.Quote { return platform.Attest(evil, ch) })
+	if err == nil {
+		t.Fatal("wrong measurement accepted")
+	}
+}
+
+func TestTamperedFrameRejected(t *testing.T) {
+	cs, es := handshake(t)
+	blob, err := cs.SealBatch(sampleBatch(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)-1] ^= 1
+	if _, err := es.OpenBatch(blob); !errors.Is(err, ErrSession) {
+		t.Fatalf("tampered frame err = %v", err)
+	}
+}
+
+func TestReplayRejected(t *testing.T) {
+	cs, es := handshake(t)
+	blob, err := cs.SealBatch(sampleBatch(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := es.OpenBatch(blob); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := es.OpenBatch(blob); !errors.Is(err, ErrSession) {
+		t.Fatalf("replay err = %v", err)
+	}
+}
+
+func TestSequenceOrdering(t *testing.T) {
+	cs, es := handshake(t)
+	b1, _ := cs.SealBatch(sampleBatch(1))
+	b2, _ := cs.SealBatch(sampleBatch(1))
+	// Deliver out of order: b2 then b1.
+	if _, err := es.OpenBatch(b2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := es.OpenBatch(b1); !errors.Is(err, ErrSession) {
+		t.Fatalf("reordered frame err = %v", err)
+	}
+}
+
+func TestWrongKeyFails(t *testing.T) {
+	cs, _ := handshake(t)
+	_, stranger := handshake(t)
+	blob, _ := cs.SealBatch(sampleBatch(1))
+	if _, err := stranger.OpenBatch(blob); !errors.Is(err, ErrSession) {
+		t.Fatalf("cross-session frame err = %v", err)
+	}
+}
+
+func TestSealBatchValidation(t *testing.T) {
+	cs, _ := handshake(t)
+	if _, err := cs.SealBatch(nil); !errors.Is(err, ErrSession) {
+		t.Fatal("empty batch accepted")
+	}
+	ragged := []dataset.Example{
+		{Image: []float64{1, 2}}, {Image: []float64{1}},
+	}
+	if _, err := cs.SealBatch(ragged); !errors.Is(err, ErrSession) {
+		t.Fatal("ragged batch accepted")
+	}
+}
+
+func TestCiphertextHidesPixels(t *testing.T) {
+	cs, _ := handshake(t)
+	batch := sampleBatch(3)
+	blob, err := cs.SealBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The serialized plaintext of the first pixel must not appear in the
+	// ciphertext (spot check for accidental plaintext framing).
+	if len(blob) < 100 {
+		t.Fatal("implausibly small ciphertext")
+	}
+	var zeros int
+	for _, b := range blob[8:] {
+		if b == 0 {
+			zeros++
+		}
+	}
+	// AES-GCM output is pseudorandom; long zero runs would indicate
+	// unencrypted structure. Allow generous slack.
+	if float64(zeros) > 0.05*float64(len(blob)) {
+		t.Fatalf("ciphertext has %d/%d zero bytes — looks structured", zeros, len(blob))
+	}
+}

@@ -1,0 +1,224 @@
+// Package enclave simulates the Intel SGX trusted execution environment
+// DarKnight runs its TEE-side logic in (hardware substitution documented in
+// DESIGN.md). It models the properties that shape the paper's design:
+//
+//   - a hard protected-memory budget (the ~128 MB EPC) that forces virtual
+//     batching and ▽W eviction (§6),
+//   - AES-GCM sealing for pages evicted to untrusted memory (Algorithm 2's
+//     Encrypt/Evict),
+//   - paging statistics the performance model converts into time.
+//
+// It is a *functional* enclave: data inside it is plain memory, but every
+// boundary crossing is accounted for and sealed data really is encrypted,
+// so tests can assert both behaviour and cost.
+package enclave
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+)
+
+// DefaultEPCBytes is the usable enclave page cache of the paper's SGX
+// generation: 128 MB raw, ~93 MB usable after metadata.
+const DefaultEPCBytes = 93 << 20
+
+// Stats counts boundary-crossing work for the performance model.
+type Stats struct {
+	SealedBytes   int64 // bytes encrypted and evicted
+	UnsealedBytes int64 // bytes reloaded and decrypted
+	SealOps       int64
+	UnsealOps     int64
+	PeakUsage     int64 // high-water protected memory mark
+}
+
+// Enclave is a software SGX enclave with a memory budget and a sealing key.
+type Enclave struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	stats    Stats
+	aead     cipher.AEAD
+
+	// untrusted is the simulated untrusted DRAM the enclave evicts sealed
+	// pages into, keyed by handle.
+	untrusted map[uint64][]byte
+	nextKey   uint64
+}
+
+// ErrOutOfMemory is returned when an allocation exceeds the EPC budget —
+// the condition that caps virtual batch size (paper Fig 6b: "the execution
+// time gets worse due to SGX memory overflow").
+var ErrOutOfMemory = errors.New("enclave: EPC budget exceeded")
+
+// ErrBadHandle is returned for unseal requests of unknown pages.
+var ErrBadHandle = errors.New("enclave: unknown sealed page handle")
+
+// New creates an enclave with the given protected-memory budget in bytes.
+func New(capacity int64) (*Enclave, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("enclave: capacity must be positive, got %d", capacity)
+	}
+	key := make([]byte, 32)
+	if _, err := io.ReadFull(rand.Reader, key); err != nil {
+		return nil, fmt.Errorf("enclave: sealing key: %w", err)
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	return &Enclave{
+		capacity:  capacity,
+		aead:      aead,
+		untrusted: make(map[uint64][]byte),
+	}, nil
+}
+
+// Capacity returns the EPC budget.
+func (e *Enclave) Capacity() int64 { return e.capacity }
+
+// Used returns the currently allocated protected bytes.
+func (e *Enclave) Used() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.used
+}
+
+// Stats returns a snapshot of the boundary-crossing counters.
+func (e *Enclave) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Alloc reserves n protected bytes, failing if the budget would overflow.
+// Callers model their working set with Alloc/Free pairs; the enclave
+// enforces the same hard limit real SGX does.
+func (e *Enclave) Alloc(n int64) error {
+	if n < 0 {
+		return fmt.Errorf("enclave: negative allocation %d", n)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.used+n > e.capacity {
+		return fmt.Errorf("%w: %d used + %d requested > %d capacity",
+			ErrOutOfMemory, e.used, n, e.capacity)
+	}
+	e.used += n
+	if e.used > e.stats.PeakUsage {
+		e.stats.PeakUsage = e.used
+	}
+	return nil
+}
+
+// Free releases n protected bytes.
+func (e *Enclave) Free(n int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.used -= n
+	if e.used < 0 {
+		panic("enclave: double free — used went negative")
+	}
+}
+
+// Fits reports whether an additional allocation of n bytes would succeed.
+func (e *Enclave) Fits(n int64) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.used+n <= e.capacity
+}
+
+// Seal encrypts data with the enclave's AEAD key and stores the ciphertext
+// in untrusted memory, returning an opaque handle (Algorithm 2 lines 9–10:
+// Encrypt + Evict). The plaintext never appears in the untrusted store.
+func (e *Enclave) Seal(data []byte) (uint64, error) {
+	nonce := make([]byte, e.aead.NonceSize())
+	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+		return 0, err
+	}
+	ct := e.aead.Seal(nil, nonce, data, nil)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.nextKey++
+	h := e.nextKey
+	e.untrusted[h] = append(nonce, ct...)
+	e.stats.SealedBytes += int64(len(data))
+	e.stats.SealOps++
+	return h, nil
+}
+
+// Unseal reloads and decrypts a sealed page (Algorithm 2 line 19). The
+// handle is consumed.
+func (e *Enclave) Unseal(h uint64) ([]byte, error) {
+	e.mu.Lock()
+	blob, ok := e.untrusted[h]
+	if ok {
+		delete(e.untrusted, h)
+	}
+	e.mu.Unlock()
+	if !ok {
+		return nil, ErrBadHandle
+	}
+	ns := e.aead.NonceSize()
+	if len(blob) < ns {
+		return nil, fmt.Errorf("enclave: sealed blob truncated")
+	}
+	pt, err := e.aead.Open(nil, blob[:ns], blob[ns:], nil)
+	if err != nil {
+		return nil, fmt.Errorf("enclave: unseal authentication failed: %w", err)
+	}
+	e.mu.Lock()
+	e.stats.UnsealedBytes += int64(len(pt))
+	e.stats.UnsealOps++
+	e.mu.Unlock()
+	return pt, nil
+}
+
+// TamperSealed corrupts a sealed page in untrusted memory — a test hook
+// modelling an adversary with DRAM access. Unseal of a tampered page must
+// fail authentication.
+func (e *Enclave) TamperSealed(h uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	blob, ok := e.untrusted[h]
+	if !ok {
+		return ErrBadHandle
+	}
+	blob[len(blob)-1] ^= 0x01
+	return nil
+}
+
+// SealFloats seals a float64 slice (the ▽W_v shards of Algorithm 2).
+func (e *Enclave) SealFloats(xs []float64) (uint64, error) {
+	buf := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(x))
+	}
+	return e.Seal(buf)
+}
+
+// UnsealFloats reverses SealFloats.
+func (e *Enclave) UnsealFloats(h uint64) ([]float64, error) {
+	buf, err := e.Unseal(h)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf)%8 != 0 {
+		return nil, fmt.Errorf("enclave: sealed float blob has odd length %d", len(buf))
+	}
+	out := make([]float64, len(buf)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return out, nil
+}

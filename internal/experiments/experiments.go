@@ -1,0 +1,215 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6–7). Each function returns typed rows; Render helpers
+// produce the printable form used by cmd/experiments and the benchmarks.
+// EXPERIMENTS.md records paper-vs-measured for each artifact.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"darknight/internal/nn"
+	"darknight/internal/perf"
+)
+
+// profileAndWorkloads is the shared setup: the calibrated hardware profile
+// and the four full-size architectures.
+func profileAndWorkloads() (perf.Profile, map[string]perf.Workload) {
+	p := perf.Default()
+	return p, map[string]perf.Workload{
+		"VGG16":       perf.NewWorkload(nn.VGG16Arch()),
+		"ResNet50":    perf.NewWorkload(nn.ResNet50Arch()),
+		"MobileNetV1": perf.NewWorkload(nn.MobileNetV1Arch()),
+		"MobileNetV2": perf.NewWorkload(nn.MobileNetV2Arch()),
+	}
+}
+
+// ---------------------------------------------------------------- Table 1
+
+// Table1Row is one operation class's GPU-over-SGX speedup.
+type Table1Row struct {
+	Pass                         string // "Forward" or "Backward"
+	Linear, MaxPool, ReLU, Total float64
+}
+
+// Table1 reproduces Table 1: per-op GPU speedups over SGX for VGG16
+// training on ImageNet. Linear ratios come straight from the calibrated
+// profile; the totals weight them by VGG16's op mix.
+func Table1() []Table1Row {
+	p, ws := profileAndWorkloads()
+	w := ws["VGG16"]
+
+	linFwd := p.GPUMACsPerSec / p.SGXLinearMACsPerSec
+	linBwd := linFwd / p.SGXBwdLinearFactor
+
+	totalSGXFwd := w.LinMACs/p.SGXLinearMACsPerSec + w.NonLinOps/p.SGXElemsPerSec
+	gpuElems := p.SGXElemsPerSec * p.GPUReLUFwdSpeedup
+	totalGPUFwd := w.LinMACs/p.GPUMACsPerSec + w.NonLinOps/gpuElems
+
+	totalSGXBwd := 2*w.LinMACs/(p.SGXLinearMACsPerSec*p.SGXBwdLinearFactor) +
+		w.NonLinOps/p.SGXElemsPerSec
+	gpuElemsBwd := p.SGXElemsPerSec * p.GPUReLUBwdSpeedup
+	totalGPUBwd := 2*w.LinMACs/p.GPUMACsPerSec + w.NonLinOps/gpuElemsBwd
+
+	return []Table1Row{
+		{Pass: "Forward Pass", Linear: linFwd, MaxPool: p.GPUMaxPoolFwdSpeedup,
+			ReLU: p.GPUReLUFwdSpeedup, Total: totalSGXFwd / totalGPUFwd},
+		{Pass: "Backward Propagation", Linear: linBwd, MaxPool: p.GPUMaxPoolBwdSpeedup,
+			ReLU: p.GPUReLUBwdSpeedup, Total: totalSGXBwd / totalGPUBwd},
+	}
+}
+
+// RenderTable1 formats Table 1.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: GPU speedup over SGX, VGG16/ImageNet training\n")
+	fmt.Fprintf(&b, "%-22s %10s %10s %10s %10s\n", "Operations", "Linear", "Maxpool", "Relu", "Total")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %10.2f %10.2f %10.2f %10.2f\n",
+			r.Pass, r.Linear, r.MaxPool, r.ReLU, r.Total)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Table 2
+
+// Table2Row mirrors the qualitative capability matrix of Table 2.
+type Table2Row struct {
+	Method                          string
+	Training, Inference             bool
+	DP, MPC, HE, TEE                bool
+	DataPrivacy, ModelPrivacyClient bool
+	ModelPrivacyServer, Integrity   bool
+	GPUAcceleration, LargeDNNs      bool
+}
+
+// Table2 returns the static comparison matrix (qualitative; reproduced for
+// completeness).
+func Table2() []Table2Row {
+	return []Table2Row{
+		{Method: "SecureNN", Training: true, Inference: true, MPC: true, DataPrivacy: true, ModelPrivacyClient: true, ModelPrivacyServer: true, GPUAcceleration: true},
+		{Method: "Chiron", Training: true, Inference: true, TEE: true, DataPrivacy: true, ModelPrivacyClient: true, ModelPrivacyServer: true, Integrity: true},
+		{Method: "MSP", Training: true, Inference: true, TEE: true, DataPrivacy: true, ModelPrivacyClient: true, ModelPrivacyServer: true, Integrity: true},
+		{Method: "Gazelle", Inference: true, HE: true, DataPrivacy: true, GPUAcceleration: true, LargeDNNs: true},
+		{Method: "MiniONN", Inference: true, MPC: true, HE: true, DataPrivacy: true, ModelPrivacyClient: true, GPUAcceleration: true, LargeDNNs: true},
+		{Method: "CryptoNets", Inference: true, MPC: true, HE: true, DataPrivacy: true, ModelPrivacyClient: true, GPUAcceleration: true, LargeDNNs: true},
+		{Method: "Slalom", Inference: true, TEE: true, DataPrivacy: true, ModelPrivacyClient: true, Integrity: true, GPUAcceleration: true, LargeDNNs: true},
+		{Method: "Origami", Inference: true, TEE: true, DataPrivacy: true, GPUAcceleration: true, LargeDNNs: true},
+		{Method: "Occlumency", Inference: true, TEE: true, DataPrivacy: true, ModelPrivacyClient: true, ModelPrivacyServer: true, Integrity: true, LargeDNNs: true},
+		{Method: "Delphi", Inference: true, MPC: true, HE: true, DataPrivacy: true, ModelPrivacyClient: true, GPUAcceleration: true, LargeDNNs: true},
+		{Method: "DarKnight", Training: true, Inference: true, MPC: true, TEE: true, DataPrivacy: true, ModelPrivacyClient: true, Integrity: true, GPUAcceleration: true, LargeDNNs: true},
+	}
+}
+
+// RenderTable2 formats the capability matrix.
+func RenderTable2(rows []Table2Row) string {
+	mark := func(v bool) string {
+		if v {
+			return "+"
+		}
+		return "-"
+	}
+	var b strings.Builder
+	fmt.Fprintln(&b, "Table 2: capability comparison (+ supported, - unsupported)")
+	fmt.Fprintf(&b, "%-12s %5s %5s %3s %3s %3s %3s %5s %6s %6s %5s %4s %6s\n",
+		"Method", "Train", "Infer", "DP", "MPC", "HE", "TEE", "Priv", "MP(Cl)", "MP(Sv)", "Integ", "GPU", "Large")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %5s %5s %3s %3s %3s %3s %5s %6s %6s %5s %4s %6s\n",
+			r.Method, mark(r.Training), mark(r.Inference), mark(r.DP), mark(r.MPC),
+			mark(r.HE), mark(r.TEE), mark(r.DataPrivacy), mark(r.ModelPrivacyClient),
+			mark(r.ModelPrivacyServer), mark(r.Integrity), mark(r.GPUAcceleration), mark(r.LargeDNNs))
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Table 3
+
+// Table3Row is one model's training-time breakdown (fractions of total).
+type Table3Row struct {
+	Model               string
+	DarKnight, Baseline perf.Breakdown
+}
+
+// Table3 reproduces the ImageNet training-time breakdown for DarKnight
+// (K=2, M=1 on 3 GPUs) versus the SGX-only baseline.
+func Table3() []Table3Row {
+	p, ws := profileAndWorkloads()
+	c := perf.Coding{K: 2, M: 1}
+	var rows []Table3Row
+	for _, name := range []string{"VGG16", "ResNet50", "MobileNetV2"} {
+		w := ws[name]
+		rows = append(rows, Table3Row{
+			Model:     name,
+			DarKnight: perf.DarKnightTrain(p, w, c, false).Fractions(),
+			Baseline:  perf.BaselineSGXTrain(p, w).Fractions(),
+		})
+	}
+	return rows
+}
+
+// RenderTable3 formats the breakdown table.
+func RenderTable3(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Table 3: ImageNet training time breakdown (fraction of total)")
+	fmt.Fprintf(&b, "%-18s", "Operation")
+	for _, r := range rows {
+		fmt.Fprintf(&b, " %10s-DK %10s-Base", r.Model[:min(7, len(r.Model))], r.Model[:min(7, len(r.Model))])
+	}
+	fmt.Fprintln(&b)
+	line := func(label string, get func(perf.Breakdown) float64) {
+		fmt.Fprintf(&b, "%-18s", label)
+		for _, r := range rows {
+			fmt.Fprintf(&b, " %13.2f %15.2f", get(r.DarKnight), get(r.Baseline))
+		}
+		fmt.Fprintln(&b)
+	}
+	line("Linear", func(x perf.Breakdown) float64 { return x.Linear })
+	line("NonLinear", func(x perf.Breakdown) float64 { return x.NonLinear })
+	line("Encoding-Decoding", func(x perf.Breakdown) float64 { return x.EncodeDecode })
+	line("Communication", func(x perf.Breakdown) float64 { return x.Comm })
+	line("Paging", func(x perf.Breakdown) float64 { return x.Paging })
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ---------------------------------------------------------------- Table 4
+
+// Table4Row is one model's non-private 3-GPU speedup pair.
+type Table4Row struct {
+	Model                      string
+	OverDarKnight, OverSGXOnly float64
+}
+
+// Table4 reproduces the non-private training comparison.
+func Table4() []Table4Row {
+	p, ws := profileAndWorkloads()
+	c := perf.Coding{K: 2, M: 1}
+	var rows []Table4Row
+	for _, name := range []string{"VGG16", "ResNet50", "MobileNetV2"} {
+		w := ws[name]
+		gpuTime := perf.NonPrivateGPUTrain(p, w, 3)
+		rows = append(rows, Table4Row{
+			Model:         name,
+			OverDarKnight: perf.DarKnightTrain(p, w, c, false).Total() / gpuTime,
+			OverSGXOnly:   perf.BaselineSGXTrain(p, w).Total() / gpuTime,
+		})
+	}
+	return rows
+}
+
+// RenderTable4 formats Table 4.
+func RenderTable4(rows []Table4Row) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Table 4: non-private 3-GPU training speedup (ImageNet)")
+	fmt.Fprintf(&b, "%-14s %20s %18s\n", "Model", "over DarKnight(3GPU)", "over SGX-only")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %20.2f %18.2f\n", r.Model, r.OverDarKnight, r.OverSGXOnly)
+	}
+	return b.String()
+}

@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1Shape(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	fwd, bwd := rows[0], rows[1]
+	if fwd.Linear < 120 || fwd.Linear > 135 {
+		t.Fatalf("fwd linear %.1f, paper 126.85", fwd.Linear)
+	}
+	if bwd.Linear < 140 || bwd.Linear > 158 {
+		t.Fatalf("bwd linear %.1f, paper 149.13", bwd.Linear)
+	}
+	if fwd.ReLU != 119.60 || bwd.ReLU != 6.59 {
+		t.Fatal("ReLU ratios should match the calibrated Table 1 values")
+	}
+	if fwd.MaxPool != 11.86 || bwd.MaxPool != 5.47 {
+		t.Fatal("MaxPool ratios should match the calibrated Table 1 values")
+	}
+	// Totals: both near ~120 in the paper; assert order of magnitude.
+	if fwd.Total < 30 || fwd.Total > 200 {
+		t.Fatalf("fwd total %.1f implausible", fwd.Total)
+	}
+	if bwd.Total < 30 || bwd.Total > 250 {
+		t.Fatalf("bwd total %.1f implausible", bwd.Total)
+	}
+}
+
+func TestTable2Matrix(t *testing.T) {
+	rows := Table2()
+	if len(rows) != 11 {
+		t.Fatalf("rows = %d, want 11 methods", len(rows))
+	}
+	var dk *Table2Row
+	for i := range rows {
+		if rows[i].Method == "DarKnight" {
+			dk = &rows[i]
+		}
+		// Paper Table 2: Slalom cannot train.
+		if rows[i].Method == "Slalom" && rows[i].Training {
+			t.Fatal("Slalom must not support training")
+		}
+	}
+	if dk == nil {
+		t.Fatal("DarKnight row missing")
+	}
+	if !dk.Training || !dk.Inference || !dk.Integrity || !dk.GPUAcceleration || !dk.LargeDNNs {
+		t.Fatalf("DarKnight capabilities wrong: %+v", dk)
+	}
+}
+
+func TestTable3Fractions(t *testing.T) {
+	rows := Table3()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		for name, b := range map[string]float64{
+			"darknight": r.DarKnight.Total(), "baseline": r.Baseline.Total(),
+		} {
+			if b < 0.99 || b > 1.01 {
+				t.Fatalf("%s %s fractions sum to %v", r.Model, name, b)
+			}
+		}
+		if r.Baseline.Linear < r.DarKnight.Linear {
+			t.Fatalf("%s: baseline should be more linear-dominated", r.Model)
+		}
+	}
+}
+
+func TestTable4Ordering(t *testing.T) {
+	rows := Table4()
+	for _, r := range rows {
+		if r.OverSGXOnly <= r.OverDarKnight {
+			t.Fatalf("%s: non-private speedup over SGX (%.1f) must exceed over DarKnight (%.1f)",
+				r.Model, r.OverSGXOnly, r.OverDarKnight)
+		}
+		if r.OverDarKnight < 5 {
+			t.Fatalf("%s: over-DarKnight %.1f too small", r.Model, r.OverDarKnight)
+		}
+	}
+}
+
+func TestFigure3Knee(t *testing.T) {
+	rows := Figure3()
+	for _, r := range rows {
+		if !(r.Speedups[4] > r.Speedups[2]) {
+			t.Fatalf("%s: K=4 (%.2f) should beat K=2 (%.2f)", r.Model, r.Speedups[4], r.Speedups[2])
+		}
+	}
+	// VGG's K=5 collapses (EPC knee).
+	for _, r := range rows {
+		if r.Model == "VGG16" && !(r.Speedups[5] < r.Speedups[4]) {
+			t.Fatalf("VGG16 K=5 (%.2f) should fall below K=4 (%.2f)", r.Speedups[5], r.Speedups[4])
+		}
+	}
+}
+
+func TestFigure4AccuracyParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	series, err := Figure4(QuickFigure4Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) == 0 {
+			t.Fatalf("%s: no points", s.Model)
+		}
+		// The paper reports <0.01 gap after 100 epochs; at this reduced
+		// scale (4 epochs, 160 examples) trajectories are noisier, but
+		// both paths must be learning comparably.
+		if s.FinalGap > 0.3 {
+			t.Fatalf("%s: raw-vs-DarKnight accuracy gap %.3f too large", s.Model, s.FinalGap)
+		}
+	}
+}
+
+func TestFigure5Ordering(t *testing.T) {
+	rows := Figure5()
+	if rows[0].Model != "VGG16" || len(rows) != 3 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if !(rows[0].NonPipelined > rows[1].NonPipelined && rows[1].NonPipelined > rows[2].NonPipelined) {
+		t.Fatal("speedup ordering VGG > ResNet > MobileNet violated")
+	}
+	for _, r := range rows {
+		if !(r.Pipelined > r.NonPipelined) {
+			t.Fatalf("%s: pipelined must beat non-pipelined", r.Model)
+		}
+	}
+}
+
+func TestFigure6aOrdering(t *testing.T) {
+	rows := Figure6a()
+	for _, r := range rows {
+		if !(r.DarKnight4 > 1 && r.Slalom > 1) {
+			t.Fatalf("%s: both offload schemes must beat SGX", r.Model)
+		}
+		if !(r.DarKnight4 > r.Slalom) {
+			t.Fatalf("%s: DarKnight(4) (%.2f) should beat Slalom (%.2f)", r.Model, r.DarKnight4, r.Slalom)
+		}
+		if !(r.SlalomIntegrity < r.Slalom) {
+			t.Fatalf("%s: integrity must cost Slalom", r.Model)
+		}
+		if !(r.DarKnight3Int < r.DarKnight4) {
+			t.Fatalf("%s: integrity must cost DarKnight", r.Model)
+		}
+	}
+}
+
+func TestFigure6bKnee(t *testing.T) {
+	rows := Figure6b()
+	byK := map[int]Figure6bRow{}
+	for _, r := range rows {
+		byK[r.K] = r
+	}
+	if byK[1].Total != 1 {
+		t.Fatalf("K=1 total should be 1, got %v", byK[1].Total)
+	}
+	if !(byK[4].Total > byK[2].Total && byK[2].Total > 1) {
+		t.Fatalf("total speedup should rise to K=4: %+v", rows)
+	}
+	if !(byK[6].Total < byK[4].Total) {
+		t.Fatal("K=6 must degrade (EPC overflow)")
+	}
+	if byK[4].ReLU != 1 || byK[4].MaxPool != 1 {
+		t.Fatal("ReLU/MaxPool are K-invariant")
+	}
+}
+
+func TestFigure7Monotone(t *testing.T) {
+	rows := Figure7()
+	if rows[0].Latency != 1 {
+		t.Fatalf("1-thread latency should normalize to 1")
+	}
+	for i := 1; i < len(rows); i++ {
+		if !(rows[i].Latency > rows[i-1].Latency) {
+			t.Fatal("latency must grow with threads")
+		}
+	}
+	if rows[3].Latency < 2 {
+		t.Fatalf("4-thread latency %.1f too mild (paper ≈6-7x)", rows[3].Latency)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	// Smoke-test every renderer; they feed cmd/experiments.
+	checks := []string{
+		RenderTable1(Table1()),
+		RenderTable2(Table2()),
+		RenderTable3(Table3()),
+		RenderTable4(Table4()),
+		RenderFigure3(Figure3()),
+		RenderFigure5(Figure5()),
+		RenderFigure6a(Figure6a()),
+		RenderFigure6b(Figure6b()),
+		RenderFigure7(Figure7()),
+	}
+	for i, s := range checks {
+		if len(strings.TrimSpace(s)) == 0 {
+			t.Fatalf("renderer %d produced empty output", i)
+		}
+	}
+}

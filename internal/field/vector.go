@@ -1,0 +1,124 @@
+package field
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Vec is a vector of field elements. DarKnight treats every tensor (image,
+// feature map, gradient) that crosses the TEE boundary as a flat Vec over
+// F_p after quantization.
+type Vec []Elem
+
+// NewVec allocates a zero vector of length n.
+func NewVec(n int) Vec { return make(Vec, n) }
+
+// RandVec returns a vector of n uniformly random field elements. It is the
+// noise generator for the masking scheme (the r and r_1..r_M vectors of
+// Eq (1) and Eq (10)).
+func RandVec(rng *rand.Rand, n int) Vec {
+	v := make(Vec, n)
+	for i := range v {
+		v[i] = Rand(rng)
+	}
+	return v
+}
+
+// Clone returns a deep copy of v.
+func (v Vec) Clone() Vec {
+	c := make(Vec, len(v))
+	copy(c, v)
+	return c
+}
+
+// AddVec returns a + b elementwise. Panics if lengths differ: coded inputs
+// in a virtual batch must all have identical shape.
+func AddVec(a, b Vec) Vec {
+	checkLen(len(a), len(b))
+	out := make(Vec, len(a))
+	for i := range a {
+		out[i] = Add(a[i], b[i])
+	}
+	return out
+}
+
+// SubVec returns a - b elementwise.
+func SubVec(a, b Vec) Vec {
+	checkLen(len(a), len(b))
+	out := make(Vec, len(a))
+	for i := range a {
+		out[i] = Sub(a[i], b[i])
+	}
+	return out
+}
+
+// ScaleVec returns s * v elementwise.
+func ScaleVec(s Elem, v Vec) Vec {
+	out := make(Vec, len(v))
+	for i := range v {
+		out[i] = Mul(s, v[i])
+	}
+	return out
+}
+
+// AXPY performs dst += s*v in place (the encode inner loop:
+// x̄ accumulates α_{j,i}·x_j one source vector at a time).
+func AXPY(dst Vec, s Elem, v Vec) {
+	checkLen(len(dst), len(v))
+	for i := range dst {
+		dst[i] = MulAdd(dst[i], s, v[i])
+	}
+}
+
+// Dot returns the inner product <a, b> over F_p.
+func Dot(a, b Vec) Elem {
+	checkLen(len(a), len(b))
+	var acc uint64
+	for i := range a {
+		acc += uint64(a[i]) * uint64(b[i])
+		// Lazy reduction: 2^50-bit products accumulate safely for at
+		// least 2^13 terms before approaching 2^63; reduce periodically.
+		if i&0xFFF == 0xFFF {
+			acc %= uint64(P)
+		}
+	}
+	return Elem(acc % uint64(P))
+}
+
+// Equal reports whether a and b are identical vectors.
+func (v Vec) Equal(o Vec) bool {
+	if len(v) != len(o) {
+		return false
+	}
+	for i := range v {
+		if v[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// LiftVec applies the centered lift to every element, restoring signed
+// fixed-point values after decode.
+func LiftVec(v Vec) []int64 {
+	out := make([]int64, len(v))
+	for i, x := range v {
+		out[i] = Lift(x)
+	}
+	return out
+}
+
+// FromInt64Vec maps a signed integer slice into the field elementwise.
+func FromInt64Vec(xs []int64) Vec {
+	out := make(Vec, len(xs))
+	for i, x := range xs {
+		out[i] = FromInt64(x)
+	}
+	return out
+}
+
+func checkLen(a, b int) {
+	if a != b {
+		panic(fmt.Sprintf("field: length mismatch %d != %d", a, b))
+	}
+}

@@ -1,0 +1,92 @@
+package gpu
+
+import (
+	"fmt"
+	"sync"
+
+	"darknight/internal/field"
+)
+
+// Cluster is the K' accelerator fleet of the system model (§3). Jobs fan
+// out to devices concurrently — each coded input goes to exactly one
+// device ("each GPU receives at most one encoded data") — and results
+// gather in device order.
+type Cluster struct {
+	devices []Device
+}
+
+// NewCluster assembles a cluster from devices.
+func NewCluster(devices ...Device) *Cluster {
+	return &Cluster{devices: devices}
+}
+
+// NewHonestCluster creates n honest devices.
+func NewHonestCluster(n int) *Cluster {
+	devs := make([]Device, n)
+	for i := range devs {
+		devs[i] = NewHonest(i)
+	}
+	return NewCluster(devs...)
+}
+
+// Size returns the device count K'.
+func (c *Cluster) Size() int { return len(c.devices) }
+
+// Device returns device i.
+func (c *Cluster) Device(i int) Device { return c.devices[i] }
+
+// ForwardAll dispatches coded inputs to the first len(coded) devices in
+// parallel and returns their results in device order.
+func (c *Cluster) ForwardAll(key string, kernel LinearKernel, coded []field.Vec) ([]field.Vec, error) {
+	if len(coded) > len(c.devices) {
+		return nil, fmt.Errorf("gpu: %d coded inputs for %d devices", len(coded), len(c.devices))
+	}
+	results := make([]field.Vec, len(coded))
+	var wg sync.WaitGroup
+	for i := range coded {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = c.devices[i].LinearForward(key, kernel, coded[i])
+		}(i)
+	}
+	wg.Wait()
+	return results, nil
+}
+
+// BackwardAll dispatches the per-device combined deltas against the coded
+// inputs stored during the forward pass, in parallel.
+func (c *Cluster) BackwardAll(key string, kernel BilinearKernel, deltas []field.Vec) ([]field.Vec, error) {
+	if len(deltas) > len(c.devices) {
+		return nil, fmt.Errorf("gpu: %d deltas for %d devices", len(deltas), len(c.devices))
+	}
+	results := make([]field.Vec, len(deltas))
+	errs := make([]error, len(deltas))
+	var wg sync.WaitGroup
+	for i := range deltas {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = c.devices[i].GradWeights(key, kernel, deltas[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// TotalTraffic sums channel counters across devices.
+func (c *Cluster) TotalTraffic() Traffic {
+	var t Traffic
+	for _, d := range c.devices {
+		dt := d.Traffic()
+		t.BytesIn += dt.BytesIn
+		t.BytesOut += dt.BytesOut
+		t.Jobs += dt.Jobs
+	}
+	return t
+}

@@ -1,0 +1,278 @@
+// Package masking implements DarKnight's matrix-masking code (paper §4),
+// the primary contribution of the MICRO'21 paper. A virtual batch of K
+// private inputs is linearly combined with M uniform noise vectors over
+// F_p to produce S = K+M coded inputs (plus E redundant ones for integrity),
+// each of which is safe to hand to an untrusted GPU:
+//
+//	X̄ = [x₁ … x_K, r₁ … r_M] · A,   A ∈ F_p^{S×(S+E)}
+//
+// Because the heavy DNN operators are bilinear, results computed on coded
+// inputs decode exactly:
+//
+//   - forward  (Eq 1–2):  Ȳ = f(X̄) = f(X_full)·A  ⇒  Y = Ȳ·A⁻¹
+//   - backward (Eq 4–6):  Σⱼ γⱼ·g(Σᵢ βⱼᵢ δᵢ, x̄ⱼ) = Σᵢ g(δᵢ, xᵢ)
+//     whenever A·Γ·B = [I_K; 0] (the Eq 5/13 condition, written without
+//     transposes for our column-code layout)
+//
+// The package is deliberately agnostic about what the linear map f and the
+// bilinear map g are — matmul, convolution, anything bilinear works. The
+// scheduler (internal/sched) wires these to real DNN layers.
+package masking
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"darknight/internal/field"
+)
+
+// Params configures a code instance.
+type Params struct {
+	// K is the virtual batch size: the number of private inputs combined
+	// into each coded input. The paper uses 2–6 depending on SGX memory.
+	K int
+	// M is the collusion tolerance: the number of independent uniform
+	// noise vectors mixed in. Privacy holds against any coalition of up
+	// to M GPUs (§4.5). M must be >= 1; M = 1 is the paper's base scheme.
+	M int
+	// Redundancy E adds E extra coded inputs for integrity verification
+	// (§4.4). E = 0 disables verification; E = 1 is the paper's scheme
+	// ("one additional linear combination of inputs").
+	Redundancy int
+}
+
+// Validate checks the parameter ranges.
+func (p Params) Validate() error {
+	if p.K < 1 {
+		return fmt.Errorf("masking: K = %d, need at least one input", p.K)
+	}
+	if p.M < 1 {
+		return fmt.Errorf("masking: M = %d, privacy requires at least one noise vector", p.M)
+	}
+	if p.Redundancy < 0 {
+		return fmt.Errorf("masking: negative redundancy %d", p.Redundancy)
+	}
+	return nil
+}
+
+// GPUs returns the number of workers the code occupies: S + E = K + M + E.
+// This is the paper's K' >= K + M + 1 sizing rule when E = 1.
+func (p Params) GPUs() int { return p.K + p.M + p.Redundancy }
+
+// Code is one instantiated masking code: the secret coefficients for a
+// single virtual batch. The TEE must keep A, Γ (and the cached inverses)
+// inside the enclave; B is safe to publish to GPUs (§4.2: "we do not need
+// to protect matrix B in the enclave").
+type Code struct {
+	K, M, E int
+	S       int // K + M
+
+	// A is the S×(S+E) encoding matrix. Column j holds the mixing
+	// coefficients of coded input j. Every S-column subset we decode
+	// from is invertible by construction.
+	A *field.Mat
+	// primaryInv is the inverse of A's first S columns, the default
+	// decode path.
+	primaryInv *field.Mat
+	// secondaryInv is the inverse of A's *last* S columns; only present
+	// when E >= 1. It provides the second, redundant decoding used for
+	// integrity verification.
+	secondaryInv *field.Mat
+
+	// Gamma holds the S+E secret decode scalars γ_j for the backward
+	// pass; entries beyond the primary subset belong to the secondary
+	// decoding.
+	Gamma field.Vec
+	// B is the (S+E)×K public scaling matrix handed to GPUs: GPU j
+	// combines the gradients as Σᵢ B[j,i]·δᵢ before its bilinear op.
+	B *field.Mat
+	// gammaSec / bSec are the γ and B for the secondary (redundant)
+	// decoding, defined over the last S coded inputs.
+	gammaSec field.Vec
+	bSec     *field.Mat
+}
+
+// ErrWrongCount is returned when a decode is offered the wrong number of
+// GPU results for the code.
+var ErrWrongCount = errors.New("masking: wrong number of coded results")
+
+// ErrShapeMismatch is returned when inputs of differing lengths are encoded
+// together; a virtual batch must be shape-uniform.
+var ErrShapeMismatch = errors.New("masking: inputs in a virtual batch must have equal length")
+
+// New draws a fresh code for one virtual batch. DarKnight regenerates the
+// coefficients for every virtual batch (§4.1); the cost is O(S³) on S ≈ 3–7
+// scalar matrices, negligible next to the DNN linear algebra.
+func New(p Params, rng *rand.Rand) (*Code, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	s := p.K + p.M
+	c := &Code{K: p.K, M: p.M, E: p.Redundancy, S: s}
+
+	// Draw the primary S×S block invertible, then append E extra columns
+	// such that the trailing S-column window is invertible too.
+	for {
+		primary, pinv := field.RandInvertible(rng, s)
+		ext := field.RandMat(rng, s, p.Redundancy)
+		full := field.NewMat(s, s+p.Redundancy)
+		for r := 0; r < s; r++ {
+			copy(full.Row(r)[:s], primary.Row(r))
+			copy(full.Row(r)[s:], ext.Row(r))
+		}
+		c.A = full
+		c.primaryInv = pinv
+		if p.Redundancy == 0 {
+			break
+		}
+		sec := full.SubMatrix(0, s, p.Redundancy, s+p.Redundancy)
+		sinv, err := sec.Inverse()
+		if err != nil {
+			continue // astronomically rare; redraw
+		}
+		c.secondaryInv = sinv
+		break
+	}
+	// The §5 collusion argument needs every M-column subset of the noise
+	// block A2 to be full rank. A uniform draw satisfies this with
+	// probability ≈ 1 - O(S²/p), but we verify constructively and redraw
+	// on the (astronomically rare) failure so the guarantee is absolute.
+	if anyLeakOfSize(c, p.M, 0, nil) {
+		return New(p, rng)
+	}
+
+	// Backward coefficients for the primary subset: A_p·Γ·B = [I_K; 0].
+	gamma, b := backwardCoeffs(c.A.SubMatrix(0, s, 0, s), c.primaryInv, p.K, rng)
+	c.Gamma = gamma
+	c.B = field.NewMat(s+p.Redundancy, p.K)
+	for j := 0; j < s; j++ {
+		copy(c.B.Row(j), b.Row(j))
+	}
+	if p.Redundancy > 0 {
+		gsec, bsec := backwardCoeffs(c.A.SubMatrix(0, s, p.Redundancy, s+p.Redundancy), c.secondaryInv, p.K, rng)
+		c.gammaSec = gsec
+		c.bSec = bsec
+		// Equations [E, S+E) belong to both decodings; the published B
+		// must agree with the primary values there, so the secondary
+		// pass recomputes its own B rows only for the tail equations it
+		// exclusively owns. To keep both decodings valid with a single
+		// published B we instead keep bSec separate and expose it via
+		// SecondaryB (the TEE hands each GPU the β row for the decoding
+		// it serves).
+		for j := s; j < s+p.Redundancy; j++ {
+			copy(c.B.Row(j), bsec.Row(j-p.Redundancy))
+		}
+	}
+	return c, nil
+}
+
+// backwardCoeffs draws a random invertible diagonal Γ and computes
+// B = Γ⁻¹·A⁻¹·P with P = [I_K; 0] ∈ F^{S×K}, so that A·Γ·B = P exactly
+// (the Eq 5/13 condition).
+func backwardCoeffs(a, ainv *field.Mat, k int, rng *rand.Rand) (field.Vec, *field.Mat) {
+	s := a.Rows
+	gamma := make(field.Vec, s)
+	ginv := make(field.Vec, s)
+	for i := range gamma {
+		g := field.RandNonZero(rng)
+		gamma[i] = g
+		ginv[i] = field.MustInv(g)
+	}
+	// P = [I_K; 0] — take the first K columns of A⁻¹, scale rows by Γ⁻¹.
+	b := field.NewMat(s, k)
+	for r := 0; r < s; r++ {
+		for c := 0; c < k; c++ {
+			b.Set(r, c, field.Mul(ginv[r], ainv.At(r, c)))
+		}
+	}
+	return gamma, b
+}
+
+// NumCoded returns S+E, the number of coded inputs (and thus GPUs) used.
+func (c *Code) NumCoded() int { return c.S + c.E }
+
+// SecondaryB returns the β matrix of the redundant backward decoding (rows
+// indexed over coded inputs [E, S+E)), or nil when redundancy is disabled.
+func (c *Code) SecondaryB() *field.Mat {
+	if c.E == 0 {
+		return nil
+	}
+	return c.bSec.Clone()
+}
+
+// Encode produces the S+E coded vectors for a virtual batch of K inputs,
+// drawing the M noise vectors internally from rng (Eq 1 / Eq 10).
+// All inputs must share a length.
+func (c *Code) Encode(inputs []field.Vec, rng *rand.Rand) ([]field.Vec, error) {
+	if len(inputs) != c.K {
+		return nil, fmt.Errorf("%w: got %d inputs, code has K=%d", ErrWrongCount, len(inputs), c.K)
+	}
+	n := len(inputs[0])
+	for _, in := range inputs {
+		if len(in) != n {
+			return nil, ErrShapeMismatch
+		}
+	}
+	full := make([]field.Vec, c.S)
+	copy(full, inputs)
+	for m := 0; m < c.M; m++ {
+		full[c.K+m] = field.RandVec(rng, n)
+	}
+	coded := make([]field.Vec, c.NumCoded())
+	for j := range coded {
+		out := field.NewVec(n)
+		for m := 0; m < c.S; m++ {
+			if a := c.A.At(m, j); a != 0 {
+				field.AXPY(out, a, full[m])
+			}
+		}
+		coded[j] = out
+	}
+	return coded, nil
+}
+
+// DecodeForward inverts the linear GPU results back to the per-input
+// results (Eq 2): given ȳ_j = f(x̄_j) for the *first S* coded inputs, it
+// returns f(x₁) … f(x_K), discarding the noise images f(r) ("that value is
+// just dropped"). results may carry all S+E entries; extras are ignored.
+func (c *Code) DecodeForward(results []field.Vec) ([]field.Vec, error) {
+	return c.decodeWith(results, c.primaryInv, 0)
+}
+
+// decodeWith decodes using the inverse of the S-column window starting at
+// column offset.
+func (c *Code) decodeWith(results []field.Vec, inv *field.Mat, offset int) ([]field.Vec, error) {
+	if len(results) < offset+c.S {
+		return nil, fmt.Errorf("%w: got %d results, need %d", ErrWrongCount, len(results), offset+c.S)
+	}
+	n := len(results[offset])
+	out := make([]field.Vec, c.K)
+	for i := 0; i < c.K; i++ {
+		y := field.NewVec(n)
+		// y_i = Σ_j inv[j, i] · ȳ_{offset+j}
+		for j := 0; j < c.S; j++ {
+			if a := inv.At(j, i); a != 0 {
+				field.AXPY(y, a, results[offset+j])
+			}
+		}
+		out[i] = y
+	}
+	return out, nil
+}
+
+// DecodeBackward folds the S GPU gradient equations into the exact batch
+// gradient Σᵢ g(δᵢ, xᵢ) (Eq 6). eqs[j] must be the bilinear result the
+// j-th GPU computed on (Σᵢ B[j,i]·δᵢ, x̄ⱼ) for the primary coded inputs.
+// The 1/K batch averaging happens in float space after unquantization.
+func (c *Code) DecodeBackward(eqs []field.Vec) (field.Vec, error) {
+	if len(eqs) < c.S {
+		return nil, fmt.Errorf("%w: got %d equations, need %d", ErrWrongCount, len(eqs), c.S)
+	}
+	n := len(eqs[0])
+	out := field.NewVec(n)
+	for j := 0; j < c.S; j++ {
+		field.AXPY(out, c.Gamma[j], eqs[j])
+	}
+	return out, nil
+}

@@ -1,0 +1,184 @@
+package nn
+
+import (
+	"fmt"
+
+	"darknight/internal/tensor"
+)
+
+// ReLU is the rectifier activation. In DarKnight it is a TEE-resident
+// non-linear op (§3: "performing non-linear operations (ReLU, Maxpool)").
+type ReLU struct {
+	name  string
+	shape []int
+	mask  []bool
+}
+
+// NewReLU constructs a ReLU over the given geometry.
+func NewReLU(name string, shape ...int) *ReLU {
+	return &ReLU{name: name, shape: append([]int(nil), shape...)}
+}
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return r.name }
+
+// OutShape implements Layer.
+func (r *ReLU) OutShape() []int { return r.shape }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Stats implements Layer.
+func (r *ReLU) Stats() []LayerStat {
+	n := prod(r.shape)
+	return []LayerStat{{Name: r.name, Class: ClassReLU, MACs: n, InElems: n, OutElems: n}}
+}
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := tensor.New(x.Shape...)
+	r.mask = make([]bool, x.Size())
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+			r.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(gout *tensor.Tensor) *tensor.Tensor {
+	din := tensor.New(gout.Shape...)
+	for i, pass := range r.mask {
+		if pass {
+			din.Data[i] = gout.Data[i]
+		}
+	}
+	return din
+}
+
+// MaxPool is 2-D max pooling, a TEE-resident non-linear op.
+type MaxPool struct {
+	name   string
+	p      tensor.PoolParams
+	argmax []int
+}
+
+// NewMaxPool constructs a max-pooling layer.
+func NewMaxPool(name string, p tensor.PoolParams) *MaxPool {
+	return &MaxPool{name: name, p: p}
+}
+
+// Name implements Layer.
+func (m *MaxPool) Name() string { return m.name }
+
+// OutShape implements Layer.
+func (m *MaxPool) OutShape() []int { return []int{m.p.C, m.p.OutH(), m.p.OutW()} }
+
+// Params implements Layer.
+func (m *MaxPool) Params() []*Param { return nil }
+
+// Stats implements Layer.
+func (m *MaxPool) Stats() []LayerStat {
+	out := int64(m.p.C) * int64(m.p.OutH()) * int64(m.p.OutW())
+	return []LayerStat{{
+		Name: m.name, Class: ClassMaxPool,
+		MACs:    out * int64(m.p.K) * int64(m.p.K), // comparisons
+		InElems: int64(m.p.C) * int64(m.p.InH) * int64(m.p.InW), OutElems: out,
+	}}
+}
+
+// Forward implements Layer.
+func (m *MaxPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out, argmax := tensor.MaxPool2D(x.Data, m.p)
+	m.argmax = argmax
+	return tensor.FromSlice(out, m.p.C, m.p.OutH(), m.p.OutW())
+}
+
+// Backward implements Layer.
+func (m *MaxPool) Backward(gout *tensor.Tensor) *tensor.Tensor {
+	din := tensor.MaxPool2DBackward(gout.Data, m.argmax, m.p)
+	return tensor.FromSlice(din, m.p.C, m.p.InH, m.p.InW)
+}
+
+// AvgPool is 2-D average pooling (global pooling in ResNet/MobileNet heads).
+type AvgPool struct {
+	name string
+	p    tensor.PoolParams
+}
+
+// NewAvgPool constructs an average-pooling layer.
+func NewAvgPool(name string, p tensor.PoolParams) *AvgPool {
+	return &AvgPool{name: name, p: p}
+}
+
+// Name implements Layer.
+func (a *AvgPool) Name() string { return a.name }
+
+// OutShape implements Layer.
+func (a *AvgPool) OutShape() []int { return []int{a.p.C, a.p.OutH(), a.p.OutW()} }
+
+// Params implements Layer.
+func (a *AvgPool) Params() []*Param { return nil }
+
+// Stats implements Layer.
+func (a *AvgPool) Stats() []LayerStat {
+	out := int64(a.p.C) * int64(a.p.OutH()) * int64(a.p.OutW())
+	return []LayerStat{{
+		Name: a.name, Class: ClassOther,
+		MACs:    out * int64(a.p.K) * int64(a.p.K),
+		InElems: int64(a.p.C) * int64(a.p.InH) * int64(a.p.InW), OutElems: out,
+	}}
+}
+
+// Forward implements Layer.
+func (a *AvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := tensor.AvgPool2D(x.Data, a.p)
+	return tensor.FromSlice(out, a.p.C, a.p.OutH(), a.p.OutW())
+}
+
+// Backward implements Layer.
+func (a *AvgPool) Backward(gout *tensor.Tensor) *tensor.Tensor {
+	din := tensor.AvgPool2DBackward(gout.Data, a.p)
+	return tensor.FromSlice(din, a.p.C, a.p.InH, a.p.InW)
+}
+
+// Flatten reshapes [C,H,W] feature maps into a dense-layer vector.
+type Flatten struct {
+	name    string
+	inShape []int
+}
+
+// NewFlatten constructs a flatten layer for the given input geometry.
+func NewFlatten(name string, inShape ...int) *Flatten {
+	return &Flatten{name: name, inShape: append([]int(nil), inShape...)}
+}
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return f.name }
+
+// OutShape implements Layer.
+func (f *Flatten) OutShape() []int { return []int{int(prod(f.inShape))} }
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Stats implements Layer.
+func (f *Flatten) Stats() []LayerStat {
+	n := prod(f.inShape)
+	return []LayerStat{{Name: f.name, Class: ClassOther, InElems: n, OutElems: n}}
+}
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if int64(x.Size()) != prod(f.inShape) {
+		panic(fmt.Sprintf("nn: %s input size %d, want %d", f.name, x.Size(), prod(f.inShape)))
+	}
+	return x.Reshape(x.Size())
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(gout *tensor.Tensor) *tensor.Tensor {
+	return gout.Reshape(f.inShape...)
+}

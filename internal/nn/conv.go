@@ -1,0 +1,206 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"darknight/internal/field"
+	"darknight/internal/tensor"
+)
+
+// Conv2D is a (optionally grouped/depthwise) 2-D convolution layer.
+type Conv2D struct {
+	name   string
+	p      tensor.ConvParams
+	w      *Param
+	b      *Param
+	lastIn *tensor.Tensor
+}
+
+// NewConv2D constructs a convolution with Kaiming-normal init.
+func NewConv2D(name string, p tensor.ConvParams, rng *rand.Rand) *Conv2D {
+	p.Validate()
+	cpg := p.InC / p.Groups
+	w := tensor.New(p.OutC, cpg, p.KH, p.KW)
+	fanIn := float64(cpg * p.KH * p.KW)
+	w.RandNormal(rng, math.Sqrt(2.0/fanIn))
+	return &Conv2D{
+		name: name, p: p,
+		w: &Param{Name: name + ".w", W: w, Grad: tensor.New(p.OutC, cpg, p.KH, p.KW)},
+		b: &Param{Name: name + ".b", W: tensor.New(p.OutC), Grad: tensor.New(p.OutC)},
+	}
+}
+
+// Conv returns the convolution geometry.
+func (c *Conv2D) Conv() tensor.ConvParams { return c.p }
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.name }
+
+// OutShape implements Layer.
+func (c *Conv2D) OutShape() []int { return []int{c.p.OutC, c.p.OutH(), c.p.OutW()} }
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.w, c.b} }
+
+// Stats implements Layer.
+func (c *Conv2D) Stats() []LayerStat {
+	cpg := int64(c.p.InC / c.p.Groups)
+	outElems := int64(c.p.OutC) * int64(c.p.OutH()) * int64(c.p.OutW())
+	return []LayerStat{{
+		Name: c.name, Class: ClassLinear,
+		MACs:    outElems * cpg * int64(c.p.KH) * int64(c.p.KW),
+		InElems: int64(c.p.InC) * int64(c.p.InH) * int64(c.p.InW), OutElems: outElems,
+		Params: int64(c.p.OutC)*cpg*int64(c.p.KH)*int64(c.p.KW) + int64(c.p.OutC),
+	}}
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Size() != c.InLen() {
+		panic(fmt.Sprintf("nn: %s input size %d, want %d", c.name, x.Size(), c.InLen()))
+	}
+	c.lastIn = x
+	return tensor.Conv2D(x.Data, c.w.W, c.b.W.Data, c.p)
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(gout *tensor.Tensor) *tensor.Tensor {
+	din, dw, db := tensor.Conv2DBackward(c.lastIn.Data, c.w.W, gout, c.p)
+	c.w.Grad.Add(dw)
+	for i := range db {
+		c.b.Grad.Data[i] += db[i]
+	}
+	return tensor.FromSlice(din, c.p.InC, c.p.InH, c.p.InW)
+}
+
+// BackwardInputOnly implements Linear. It deliberately avoids the cached
+// forward input: dIn of a bilinear op depends only on W and gout, which is
+// why the masked pipeline can call it for any example without re-priming
+// the layer.
+func (c *Conv2D) BackwardInputOnly(gout *tensor.Tensor) *tensor.Tensor {
+	din := tensor.Conv2DGradInput(c.w.W, gout, c.p)
+	return tensor.FromSlice(din, c.p.InC, c.p.InH, c.p.InW)
+}
+
+// InLen implements Linear.
+func (c *Conv2D) InLen() int { return c.p.InC * c.p.InH * c.p.InW }
+
+// OutLen implements Linear.
+func (c *Conv2D) OutLen() int { return c.p.OutC * c.p.OutH() * c.p.OutW() }
+
+// WLen implements Linear.
+func (c *Conv2D) WLen() int { return c.w.W.Size() }
+
+// WeightData implements Linear.
+func (c *Conv2D) WeightData() []float64 { return c.w.W.Data }
+
+// BiasData implements Linear.
+func (c *Conv2D) BiasData() []float64 { return c.b.W.Data }
+
+// LinearForwardFloat implements Linear (no bias).
+func (c *Conv2D) LinearForwardFloat(x []float64) []float64 {
+	return tensor.Conv2D(x, c.w.W, nil, c.p).Data
+}
+
+// LinearForwardField implements Linear: the convolution evaluated exactly
+// over F_p on quantized weights and (possibly coded) quantized inputs —
+// the kernel a DarKnight GPU worker runs.
+func (c *Conv2D) LinearForwardField(wq, x field.Vec) field.Vec {
+	p := c.p
+	cols, rows, npix := fieldIm2Col(x, p)
+	ocpg := p.OutC / p.Groups
+	out := make(field.Vec, p.OutC*npix)
+	for g := 0; g < p.Groups; g++ {
+		for oc := 0; oc < ocpg; oc++ {
+			wRow := wq[(g*ocpg+oc)*rows : (g*ocpg+oc+1)*rows]
+			oRow := out[(g*ocpg+oc)*npix : (g*ocpg+oc+1)*npix]
+			for r := 0; r < rows; r++ {
+				wv := wRow[r]
+				if wv == 0 {
+					continue
+				}
+				cRow := cols[(g*rows+r)*npix : (g*rows+r+1)*npix]
+				for j := 0; j < npix; j++ {
+					oRow[j] = field.MulAdd(oRow[j], wv, cRow[j])
+				}
+			}
+		}
+	}
+	return out
+}
+
+// GradWeightsField implements Linear: dW = delta · colsᵀ over F_p, where
+// delta is the (scaled, combined) output gradient [OutC×OutH×OutW] and x is
+// the (coded) layer input.
+func (c *Conv2D) GradWeightsField(delta, x field.Vec) field.Vec {
+	p := c.p
+	cols, rows, npix := fieldIm2Col(x, p)
+	ocpg := p.OutC / p.Groups
+	out := make(field.Vec, p.OutC*rows)
+	for g := 0; g < p.Groups; g++ {
+		for oc := 0; oc < ocpg; oc++ {
+			dRow := delta[(g*ocpg+oc)*npix : (g*ocpg+oc+1)*npix]
+			oRow := out[(g*ocpg+oc)*rows : (g*ocpg+oc+1)*rows]
+			for r := 0; r < rows; r++ {
+				cRow := cols[(g*rows+r)*npix : (g*rows+r+1)*npix]
+				oRow[r] = field.Dot(dRow, cRow)
+			}
+		}
+	}
+	return out
+}
+
+// AddGradW implements Linear.
+func (c *Conv2D) AddGradW(dw []float64, s float64) {
+	for i, v := range dw {
+		c.w.Grad.Data[i] += s * v
+	}
+}
+
+// AddGradB implements Linear.
+func (c *Conv2D) AddGradB(gout *tensor.Tensor, s float64) {
+	npix := c.p.OutH() * c.p.OutW()
+	for oc := 0; oc < c.p.OutC; oc++ {
+		var sum float64
+		for _, v := range gout.Data[oc*npix : (oc+1)*npix] {
+			sum += v
+		}
+		c.b.Grad.Data[oc] += s * sum
+	}
+}
+
+// fieldIm2Col is tensor.Im2Col over F_p: pure data movement, zero padding.
+func fieldIm2Col(in field.Vec, p tensor.ConvParams) (cols field.Vec, rows, npix int) {
+	cpg := p.InC / p.Groups
+	rows = cpg * p.KH * p.KW
+	oh, ow := p.OutH(), p.OutW()
+	npix = oh * ow
+	cols = make(field.Vec, p.Groups*rows*npix)
+	for g := 0; g < p.Groups; g++ {
+		for ci := 0; ci < cpg; ci++ {
+			inC := g*cpg + ci
+			for ky := 0; ky < p.KH; ky++ {
+				for kx := 0; kx < p.KW; kx++ {
+					row := (ci*p.KH+ky)*p.KW + kx
+					base := (g*rows + row) * npix
+					for oy := 0; oy < oh; oy++ {
+						iy := oy*p.Stride + ky - p.Pad
+						if iy < 0 || iy >= p.InH {
+							continue
+						}
+						for ox := 0; ox < ow; ox++ {
+							ix := ox*p.Stride + kx - p.Pad
+							if ix < 0 || ix >= p.InW {
+								continue
+							}
+							cols[base+oy*ow+ox] = in[(inC*p.InH+iy)*p.InW+ix]
+						}
+					}
+				}
+			}
+		}
+	}
+	return cols, rows, npix
+}

@@ -1,0 +1,162 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"darknight/internal/field"
+	"darknight/internal/tensor"
+)
+
+// Dense is a fully-connected layer y = W·x + b with W ∈ R^{out×in}.
+type Dense struct {
+	name    string
+	in, out int
+	w       *Param
+	b       *Param
+	lastIn  *tensor.Tensor
+}
+
+// NewDense constructs a dense layer with Kaiming-uniform init.
+func NewDense(name string, in, out int, rng *rand.Rand) *Dense {
+	w := tensor.New(out, in)
+	bound := math.Sqrt(6.0 / float64(in))
+	w.RandUniform(rng, bound)
+	return &Dense{
+		name: name, in: in, out: out,
+		w: &Param{Name: name + ".w", W: w, Grad: tensor.New(out, in)},
+		b: &Param{Name: name + ".b", W: tensor.New(out), Grad: tensor.New(out)},
+	}
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return d.name }
+
+// OutShape implements Layer.
+func (d *Dense) OutShape() []int { return []int{d.out} }
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+
+// Stats implements Layer.
+func (d *Dense) Stats() []LayerStat {
+	return []LayerStat{{
+		Name: d.name, Class: ClassLinear,
+		MACs:    int64(d.in) * int64(d.out),
+		InElems: int64(d.in), OutElems: int64(d.out),
+		Params: int64(d.in)*int64(d.out) + int64(d.out),
+	}}
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Size() != d.in {
+		panic(fmt.Sprintf("nn: %s input size %d, want %d", d.name, x.Size(), d.in))
+	}
+	d.lastIn = x
+	y := d.LinearForwardFloat(x.Data)
+	for i := range y {
+		y[i] += d.b.W.Data[i]
+	}
+	return tensor.FromSlice(y, d.out)
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(gout *tensor.Tensor) *tensor.Tensor {
+	// dW += gout ⊗ x, dB += gout.
+	for i := 0; i < d.out; i++ {
+		g := gout.Data[i]
+		if g != 0 {
+			row := d.w.Grad.Data[i*d.in : (i+1)*d.in]
+			for j, xv := range d.lastIn.Data {
+				row[j] += g * xv
+			}
+		}
+		d.b.Grad.Data[i] += g
+	}
+	return d.BackwardInputOnly(gout)
+}
+
+// BackwardInputOnly implements Linear: dX = Wᵀ·gout.
+func (d *Dense) BackwardInputOnly(gout *tensor.Tensor) *tensor.Tensor {
+	din := make([]float64, d.in)
+	for i := 0; i < d.out; i++ {
+		g := gout.Data[i]
+		if g == 0 {
+			continue
+		}
+		row := d.w.W.Data[i*d.in : (i+1)*d.in]
+		for j := range din {
+			din[j] += g * row[j]
+		}
+	}
+	return tensor.FromSlice(din, d.in)
+}
+
+// InLen implements Linear.
+func (d *Dense) InLen() int { return d.in }
+
+// OutLen implements Linear.
+func (d *Dense) OutLen() int { return d.out }
+
+// WLen implements Linear.
+func (d *Dense) WLen() int { return d.in * d.out }
+
+// WeightData implements Linear.
+func (d *Dense) WeightData() []float64 { return d.w.W.Data }
+
+// BiasData implements Linear.
+func (d *Dense) BiasData() []float64 { return d.b.W.Data }
+
+// LinearForwardFloat implements Linear: y = W·x (no bias).
+func (d *Dense) LinearForwardFloat(x []float64) []float64 {
+	y := make([]float64, d.out)
+	for i := 0; i < d.out; i++ {
+		row := d.w.W.Data[i*d.in : (i+1)*d.in]
+		var s float64
+		for j, xv := range x {
+			s += row[j] * xv
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// LinearForwardField implements Linear over F_p.
+func (d *Dense) LinearForwardField(wq, x field.Vec) field.Vec {
+	y := make(field.Vec, d.out)
+	for i := 0; i < d.out; i++ {
+		y[i] = field.Dot(wq[i*d.in:(i+1)*d.in], x)
+	}
+	return y
+}
+
+// GradWeightsField implements Linear: flat outer product delta ⊗ x.
+func (d *Dense) GradWeightsField(delta, x field.Vec) field.Vec {
+	out := make(field.Vec, d.out*d.in)
+	for i, dv := range delta {
+		if dv == 0 {
+			continue
+		}
+		row := out[i*d.in : (i+1)*d.in]
+		for j, xv := range x {
+			row[j] = field.Mul(dv, xv)
+		}
+	}
+	return out
+}
+
+// AddGradW implements Linear.
+func (d *Dense) AddGradW(dw []float64, s float64) {
+	for i, v := range dw {
+		d.w.Grad.Data[i] += s * v
+	}
+}
+
+// AddGradB implements Linear.
+func (d *Dense) AddGradB(gout *tensor.Tensor, s float64) {
+	for i := 0; i < d.out; i++ {
+		d.b.Grad.Data[i] += s * gout.Data[i]
+	}
+}

@@ -1,0 +1,154 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"darknight/internal/field"
+	"darknight/internal/quant"
+	"darknight/internal/tensor"
+)
+
+// TestLinearForwardFieldMatchesFloat confirms that the field-domain GPU
+// kernels reproduce the float linear op through quantization — the
+// correctness foundation of the whole masked pipeline (Algorithm 1 without
+// the masking step).
+func TestLinearForwardFieldMatchesFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	q := quant.Default()
+
+	check := func(name string, lin Linear, x []float64) {
+		t.Helper()
+		wq := q.Quantize(lin.WeightData())
+		xq := q.Quantize(x)
+		got := q.UnquantizeProduct(lin.LinearForwardField(wq, xq))
+		want := lin.LinearForwardFloat(x)
+		if len(got) != len(want) {
+			t.Fatalf("%s: length %d vs %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 0.05 {
+				t.Fatalf("%s[%d]: field %v vs float %v", name, i, got[i], want[i])
+			}
+		}
+	}
+
+	d := NewDense("d", 30, 10, rng)
+	x := make([]float64, 30)
+	for i := range x {
+		x[i] = rng.Float64() - 0.5
+	}
+	check("dense", d, x)
+
+	p := tensor.ConvParams{InC: 3, OutC: 4, KH: 3, KW: 3, Stride: 1, Pad: 1,
+		InH: 6, InW: 6, Groups: 1}
+	c := NewConv2D("c", p, rng)
+	xc := make([]float64, 3*6*6)
+	for i := range xc {
+		xc[i] = rng.Float64() - 0.5
+	}
+	check("conv", c, xc)
+
+	// Depthwise conv (MobileNet kernel) must also match.
+	pd := tensor.ConvParams{InC: 4, OutC: 4, KH: 3, KW: 3, Stride: 2, Pad: 1,
+		InH: 8, InW: 8, Groups: 4}
+	cd := NewConv2D("cd", pd, rng)
+	xd := make([]float64, 4*8*8)
+	for i := range xd {
+		xd[i] = rng.Float64() - 0.5
+	}
+	check("depthwise", cd, xd)
+}
+
+// TestGradWeightsFieldMatchesFloat checks the backward bilinear kernel
+// against the float dW oracle.
+func TestGradWeightsFieldMatchesFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	q := quant.Default()
+
+	t.Run("dense", func(t *testing.T) {
+		d := NewDense("d", 12, 6, rng)
+		x := tensor.New(12)
+		x.RandUniform(rng, 0.5)
+		delta := tensor.New(6)
+		delta.RandUniform(rng, 0.5)
+
+		// Float oracle: run Backward and read the accumulated dW.
+		d.Forward(x, true)
+		d.w.Grad.Zero()
+		d.Backward(delta)
+		want := d.w.Grad.Data
+
+		dq := q.Quantize(delta.Data)
+		xq := q.Quantize(x.Data)
+		got := q.UnquantizeProduct(d.GradWeightsField(dq, xq))
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 0.05 {
+				t.Fatalf("dW[%d]: field %v vs float %v", i, got[i], want[i])
+			}
+		}
+	})
+
+	t.Run("conv", func(t *testing.T) {
+		p := tensor.ConvParams{InC: 2, OutC: 3, KH: 3, KW: 3, Stride: 1, Pad: 1,
+			InH: 5, InW: 5, Groups: 1}
+		c := NewConv2D("c", p, rng)
+		x := tensor.New(2, 5, 5)
+		x.RandUniform(rng, 0.5)
+		delta := tensor.New(3, p.OutH(), p.OutW())
+		delta.RandUniform(rng, 0.5)
+
+		c.Forward(x, true)
+		c.w.Grad.Zero()
+		c.b.Grad.Zero()
+		c.Backward(delta)
+		want := c.w.Grad.Data
+
+		dq := q.Quantize(delta.Data)
+		xq := q.Quantize(x.Data)
+		got := q.UnquantizeProduct(c.GradWeightsField(dq, xq))
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 0.2 {
+				t.Fatalf("dW[%d]: field %v vs float %v", i, got[i], want[i])
+			}
+		}
+	})
+}
+
+// TestFieldLinearityOfKernels verifies the property the masking scheme
+// depends on: the field kernels are LINEAR in x, i.e.
+// f(a·x1 + b·x2) = a·f(x1) + b·f(x2) exactly over F_p.
+func TestFieldLinearityOfKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := tensor.ConvParams{InC: 2, OutC: 3, KH: 3, KW: 3, Stride: 1, Pad: 1,
+		InH: 5, InW: 5, Groups: 1}
+	c := NewConv2D("c", p, rng)
+	q := quant.Default()
+	wq := q.Quantize(c.WeightData())
+
+	n := c.InLen()
+	x1 := field.RandVec(rng, n)
+	x2 := field.RandVec(rng, n)
+	a := field.Rand(rng)
+	b := field.Rand(rng)
+
+	mix := field.AddVec(field.ScaleVec(a, x1), field.ScaleVec(b, x2))
+	left := c.LinearForwardField(wq, mix)
+	right := field.AddVec(
+		field.ScaleVec(a, c.LinearForwardField(wq, x1)),
+		field.ScaleVec(b, c.LinearForwardField(wq, x2)))
+	if !left.Equal(right) {
+		t.Fatal("conv field kernel is not linear over F_p")
+	}
+
+	// Bilinearity of the gradient kernel in x (delta fixed).
+	delta := field.RandVec(rng, c.OutLen())
+	gleft := c.GradWeightsField(delta, mix)
+	gright := field.AddVec(
+		field.ScaleVec(a, c.GradWeightsField(delta, x1)),
+		field.ScaleVec(b, c.GradWeightsField(delta, x2)))
+	if !gleft.Equal(gright) {
+		t.Fatal("conv gradient kernel is not linear in x over F_p")
+	}
+}

@@ -1,0 +1,50 @@
+package nn
+
+import (
+	"math"
+
+	"darknight/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the fused softmax + cross-entropy loss for a
+// single example and the gradient w.r.t. the logits (softmax(x) - onehot).
+// It runs in the TEE in DarKnight: the loss touches raw labels.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, label int) (loss float64, grad *tensor.Tensor) {
+	n := logits.Size()
+	if label < 0 || label >= n {
+		panic("nn: label out of range")
+	}
+	// Stable softmax.
+	maxv := math.Inf(-1)
+	for _, v := range logits.Data {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	probs := make([]float64, n)
+	for i, v := range logits.Data {
+		e := math.Exp(v - maxv)
+		probs[i] = e
+		sum += e
+	}
+	grad = tensor.New(n)
+	for i := range probs {
+		probs[i] /= sum
+		grad.Data[i] = probs[i]
+	}
+	grad.Data[label] -= 1
+	loss = -math.Log(math.Max(probs[label], 1e-300))
+	return loss, grad
+}
+
+// Argmax returns the index of the largest logit — the predicted class.
+func Argmax(logits *tensor.Tensor) int {
+	best, bestV := 0, math.Inf(-1)
+	for i, v := range logits.Data {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}

@@ -1,0 +1,147 @@
+package nn
+
+import (
+	"fmt"
+
+	"darknight/internal/tensor"
+)
+
+// Sequential chains layers; it is itself a Layer, which lets residual
+// blocks nest arbitrary bodies.
+type Sequential struct {
+	name   string
+	layers []Layer
+}
+
+// NewSequential builds a sequential container.
+func NewSequential(name string, layers ...Layer) *Sequential {
+	return &Sequential{name: name, layers: layers}
+}
+
+// Layers exposes the children (the masked scheduler walks them).
+func (s *Sequential) Layers() []Layer { return s.layers }
+
+// Append adds layers to the end of the chain.
+func (s *Sequential) Append(layers ...Layer) { s.layers = append(s.layers, layers...) }
+
+// Name implements Layer.
+func (s *Sequential) Name() string { return s.name }
+
+// OutShape implements Layer.
+func (s *Sequential) OutShape() []int {
+	if len(s.layers) == 0 {
+		return nil
+	}
+	return s.layers[len(s.layers)-1].OutShape()
+}
+
+// Params implements Layer.
+func (s *Sequential) Params() []*Param {
+	var out []*Param
+	for _, l := range s.layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// Stats implements Layer.
+func (s *Sequential) Stats() []LayerStat {
+	var out []LayerStat
+	for _, l := range s.layers {
+		out = append(out, l.Stats()...)
+	}
+	return out
+}
+
+// Forward implements Layer.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward implements Layer.
+func (s *Sequential) Backward(gout *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.layers) - 1; i >= 0; i-- {
+		gout = s.layers[i].Backward(gout)
+	}
+	return gout
+}
+
+// Residual computes body(x) + skip(x), the ResNet/MobileNetV2 building
+// block. A nil skip means identity (requires matching shapes).
+type Residual struct {
+	name string
+	body Layer
+	skip Layer // nil = identity
+}
+
+// NewResidual builds a residual block.
+func NewResidual(name string, body, skip Layer) *Residual {
+	return &Residual{name: name, body: body, skip: skip}
+}
+
+// Body returns the main branch.
+func (r *Residual) Body() Layer { return r.body }
+
+// Skip returns the shortcut branch (nil = identity).
+func (r *Residual) Skip() Layer { return r.skip }
+
+// Name implements Layer.
+func (r *Residual) Name() string { return r.name }
+
+// OutShape implements Layer.
+func (r *Residual) OutShape() []int { return r.body.OutShape() }
+
+// Params implements Layer.
+func (r *Residual) Params() []*Param {
+	out := r.body.Params()
+	if r.skip != nil {
+		out = append(out, r.skip.Params()...)
+	}
+	return out
+}
+
+// Stats implements Layer.
+func (r *Residual) Stats() []LayerStat {
+	out := r.body.Stats()
+	if r.skip != nil {
+		out = append(out, r.skip.Stats()...)
+	}
+	n := prod(r.body.OutShape())
+	out = append(out, LayerStat{Name: r.name + ".add", Class: ClassOther, MACs: n, InElems: 2 * n, OutElems: n})
+	return out
+}
+
+// Forward implements Layer.
+func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	main := r.body.Forward(x, train)
+	var shortcut *tensor.Tensor
+	if r.skip != nil {
+		shortcut = r.skip.Forward(x, train)
+	} else {
+		shortcut = x
+	}
+	if main.Size() != shortcut.Size() {
+		panic(fmt.Sprintf("nn: %s residual shape mismatch %v vs %v",
+			r.name, main.Shape, shortcut.Shape))
+	}
+	out := main.Clone()
+	out.Add(shortcut)
+	return out
+}
+
+// Backward implements Layer.
+func (r *Residual) Backward(gout *tensor.Tensor) *tensor.Tensor {
+	dBody := r.body.Backward(gout)
+	var dSkip *tensor.Tensor
+	if r.skip != nil {
+		dSkip = r.skip.Backward(gout)
+	} else {
+		dSkip = gout
+	}
+	out := dBody.Clone()
+	out.Add(dSkip)
+	return out
+}

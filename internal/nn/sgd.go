@@ -1,0 +1,36 @@
+package nn
+
+import "darknight/internal/tensor"
+
+// SGD is plain stochastic gradient descent with optional momentum — the
+// update rule in the paper's Eq (3): W ← W − η·∇W.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	velocity map[*Param]*tensor.Tensor
+}
+
+// NewSGD constructs the optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, velocity: make(map[*Param]*tensor.Tensor)}
+}
+
+// Step applies the accumulated gradients (already averaged by the caller)
+// to the parameters and clears them.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		if s.Momentum != 0 {
+			v, ok := s.velocity[p]
+			if !ok {
+				v = tensor.New(p.W.Shape...)
+				s.velocity[p] = v
+			}
+			v.Scale(s.Momentum)
+			v.AXPY(1, p.Grad)
+			p.W.AXPY(-s.LR, v)
+		} else {
+			p.W.AXPY(-s.LR, p.Grad)
+		}
+		p.ZeroGrad()
+	}
+}

@@ -1,0 +1,99 @@
+package perf
+
+// Inference-side time models for the Fig 6 comparisons. All results are
+// seconds per image.
+
+// SGXInference prices the fully-enclaved baseline (one forward pass).
+func SGXInference(p Profile, w Workload) float64 {
+	linear := w.LinMACs / (p.SGXLinearMACsPerSec * sgxLinEff(p, w))
+	nonlin := w.NonLinOps / p.SGXElemsPerSec
+	paging := 4 * w.ActElems / p.SGXPagingBytesPerSec
+	return linear + nonlin + paging
+}
+
+// SlalomInference prices Slalom: GPU linear ops on blinded data, TEE
+// blind/unblind with PRECOMPUTED factors streamed (encrypted) back into the
+// enclave per layer, TEE non-linear ops. Slalom processes one image at a
+// time, so its per-layer enclave overhead does not amortize. verify adds
+// the Freivalds check — one extra random-projection pass on the GPU plus a
+// TEE comparison.
+func SlalomInference(p Profile, w Workload, verify bool) float64 {
+	gpu := w.LinMACs / (p.GPUMACsPerSec * gpuLinEff(p, w))
+	// Blind: one field add per input element; unblind: one subtract per
+	// output element.
+	blind := (w.LinInElems + w.LinOutElems) / p.SGXFieldMACsPerSec
+	// The unblinding factors W·r live encrypted in untrusted memory and
+	// re-enter the enclave every layer: decrypt at sealing throughput.
+	factorLoad := p.ElemBytes * w.LinOutElems / p.SGXSealBytesPerSec
+	nonlin := w.NonLinOps / p.SGXElemsPerSec
+	comm := p.ElemBytes * (w.LinInElems + w.LinOutElems) / p.NetBytesPerSec
+	overhead := 2 * w.LinLayers * p.PerLayerOverheadSec
+	total := gpu + blind + factorLoad + nonlin + comm + overhead
+	if verify {
+		total += 0.25*w.LinMACs/p.GPUMACsPerSec + w.LinOutElems/p.SGXFieldMACsPerSec
+	}
+	return total
+}
+
+// DarKnightInference prices DarKnight's forward-only pipeline per image at
+// coding c (Fig 6a uses K=4 without and K=3+E=1 with integrity). The
+// per-layer enclave overhead amortizes over the K images of a virtual
+// batch — the Fig 6b gain — while the encode/decode field work grows like
+// (K+M)·(K+M+E)/K, and past the EPC knee the working set pages.
+func DarKnightInference(p Profile, w Workload, c Coding) float64 {
+	k := float64(c.K)
+	width := float64(c.Width())
+	s := float64(c.S())
+
+	gpu := w.LinMACs / (p.GPUMACsPerSec * gpuLinEff(p, w))
+	encdec := (width*s/k)*(w.LinInElems+w.LinOutElems)/p.SGXFieldMACsPerSec +
+		2*w.LinLayers*p.PerLayerOverheadSec/k
+	nonlin := w.NonLinOps / p.SGXElemsPerSec
+	comm := p.ElemBytes*(w.LinInElems+w.LinOutElems)/p.NetBytesPerSec +
+		w.LinLayers*p.NetLatencySec
+
+	total := gpu + encdec + nonlin + comm
+	if c.E > 0 {
+		// Integrity: the redundant decode plus the extra coded instance's
+		// traffic.
+		total += s*w.LinOutElems/p.SGXFieldMACsPerSec/k +
+			float64(c.E)*p.ElemBytes*(w.LinInElems+w.LinOutElems)/p.NetBytesPerSec/k
+	}
+	if over := inferenceWorkset(p, w, c) - p.EPCBytes; over > 0 {
+		// EPC overflow: the oversized working set pages on every layer.
+		total += over * w.LinLayers / p.SGXPagingBytesPerSec / k
+	}
+	return total
+}
+
+// inferenceWorkset is the enclave's peak buffer during streaming encode:
+// K+1 copies of the largest layer input (quantized u32) plus fixed runtime
+// overhead.
+func inferenceWorkset(p Profile, w Workload, c Coding) float64 {
+	const runtimeOverheadBytes = 16 << 20
+	return float64(c.K+1)*w.MaxLinInElems*p.ElemBytes + runtimeOverheadBytes
+}
+
+// InferenceOpBreakdown splits DarKnight inference time into the Fig 6b
+// categories: unblinding (decode), blinding (encode), ReLU, MaxPool.
+type InferenceOpBreakdown struct {
+	Unblinding, Blinding, ReLU, MaxPool, Total float64
+}
+
+// DarKnightInferenceOps prices the Fig 6b per-op categories per image.
+// Blinding/unblinding carry half of the per-layer enclave overhead each;
+// both amortize over K.
+func DarKnightInferenceOps(p Profile, w Workload, c Coding) InferenceOpBreakdown {
+	k := float64(c.K)
+	width := float64(c.Width())
+	s := float64(c.S())
+	var o InferenceOpBreakdown
+	o.Blinding = (width*s/k)*w.LinInElems/p.SGXFieldMACsPerSec +
+		w.LinLayers*p.PerLayerOverheadSec/k
+	o.Unblinding = (width*s/k)*w.LinOutElems/p.SGXFieldMACsPerSec +
+		w.LinLayers*p.PerLayerOverheadSec/k
+	o.ReLU = w.ReLUOps / p.SGXElemsPerSec
+	o.MaxPool = w.MaxPoolOps / p.SGXElemsPerSec
+	o.Total = DarKnightInference(p, w, c)
+	return o
+}

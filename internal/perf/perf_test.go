@@ -1,0 +1,274 @@
+package perf
+
+import (
+	"testing"
+
+	"darknight/internal/nn"
+)
+
+func workloads() (vgg, res, mob, mobv1 Workload) {
+	return NewWorkload(nn.VGG16Arch()), NewWorkload(nn.ResNet50Arch()),
+		NewWorkload(nn.MobileNetV2Arch()), NewWorkload(nn.MobileNetV1Arch())
+}
+
+func TestTable1Calibration(t *testing.T) {
+	// The profile encodes Table 1's measured GPU/SGX ratios; the forward
+	// linear ratio must reproduce exactly, and the backward one through
+	// the factor.
+	p := Default()
+	fwd := p.GPUMACsPerSec / p.SGXLinearMACsPerSec
+	if fwd < 126 || fwd > 128 {
+		t.Fatalf("forward linear ratio = %.2f, want ≈126.85", fwd)
+	}
+	bwd := p.GPUMACsPerSec / (p.SGXLinearMACsPerSec * p.SGXBwdLinearFactor)
+	if bwd < 148 || bwd > 151 {
+		t.Fatalf("backward linear ratio = %.2f, want ≈149.13", bwd)
+	}
+}
+
+func TestWorkloadDerivation(t *testing.T) {
+	vgg, _, _, _ := workloads()
+	if vgg.LinMACs < 15e9 || vgg.LinMACs > 16e9 {
+		t.Fatalf("VGG LinMACs = %g", vgg.LinMACs)
+	}
+	if vgg.ParamElems < 135e6 || vgg.ParamElems > 142e6 {
+		t.Fatalf("VGG params = %g", vgg.ParamElems)
+	}
+	if vgg.MaxLinInElems != 64*224*224 {
+		t.Fatalf("VGG max linear input = %g", vgg.MaxLinInElems)
+	}
+	if vgg.LinLayers != 16 {
+		t.Fatalf("VGG linear layers = %g", vgg.LinLayers)
+	}
+}
+
+func TestFig5TrainingSpeedupShape(t *testing.T) {
+	// Paper Fig 5 non-pipelined: ≈8x VGG16, 4.2x ResNet50, 2.2x
+	// MobileNetV2; pipelined strictly higher. We assert ordering and
+	// coarse bands (shape, not absolute numbers).
+	p := Default()
+	vgg, res, mob, _ := workloads()
+	c := Coding{K: 2, M: 1}
+
+	speedup := func(w Workload, pipelined bool) float64 {
+		return BaselineSGXTrain(p, w).Total() / DarKnightTrain(p, w, c, pipelined).Total()
+	}
+
+	sv, sr, sm := speedup(vgg, false), speedup(res, false), speedup(mob, false)
+	if !(sv > sr && sr > sm) {
+		t.Fatalf("non-pipelined ordering violated: vgg %.1f res %.1f mob %.1f", sv, sr, sm)
+	}
+	if sv < 4 || sv > 20 {
+		t.Fatalf("VGG speedup %.1f outside [4,20] (paper ≈8)", sv)
+	}
+	if sr < 2 || sr > 9 {
+		t.Fatalf("ResNet speedup %.1f outside [2,9] (paper ≈4.2)", sr)
+	}
+	if sm < 1.2 || sm > 5 {
+		t.Fatalf("MobileNet speedup %.1f outside [1.2,5] (paper ≈2.2)", sm)
+	}
+
+	for _, w := range []Workload{vgg, res, mob} {
+		if !(speedup(w, true) > speedup(w, false)) {
+			t.Fatalf("%s: pipelined not faster than non-pipelined", w.Name)
+		}
+	}
+}
+
+func TestTable3BreakdownShape(t *testing.T) {
+	// Baseline is linear-dominated; DarKnight shifts weight to TEE
+	// non-linear work, with meaningful encode/decode and communication
+	// shares (Table 3).
+	p := Default()
+	vgg, res, mob, _ := workloads()
+	c := Coding{K: 2, M: 1}
+
+	for _, w := range []Workload{vgg, res, mob} {
+		base := BaselineSGXTrain(p, w).Fractions()
+		dk := DarKnightTrain(p, w, c, false).Fractions()
+		if base.Linear < 0.3 {
+			t.Fatalf("%s baseline linear fraction %.2f < 0.3", w.Name, base.Linear)
+		}
+		if dk.Linear > 0.15 {
+			t.Fatalf("%s DarKnight linear fraction %.2f > 0.15 (GPU should absorb it)", w.Name, dk.Linear)
+		}
+		if dk.NonLinear < 0.3 {
+			t.Fatalf("%s DarKnight nonlinear fraction %.2f < 0.3", w.Name, dk.NonLinear)
+		}
+		if dk.Comm <= 0 || dk.Comm > 0.5 {
+			t.Fatalf("%s DarKnight comm fraction %.2f outside (0,0.5]", w.Name, dk.Comm)
+		}
+	}
+	// VGG's encode/decode share is the largest of the three (Table 3:
+	// 0.19 vs 0.01 and 0.08).
+	dkVGG := DarKnightTrain(p, vgg, c, false).Fractions()
+	dkRes := DarKnightTrain(p, res, c, false).Fractions()
+	if dkVGG.EncodeDecode <= dkRes.EncodeDecode {
+		t.Fatalf("VGG encdec %.3f should exceed ResNet %.3f", dkVGG.EncodeDecode, dkRes.EncodeDecode)
+	}
+}
+
+func TestTable4NonPrivateSpeedups(t *testing.T) {
+	// Table 4: 3 unprotected GPUs vs SGX-only ≈ 273/217/80; vs DarKnight
+	// ≈ 24/41/28. Assert coarse bands and the >>1 relationships.
+	p := Default()
+	vgg, res, mob, _ := workloads()
+	c := Coding{K: 2, M: 1}
+	for _, row := range []struct {
+		w                    Workload
+		overSGXLo, overSGXHi float64
+		overDKLo, overDKHi   float64
+	}{
+		{vgg, 100, 800, 10, 120},
+		{res, 80, 800, 10, 200},
+		{mob, 30, 500, 10, 250},
+	} {
+		gpuTime := NonPrivateGPUTrain(p, row.w, 3)
+		overSGX := BaselineSGXTrain(p, row.w).Total() / gpuTime
+		overDK := DarKnightTrain(p, row.w, c, false).Total() / gpuTime
+		if overSGX < row.overSGXLo || overSGX > row.overSGXHi {
+			t.Fatalf("%s: non-private/SGX speedup %.0f outside [%g,%g]",
+				row.w.Name, overSGX, row.overSGXLo, row.overSGXHi)
+		}
+		if overDK < row.overDKLo || overDK > row.overDKHi {
+			t.Fatalf("%s: non-private/DarKnight speedup %.0f outside [%g,%g]",
+				row.w.Name, overDK, row.overDKLo, row.overDKHi)
+		}
+	}
+}
+
+func TestFig6aInferenceComparison(t *testing.T) {
+	// Fig 6a (VGG16): DarKnight(4) ≈ 15x over SGX and ≈1.3x over Slalom;
+	// integrity variants cost some of it back.
+	p := Default()
+	vgg, _, _, mobv1 := workloads()
+
+	for _, w := range []Workload{vgg, mobv1} {
+		sgx := SGXInference(p, w)
+		slalom := SlalomInference(p, w, false)
+		dk4 := DarKnightInference(p, w, Coding{K: 4, M: 1})
+		slalomI := SlalomInference(p, w, true)
+		dk3I := DarKnightInference(p, w, Coding{K: 3, M: 1, E: 1})
+
+		if !(sgx > slalom && sgx > dk4) {
+			t.Fatalf("%s: SGX baseline should be slowest", w.Name)
+		}
+		if !(slalomI > slalom) {
+			t.Fatalf("%s: Slalom integrity should cost time", w.Name)
+		}
+		if !(dk3I > dk4) {
+			t.Fatalf("%s: DarKnight integrity should cost time", w.Name)
+		}
+		sp := sgx / dk4
+		if w.Name == "VGG16" && (sp < 4 || sp > 40) {
+			t.Fatalf("VGG DarKnight(4) speedup %.1f outside [4,40] (paper ≈15)", sp)
+		}
+		if !(sgx/dk4 > sgx/slalom*0.9) {
+			t.Fatalf("%s: DarKnight(4) should be competitive with Slalom", w.Name)
+		}
+	}
+}
+
+func TestFig6bVirtualBatchKnee(t *testing.T) {
+	// Fig 6b: total inference speedup over DarKnight(1) improves with K
+	// up to 4, then DEGRADES at 6 when the working set overflows the EPC.
+	p := Default()
+	vgg, _, _, _ := workloads()
+	base := DarKnightInference(p, vgg, Coding{K: 1, M: 1})
+	speedup := func(k int) float64 {
+		return base / DarKnightInference(p, vgg, Coding{K: k, M: 1})
+	}
+	s2, s4, s6 := speedup(2), speedup(4), speedup(6)
+	if !(s2 > 1) {
+		t.Fatalf("K=2 speedup %.3f <= 1", s2)
+	}
+	if !(s4 > s2) {
+		t.Fatalf("K=4 (%.3f) should beat K=2 (%.3f)", s4, s2)
+	}
+	if !(s6 < s4) {
+		t.Fatalf("K=6 (%.3f) should DEGRADE vs K=4 (%.3f) — EPC knee", s6, s4)
+	}
+	// Per-op categories: decode (unblinding) speedup grows with K; ReLU
+	// and MaxPool are K-invariant.
+	ops1 := DarKnightInferenceOps(p, vgg, Coding{K: 1, M: 1})
+	ops4 := DarKnightInferenceOps(p, vgg, Coding{K: 4, M: 1})
+	if !(ops1.Unblinding/ops4.Unblinding > 1.3) {
+		t.Fatalf("unblinding speedup %.2f too small", ops1.Unblinding/ops4.Unblinding)
+	}
+	if ops1.ReLU != ops4.ReLU || ops1.MaxPool != ops4.MaxPool {
+		t.Fatal("ReLU/MaxPool cost should not depend on K")
+	}
+}
+
+func TestFig3AggregationShape(t *testing.T) {
+	// Fig 3: speedup over K=1 rises through K=2..4; VGG hits the EPC
+	// knee by K=5 (the paper's "increasing a size of virtual batch at a
+	// certain point will increase the latency").
+	p := Default()
+	vgg, res, mob, _ := workloads()
+	for _, w := range []Workload{vgg, res, mob} {
+		s := make(map[int]float64)
+		for _, k := range []int{2, 3, 4, 5} {
+			s[k] = AggregationSpeedup(p, w, 1, 0, k, 128)
+			if s[k] <= 1 {
+				t.Fatalf("%s K=%d aggregation speedup %.2f <= 1", w.Name, k, s[k])
+			}
+			if s[k] > 6 {
+				t.Fatalf("%s K=%d aggregation speedup %.2f implausibly high", w.Name, k, s[k])
+			}
+		}
+		if !(s[3] > s[2]) {
+			t.Fatalf("%s: speedup should rise 2→3 (%.2f vs %.2f)", w.Name, s[2], s[3])
+		}
+		if !(s[4] > s[3]) {
+			t.Fatalf("%s: speedup should rise 3→4 (%.2f vs %.2f)", w.Name, s[3], s[4])
+		}
+	}
+	// The EPC knee: VGG's K=5 gain collapses relative to the trend.
+	vgg5 := AggregationSpeedup(p, vgg, 1, 0, 5, 128)
+	vgg4 := AggregationSpeedup(p, vgg, 1, 0, 4, 128)
+	if !(vgg5 < vgg4) {
+		t.Fatalf("VGG K=5 (%.2f) should fall below K=4 (%.2f) — EPC knee", vgg5, vgg4)
+	}
+}
+
+func TestFig7MultithreadLatency(t *testing.T) {
+	// Fig 7: per-thread training latency grows monotonically with SGX
+	// thread count; 4 threads land several times slower than 1.
+	p := Default()
+	vgg, _, _, _ := workloads()
+	l1 := SGXMultithreadLatency(p, vgg, 1)
+	prev := l1
+	for _, threads := range []int{2, 3, 4} {
+		l := SGXMultithreadLatency(p, vgg, threads)
+		if !(l > prev) {
+			t.Fatalf("latency not monotone at %d threads", threads)
+		}
+		prev = l
+	}
+	ratio := prev / l1
+	if ratio < 2 || ratio > 12 {
+		t.Fatalf("4-thread latency ratio %.1f outside [2,12] (paper ≈6-7)", ratio)
+	}
+}
+
+func TestBreakdownHelpers(t *testing.T) {
+	b := Breakdown{Linear: 1, NonLinear: 2, EncodeDecode: 1, Comm: 1, Paging: 0}
+	if b.Total() != 5 {
+		t.Fatalf("total = %v", b.Total())
+	}
+	f := b.Fractions()
+	if f.NonLinear != 0.4 {
+		t.Fatalf("fraction = %v", f.NonLinear)
+	}
+	if (Breakdown{}).Fractions().Total() != 0 {
+		t.Fatal("zero breakdown fractions should be zero")
+	}
+}
+
+func TestCodingHelpers(t *testing.T) {
+	c := Coding{K: 4, M: 2, E: 1}
+	if c.S() != 6 || c.Width() != 7 {
+		t.Fatalf("S=%d width=%d", c.S(), c.Width())
+	}
+}

@@ -1,0 +1,125 @@
+// Package perf is the analytic performance model that converts operation
+// counts (internal/nn.Arch) into execution times for the paper's hardware:
+// an SGX-enabled Coffee Lake CPU, GTX 1080 Ti GPUs and 40 Gb/s InfiniBand.
+// Absolute device rates are calibrated to the paper's own measurements
+// (Table 1's per-op GPU/SGX speedups); the derived experiments — training
+// breakdowns (Table 3), end-to-end speedups (Table 4, Fig 5), aggregation
+// scaling (Fig 3), inference comparisons (Fig 6) and SGX multithreading
+// (Fig 7) — then emerge from the model. DESIGN.md documents this hardware
+// substitution.
+package perf
+
+// Profile holds the device and channel rates. All rates are per second.
+type Profile struct {
+	// GPUMACsPerSec is the accelerator's effective DNN MAC throughput
+	// (GTX 1080 Ti ≈ 10 TFLOP/s peak, ~3e12 sustained MACs/s).
+	GPUMACsPerSec float64
+	// SGXLinearMACsPerSec is the enclave's linear-algebra throughput.
+	// Calibrated so GPU/SGX ≈ 126.85 (Table 1 forward linear).
+	SGXLinearMACsPerSec float64
+	// SGXBwdLinearFactor scales SGX backward linear throughput down
+	// relative to forward (Table 1: bwd speedup 149.13 vs fwd 126.85).
+	SGXBwdLinearFactor float64
+	// SGXFieldMACsPerSec is the enclave's F_p encode/decode throughput
+	// (modular arithmetic is slower than float FMA).
+	SGXFieldMACsPerSec float64
+	// SGXElemsPerSec is the enclave's elementwise non-linear throughput
+	// (ReLU, pooling windows, batch-norm passes).
+	SGXElemsPerSec float64
+	// GPUReLUFwdSpeedup / GPUReLUBwdSpeedup are the Table 1 ratios for
+	// offloaded ReLU (used only by the non-private GPU baseline).
+	GPUReLUFwdSpeedup float64
+	GPUReLUBwdSpeedup float64
+	// GPUMaxPoolFwdSpeedup / GPUMaxPoolBwdSpeedup likewise.
+	GPUMaxPoolFwdSpeedup float64
+	GPUMaxPoolBwdSpeedup float64
+	// SGXPagingBytesPerSec is the effective throughput of moving data
+	// across the EPC boundary (Merkle-tree encryption + versioning).
+	SGXPagingBytesPerSec float64
+	// SGXSealBytesPerSec is AES-GCM sealing throughput (Algorithm 2).
+	SGXSealBytesPerSec float64
+	// EPCBytes is the usable enclave page cache.
+	EPCBytes float64
+	// NetBytesPerSec is the TEE<->GPU link bandwidth (40 Gb/s InfiniBand).
+	NetBytesPerSec float64
+	// NetLatencySec is the per-transfer latency.
+	NetLatencySec float64
+	// ElemBytes is the wire size of one tensor element (quantized u32).
+	ElemBytes float64
+	// PerLayerOverheadSec is the fixed per-layer enclave cost (ECALL
+	// transitions, buffer setup) paid once per virtual batch per encode
+	// or decode phase. Its amortization over K is what makes larger
+	// virtual batches pay off (Fig 6b).
+	PerLayerOverheadSec float64
+	// IntensityRefSGX / IntensityRefGPU are the arithmetic-intensity
+	// (MACs per element touched) knees below which linear kernels become
+	// memory-bound. Depthwise convolutions (MobileNet) fall far below
+	// them — the reason MobileNet is the paper's worst case.
+	IntensityRefSGX float64
+	IntensityRefGPU float64
+}
+
+// Intensity is the workload's bilinear arithmetic intensity: MACs per
+// element moved (inputs + outputs + weights).
+func (w Workload) Intensity() float64 {
+	den := w.LinInElems + w.LinOutElems + w.ParamElems
+	if den == 0 {
+		return 0
+	}
+	return w.LinMACs / den
+}
+
+// sgxLinEff discounts the SGX linear rate for memory-bound workloads.
+func sgxLinEff(p Profile, w Workload) float64 {
+	e := w.Intensity() / p.IntensityRefSGX
+	if e > 1 {
+		return 1
+	}
+	return e
+}
+
+// gpuLinEff discounts the GPU linear rate for memory-bound workloads.
+func gpuLinEff(p Profile, w Workload) float64 {
+	e := w.Intensity() / p.IntensityRefGPU
+	if e > 1 {
+		return 1
+	}
+	return e
+}
+
+// Default returns the profile calibrated to the paper's testbed.
+func Default() Profile {
+	return Profile{
+		GPUMACsPerSec:        3.0e12,
+		SGXLinearMACsPerSec:  3.0e12 / 126.85, // Table 1 fwd linear ratio
+		SGXBwdLinearFactor:   126.85 / 149.13, // Table 1 bwd linear ratio
+		SGXFieldMACsPerSec:   6.0e9,
+		SGXElemsPerSec:       2.1e8,
+		GPUReLUFwdSpeedup:    119.60,
+		GPUReLUBwdSpeedup:    6.59,
+		GPUMaxPoolFwdSpeedup: 11.86,
+		GPUMaxPoolBwdSpeedup: 5.47,
+		SGXPagingBytesPerSec: 6.0e8,
+		SGXSealBytesPerSec:   1.1e9,
+		EPCBytes:             93 << 20,
+		NetBytesPerSec:       40e9 / 8, // 40 Gb/s
+		NetLatencySec:        5e-6,
+		ElemBytes:            4,
+		PerLayerOverheadSec:  1.5e-3,
+		IntensityRefSGX:      110, // just above VGG16's intensity (~94)
+		IntensityRefGPU:      30,
+	}
+}
+
+// Coding describes the masking configuration the time model prices.
+type Coding struct {
+	K int // virtual batch size
+	M int // collusion tolerance (noise vectors)
+	E int // redundancy for integrity
+}
+
+// S returns K+M, the primary code width.
+func (c Coding) S() int { return c.K + c.M }
+
+// Width returns S+E, the number of coded instances per tensor.
+func (c Coding) Width() int { return c.K + c.M + c.E }

@@ -1,0 +1,44 @@
+package perf
+
+// Fig 3's aggregation model: training a large batch of B images with
+// virtual batch K produces B/K sealed ▽W_v blobs (Algorithm 2). Aggregation
+// time per large batch combines:
+//
+//   - backward decoding: each virtual batch folds S = K+M equations of
+//     ParamElems field MACs, so the per-batch decode work scales like
+//     (K+M)/K — decreasing in K;
+//   - sealing: 2·ParamBytes per virtual batch (seal + unseal), so B/K
+//     blobs amortize with K;
+//   - EPC overflow: past the memory knee the working set pages.
+//
+// The speedup relative to K=1 therefore rises with K until the enclave
+// working set outgrows the EPC — the Fig 3 shape.
+
+// AggregationTime prices Algorithm 2 for one large batch.
+func AggregationTime(p Profile, w Workload, c Coding, largeBatch int) float64 {
+	k := float64(c.K)
+	s := float64(c.S())
+	b := float64(largeBatch)
+	numVB := b / k
+
+	decode := numVB * s * w.ParamElems / p.SGXFieldMACsPerSec
+	seal := numVB * 2 * w.ParamElems * p.ElemBytes / p.SGXSealBytesPerSec
+	perVBFixed := numVB * 0.002 // context setup per virtual batch
+
+	total := decode + seal + perVBFixed
+	// Training's enclave working set is larger than inference's (coded
+	// inputs are retained for the backward pass): K+2 peak buffers. Past
+	// the EPC the whole set thrashes on every layer of every virtual
+	// batch — the Fig 3 collapse.
+	workset := float64(c.K+2)*w.MaxLinInElems*p.ElemBytes + (16 << 20)
+	if workset > p.EPCBytes {
+		total += numVB * workset * w.LinLayers / p.SGXPagingBytesPerSec
+	}
+	return total
+}
+
+// AggregationSpeedup returns Fig 3's metric: T(K=1)/T(K).
+func AggregationSpeedup(p Profile, w Workload, m, e, k, largeBatch int) float64 {
+	base := AggregationTime(p, w, Coding{K: 1, M: m, E: e}, largeBatch)
+	return base / AggregationTime(p, w, Coding{K: k, M: m, E: e}, largeBatch)
+}

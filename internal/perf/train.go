@@ -1,0 +1,132 @@
+package perf
+
+import "math"
+
+// Breakdown is a per-image training (or inference) time split, in seconds.
+// The categories follow Table 3: Linear is accelerator time, NonLinear is
+// TEE-resident layer time, EncodeDecode is the masking overhead, Comm is
+// TEE<->GPU traffic, Paging is EPC boundary cost (baseline only).
+type Breakdown struct {
+	Linear       float64
+	NonLinear    float64
+	EncodeDecode float64
+	Comm         float64
+	Paging       float64
+}
+
+// Total sums the components.
+func (b Breakdown) Total() float64 {
+	return b.Linear + b.NonLinear + b.EncodeDecode + b.Comm + b.Paging
+}
+
+// Fractions normalizes the components by the total.
+func (b Breakdown) Fractions() Breakdown {
+	t := b.Total()
+	if t == 0 {
+		return Breakdown{}
+	}
+	return Breakdown{
+		Linear: b.Linear / t, NonLinear: b.NonLinear / t,
+		EncodeDecode: b.EncodeDecode / t, Comm: b.Comm / t, Paging: b.Paging / t,
+	}
+}
+
+// trainMACFactor: training runs forward (1x), input-gradient (1x) and
+// weight-gradient (1x) bilinear passes.
+const trainMACFactor = 3
+
+// BaselineSGXTrain prices fully-enclaved training (the paper's baseline):
+// every op runs at SGX rates and large working sets page through the EPC.
+func BaselineSGXTrain(p Profile, w Workload) Breakdown {
+	var b Breakdown
+	rate := p.SGXLinearMACsPerSec * sgxLinEff(p, w)
+	fwd := w.LinMACs / rate
+	bwd := 2 * w.LinMACs / (rate * p.SGXBwdLinearFactor)
+	b.Linear = fwd + bwd
+	b.NonLinear = 2 * w.NonLinOps / p.SGXElemsPerSec
+	// Feature maps cross the EPC boundary on the forward pass and again
+	// on the backward pass (float32 tensors).
+	b.Paging = 2 * 4 * w.ActElems / p.SGXPagingBytesPerSec
+	return b
+}
+
+// DarKnightTrain prices the masked TEE+GPU pipeline per image for coding c.
+// pipelined overlaps encode/communication with GPU execution (§7.1).
+func DarKnightTrain(p Profile, w Workload, c Coding, pipelined bool) Breakdown {
+	k := float64(c.K)
+	s := float64(c.S())
+	width := float64(c.Width())
+
+	var b Breakdown
+	// Every coded instance runs on its own GPU; the wall time is one
+	// instance's worth of each of the three bilinear passes.
+	b.Linear = trainMACFactor * w.LinMACs / (p.GPUMACsPerSec * gpuLinEff(p, w))
+
+	// Non-linear layers run per example in the TEE (forward + backward).
+	b.NonLinear = 2 * w.NonLinOps / p.SGXElemsPerSec
+
+	// Encode/decode field work per virtual batch, amortized over K:
+	//   forward encode:  width·K·LinIn     (X̄ = Σ α·x per coded vector)
+	//   forward decode:  K·S·LinOut        (Y = Ȳ·A⁻¹)
+	//   delta combine:   S·K·LinOut        (δ̄_j = Σ β·δ)
+	//   backward decode: S·Params          (Σ γ_j·Eq_j)
+	// plus the fixed per-layer enclave overhead (encode + decode phases).
+	fieldMACs := width*k*w.LinInElems + k*s*w.LinOutElems +
+		s*k*w.LinOutElems + s*w.ParamElems
+	b.EncodeDecode = fieldMACs/p.SGXFieldMACsPerSec/k +
+		2*w.LinLayers*p.PerLayerOverheadSec/k
+
+	// Communication: pairwise TEE<->GPU links run concurrently, so the
+	// wall time is ONE link's bytes. Per virtual batch each GPU receives
+	// its coded input and delta, returns its coded output and Eq_j; the
+	// uncoded input-gradient offload adds K instances spread over the
+	// width GPUs.
+	perGPUBytes := p.ElemBytes * (w.LinInElems + 2*w.LinOutElems + w.ParamElems +
+		(k/width)*(w.LinInElems+w.LinOutElems))
+	b.Comm = perGPUBytes/p.NetBytesPerSec/k +
+		2*w.LinLayers*p.NetLatencySec
+
+	if pipelined {
+		// Encoding of the next virtual batch and the channel transfers
+		// hide under GPU execution; the TEE's non-linear work cannot.
+		hidden := b.Linear
+		if b.Comm > hidden {
+			hidden = b.Comm
+		}
+		if b.EncodeDecode > hidden {
+			hidden = b.EncodeDecode
+		}
+		return Breakdown{NonLinear: b.NonLinear, Linear: hidden}
+	}
+	return b
+}
+
+// GPUDataParallelEff discounts ideal data-parallel scaling for gradient
+// exchange and kernel-launch overheads.
+const GPUDataParallelEff = 0.5
+
+// NonPrivateGPUTrain prices unprotected data-parallel training on nGPUs
+// (Table 4's reference point).
+func NonPrivateGPUTrain(p Profile, w Workload, nGPUs int) float64 {
+	linear := trainMACFactor * w.LinMACs / (p.GPUMACsPerSec * gpuLinEff(p, w))
+	// Non-linear ops offloaded at the Table 1 GPU rates.
+	gpuNonlin := 2 * w.NonLinOps / (p.SGXElemsPerSec * p.GPUReLUFwdSpeedup)
+	perImage := linear + gpuNonlin
+	return perImage / (float64(nGPUs) * GPUDataParallelEff)
+}
+
+// SGXMultithreadLatency models Fig 7: t concurrent SGX training threads
+// contending for one memory-encryption engine. Per-thread latency is the
+// compute time plus the serialized paging burst, which grows superlinearly
+// with thread count as the shared EPC thrashes.
+func SGXMultithreadLatency(p Profile, w Workload, threads int) float64 {
+	base := BaselineSGXTrain(p, w)
+	compute := base.Linear + base.NonLinear
+	// A training thread's full paging footprint includes the weight and
+	// gradient state, not just feature maps.
+	paging1 := (2*4*w.ActElems + 8*w.ParamElems) / p.SGXPagingBytesPerSec
+	t := float64(threads)
+	// Thrashing exponent: beyond one thread, evictions of one thread's
+	// pages invalidate another's, so effective paged bytes grow ~t^1.8.
+	return compute + paging1*math.Pow(t, 1.8)
+}

@@ -1,0 +1,57 @@
+package perf
+
+import "darknight/internal/nn"
+
+// Workload condenses an architecture into the aggregate quantities the time
+// model prices. All element counts are per single example (forward pass
+// geometry).
+type Workload struct {
+	Name string
+	// LinMACs is the forward bilinear multiply-accumulate count.
+	LinMACs float64
+	// LinInElems / LinOutElems are the summed input/output element counts
+	// of the bilinear layers (coded traffic and encode/decode work).
+	LinInElems, LinOutElems float64
+	// MaxLinInElems is the largest single bilinear-layer input (the peak
+	// enclave buffer during streaming encode).
+	MaxLinInElems float64
+	// NonLinOps is the summed TEE-resident op count (ReLU elems, pooling
+	// windows, batch-norm passes, residual adds).
+	NonLinOps float64
+	// ReLUOps and MaxPoolOps split out the Table 1 categories.
+	ReLUOps, MaxPoolOps float64
+	// ActElems is the total activation volume (paging traffic).
+	ActElems float64
+	// ParamElems is the model size (gradient traffic, sealing).
+	ParamElems float64
+	// LinLayers counts bilinear layers (per-transfer latency).
+	LinLayers float64
+}
+
+// NewWorkload derives the aggregate workload from an architecture.
+func NewWorkload(a *nn.Arch) Workload {
+	w := Workload{Name: a.Name}
+	for _, l := range a.Layers {
+		switch l.Class {
+		case nn.ClassLinear:
+			w.LinMACs += float64(l.MACs)
+			w.LinInElems += float64(l.InElems)
+			w.LinOutElems += float64(l.OutElems)
+			if v := float64(l.InElems); v > w.MaxLinInElems {
+				w.MaxLinInElems = v
+			}
+			w.LinLayers++
+		case nn.ClassReLU:
+			w.ReLUOps += float64(l.MACs)
+			w.NonLinOps += float64(l.MACs)
+		case nn.ClassMaxPool:
+			w.MaxPoolOps += float64(l.MACs)
+			w.NonLinOps += float64(l.MACs)
+		default: // BatchNorm, Other
+			w.NonLinOps += float64(l.MACs)
+		}
+		w.ActElems += float64(l.OutElems)
+		w.ParamElems += float64(l.Params)
+	}
+	return w
+}

@@ -1,0 +1,158 @@
+// Package quant implements DarKnight's fixed-point quantization (paper §5,
+// Algorithm 1). Floating-point tensors are scaled by 2^l (l fractional
+// bits), rounded to integers, and mapped into F_p with the centered lift for
+// negatives. Linear GPU kernels then run exactly in the field; the TEE
+// restores floats by lifting and dividing by 2^(2l) (inputs and weights each
+// carry one factor of 2^l, so their products carry 2^(2l); biases are
+// pre-scaled by 2^(2l) to line up).
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"darknight/internal/field"
+)
+
+// DefaultFracBits is l = 8, the paper's choice for ResNet, VGG and
+// MobileNet.
+const DefaultFracBits = 8
+
+// Quantizer converts between float64 tensors and F_p fixed-point vectors.
+// The zero value is unusable; construct with New.
+type Quantizer struct {
+	fracBits uint
+	scale    float64 // 2^l
+}
+
+// New returns a Quantizer with the given number of fractional bits.
+// It panics if l would leave no headroom in the 25-bit field (l in [1, 12]
+// keeps single products representable; the paper uses l = 8).
+func New(fracBits uint) *Quantizer {
+	if fracBits < 1 || fracBits > 12 {
+		panic(fmt.Sprintf("quant: fracBits %d out of supported range [1,12]", fracBits))
+	}
+	return &Quantizer{fracBits: fracBits, scale: math.Ldexp(1, int(fracBits))}
+}
+
+// Default returns the paper's l = 8 quantizer.
+func Default() *Quantizer { return New(DefaultFracBits) }
+
+// FracBits returns l.
+func (q *Quantizer) FracBits() uint { return q.fracBits }
+
+// Scale returns 2^l.
+func (q *Quantizer) Scale() float64 { return q.scale }
+
+// round implements Algorithm 1's Round procedure: round half away from
+// floor (x - floor(x) < 0.5 rounds down, otherwise up).
+func round(x float64) int64 {
+	f := math.Floor(x)
+	if x-f < 0.5 {
+		return int64(f)
+	}
+	return int64(f) + 1
+}
+
+// Quantize maps a float tensor to the field with one 2^l factor:
+// Field(Round(x * 2^l)). Used for inputs and weights.
+func (q *Quantizer) Quantize(xs []float64) field.Vec {
+	out := make(field.Vec, len(xs))
+	for i, x := range xs {
+		out[i] = field.FromInt64(round(x * q.scale))
+	}
+	return out
+}
+
+// QuantizeBias maps a bias tensor with the double factor 2^(2l)
+// (Algorithm 1 line 3), so that b lines up with W·x after one linear layer.
+func (q *Quantizer) QuantizeBias(xs []float64) field.Vec {
+	out := make(field.Vec, len(xs))
+	s := q.scale * q.scale
+	for i, x := range xs {
+		out[i] = field.FromInt64(round(x * s))
+	}
+	return out
+}
+
+// Unquantize restores floats from a vector carrying a single 2^l factor
+// (e.g. a quantized input echoed back).
+func (q *Quantizer) Unquantize(v field.Vec) []float64 {
+	out := make([]float64, len(v))
+	for i, e := range v {
+		out[i] = float64(field.Lift(e)) / q.scale
+	}
+	return out
+}
+
+// UnquantizeProduct restores floats from a linear-operation result carrying
+// the 2^(2l) factor: Algorithm 1 line 9, Round(Y_q × 2^-l) × 2^-l.
+func (q *Quantizer) UnquantizeProduct(v field.Vec) []float64 {
+	out := make([]float64, len(v))
+	for i, e := range v {
+		out[i] = float64(round(float64(field.Lift(e))/q.scale)) / q.scale
+	}
+	return out
+}
+
+// MaxRepresentable returns the largest float magnitude whose quantized
+// value still lifts correctly (i.e. Round(x·2^l) <= (p-1)/2).
+func (q *Quantizer) MaxRepresentable() float64 {
+	return float64(field.Half) / q.scale
+}
+
+// Normalize scales xs in place by 1/max|x| if the maximum absolute entry
+// exceeds limit, returning the factor applied (1 if untouched). This is the
+// paper's dynamic normalization for VGG-style models ("we normalize the
+// values by dividing them to the maximum absolute entry of the vector").
+func Normalize(xs []float64, limit float64) float64 {
+	maxAbs := 0.0
+	for _, x := range xs {
+		if a := math.Abs(x); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs <= limit || maxAbs == 0 {
+		return 1
+	}
+	f := maxAbs
+	for i := range xs {
+		xs[i] /= f
+	}
+	return f
+}
+
+// HeadroomBudget describes how large a coded dot product can grow before it
+// wraps mod p and corrupts the real-valued result. DarKnight's field is only
+// 25 bits, so the implementation (like the paper's) must keep activations
+// normalized; this helper makes the budget auditable.
+type HeadroomBudget struct {
+	FracBits   uint    // l
+	MaxInput   float64 // assumed max |x|
+	MaxWeight  float64 // assumed max |w|
+	CodeWidth  int     // number of masked inputs combined (K+M(+1))
+	DotLength  int     // reduction length of the linear op
+	SafeLength int     // max DotLength that cannot wrap
+}
+
+// Budget computes the longest reduction that is guaranteed not to exceed
+// (p-1)/2 in magnitude for the given operating point.
+func (q *Quantizer) Budget(maxInput, maxWeight float64, codeWidth, dotLength int) HeadroomBudget {
+	// The masking coefficients α are uniform over F_p, so a coded input
+	// coordinate is only meaningful mod p — exact recovery relies on field
+	// arithmetic, not magnitude. What must NOT wrap is the *decoded*
+	// real-valued result: |Σ w·x| ≤ maxInput·maxWeight·2^(2l)·DotLength.
+	perTerm := maxInput * q.scale * maxWeight * q.scale
+	safe := int(float64(field.Half) / perTerm)
+	return HeadroomBudget{
+		FracBits:   q.fracBits,
+		MaxInput:   maxInput,
+		MaxWeight:  maxWeight,
+		CodeWidth:  codeWidth,
+		DotLength:  dotLength,
+		SafeLength: safe,
+	}
+}
+
+// Fits reports whether the configured dot length is within the safe budget.
+func (b HeadroomBudget) Fits() bool { return b.DotLength <= b.SafeLength }

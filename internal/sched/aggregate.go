@@ -1,0 +1,128 @@
+package sched
+
+import (
+	"fmt"
+
+	"darknight/internal/dataset"
+	"darknight/internal/nn"
+)
+
+// This file implements Algorithm 2: large-batch weight aggregation. The
+// TEE computes ▽W at virtual-batch granularity, seals each ▽W_v and evicts
+// it to untrusted memory (real SGX cannot hold all of them in the EPC),
+// then reloads, decrypts and aggregates them shard-wise before a single
+// weight update. Exposing only the large-batch aggregate also shrinks the
+// gradient-leakage side channel the paper cites (§6).
+
+// AggregationStats reports what Algorithm 2 did for one large batch.
+type AggregationStats struct {
+	VirtualBatches int
+	SealedBytes    int64
+	Shards         int
+}
+
+// TrainLargeBatch trains on len(batch) examples: it processes them as
+// ceil(N/K) virtual batches, sealing each virtual batch's summed ▽W to
+// untrusted memory, then aggregates and applies one SGD step. Examples
+// beyond the last full virtual batch are dropped (as Batches() does).
+// shardElems is the aggregation shard granularity in elements (<=0 picks a
+// single shard); opt applies the final update.
+func (t *Trainer) TrainLargeBatch(batch []dataset.Example, opt *nn.SGD, shardElems int) (float64, AggregationStats, error) {
+	k := t.cfg.VirtualBatch
+	var stats AggregationStats
+	if len(batch) < k {
+		return 0, stats, fmt.Errorf("sched: large batch %d smaller than virtual batch %d", len(batch), k)
+	}
+	params := t.model.Params()
+
+	// Flatten gradient layout once.
+	totalElems := 0
+	for _, p := range params {
+		totalElems += p.W.Size()
+	}
+	if shardElems <= 0 {
+		shardElems = totalElems
+	}
+
+	var handles [][]uint64 // per virtual batch, per shard
+	var totalLoss float64
+	numVB := 0
+	for start := 0; start+k <= len(batch); start += k {
+		for _, p := range params {
+			p.ZeroGrad()
+		}
+		loss, err := t.TrainVirtualBatch(batch[start : start+k])
+		if err != nil {
+			return 0, stats, err
+		}
+		totalLoss += loss
+		numVB++
+
+		// Collect ▽W_v and seal it shard-wise (Algorithm 2 lines 9–10).
+		flat := make([]float64, 0, totalElems)
+		for _, p := range params {
+			flat = append(flat, p.Grad.Data...)
+		}
+		var vbHandles []uint64
+		for off := 0; off < len(flat); off += shardElems {
+			end := off + shardElems
+			if end > len(flat) {
+				end = len(flat)
+			}
+			h, err := t.sealShard(flat[off:end])
+			if err != nil {
+				return 0, stats, err
+			}
+			vbHandles = append(vbHandles, h)
+			stats.SealedBytes += int64(end-off) * 8
+		}
+		handles = append(handles, vbHandles)
+		stats.Shards = len(vbHandles)
+	}
+	stats.VirtualBatches = numVB
+
+	// UpdateAggregation (Algorithm 2 lines 14–21): reload shard-wise,
+	// decrypt, accumulate.
+	agg := make([]float64, totalElems)
+	for shard := 0; shard < stats.Shards; shard++ {
+		off := shard * shardElems
+		for _, vbHandles := range handles {
+			vals, err := t.unsealShard(vbHandles[shard])
+			if err != nil {
+				return 0, stats, err
+			}
+			for i, v := range vals {
+				agg[off+i] += v
+			}
+		}
+	}
+
+	// Average over the examples actually processed and apply.
+	inv := 1.0 / float64(numVB*k)
+	cursor := 0
+	for _, p := range params {
+		n := p.W.Size()
+		copy(p.Grad.Data, agg[cursor:cursor+n])
+		p.Grad.Scale(inv)
+		cursor += n
+	}
+	opt.Step(params)
+	return totalLoss / float64(numVB), stats, nil
+}
+
+// sealShard encrypts a gradient shard into untrusted memory; without an
+// enclave it falls back to in-memory pass-through (tests).
+func (t *Trainer) sealShard(vals []float64) (uint64, error) {
+	if t.encl == nil {
+		t.plainStore = append(t.plainStore, append([]float64(nil), vals...))
+		return uint64(len(t.plainStore) - 1), nil
+	}
+	return t.encl.SealFloats(vals)
+}
+
+func (t *Trainer) unsealShard(h uint64) ([]float64, error) {
+	if t.encl == nil {
+		return t.plainStore[h], nil
+	}
+	return t.encl.UnsealFloats(h)
+}

@@ -1,0 +1,86 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"darknight/internal/field"
+	"darknight/internal/masking"
+)
+
+// This file implements the corrective action the paper explicitly leaves
+// as future work (§4.4: "TEE may perform additional corrective action,
+// such as executing on another GPU worker") — with Redundancy >= 2 the
+// code can not only detect a tampered result but identify the culprit and
+// decode from the remaining clean equations, so a single malicious GPU
+// cannot stall training.
+
+// RecoveryStats counts integrity events across a trainer's lifetime.
+type RecoveryStats struct {
+	Violations int // verification failures observed
+	Recovered  int // decodes completed despite tampering
+	BlamedGPUs []int
+}
+
+// EnableRecovery turns on audit-and-recover for forward offloads. It
+// requires Redundancy >= 2 (attribution needs a second redundant
+// equation).
+func (t *Trainer) EnableRecovery() error {
+	if t.cfg.Redundancy < 2 {
+		return fmt.Errorf("sched: recovery needs Redundancy >= 2, have %d", t.cfg.Redundancy)
+	}
+	t.recover = true
+	return nil
+}
+
+// Recovery returns the accumulated recovery statistics.
+func (t *Trainer) Recovery() RecoveryStats { return t.recovery }
+
+// recoverForward audits tampered results, identifies culprits and decodes
+// the K true outputs from a clean column subset. It returns the decoded
+// outputs or an error if attribution/recovery is impossible.
+func (t *Trainer) recoverForward(code *masking.Code, results []field.Vec) ([]field.Vec, error) {
+	culprits, err := code.AuditForward(results)
+	if err != nil {
+		return nil, fmt.Errorf("sched: integrity violation not recoverable: %w", err)
+	}
+	t.recovery.Violations++
+	t.recovery.BlamedGPUs = mergeSorted(t.recovery.BlamedGPUs, culprits)
+
+	// Assemble a decode subset avoiding the culprits.
+	bad := make(map[int]bool, len(culprits))
+	for _, c := range culprits {
+		bad[c] = true
+	}
+	var cols []int
+	for j := 0; j < code.NumCoded() && len(cols) < code.S; j++ {
+		if !bad[j] {
+			cols = append(cols, j)
+		}
+	}
+	if len(cols) < code.S {
+		return nil, fmt.Errorf("sched: only %d clean equations, need %d", len(cols), code.S)
+	}
+	full, err := code.DecodeFull(results, cols)
+	if err != nil {
+		return nil, fmt.Errorf("sched: clean-subset decode failed: %w", err)
+	}
+	t.recovery.Recovered++
+	return full[:code.K], nil
+}
+
+func mergeSorted(have, add []int) []int {
+	seen := make(map[int]bool, len(have)+len(add))
+	for _, v := range have {
+		seen[v] = true
+	}
+	for _, v := range add {
+		seen[v] = true
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,519 @@
+// Package sched is the DarKnight runtime: it orchestrates the §3.1 flow
+// across the enclave, the masking code and the GPU cluster.
+//
+// Training one virtual batch of K examples (forward):
+//
+//  1. the TEE walks the model's layers with K per-example activations;
+//  2. at every bilinear layer it quantizes the K inputs, encodes them into
+//     S+E coded vectors (masking.Code), and fans them out to the GPUs;
+//  3. GPUs run the layer's field kernel on their coded input (caching it
+//     for the backward pass, §6) and return coded results;
+//  4. the TEE optionally verifies integrity, decodes, restores floats,
+//     adds the bias and continues;
+//  5. non-linear layers (ReLU, MaxPool, BatchNorm, ...) run inside the TEE.
+//
+// Backward mirrors it with the Eq (4) coding: GPUs compute one gradient
+// equation each against the coded inputs they stored during forward, and
+// the TEE folds them with its secret γ into the exact batch gradient.
+// Large batches aggregate ▽W across virtual batches with sealed eviction
+// (Algorithm 2) in aggregate.go.
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+
+	"darknight/internal/dataset"
+	"darknight/internal/enclave"
+	"darknight/internal/field"
+	"darknight/internal/gpu"
+	"darknight/internal/masking"
+	"darknight/internal/nn"
+	"darknight/internal/quant"
+	"darknight/internal/tensor"
+)
+
+// Config selects the privacy/integrity operating point.
+type Config struct {
+	// VirtualBatch is K, the number of inputs coded together (2–6 in the
+	// paper, bounded by SGX memory).
+	VirtualBatch int
+	// Collusion is M, the tolerated coalition size (defaults to 1).
+	Collusion int
+	// Redundancy is E, extra coded inputs for integrity (0 disables
+	// verification; 1 is the paper's scheme).
+	Redundancy int
+	// FracBits is the fixed-point precision l (defaults to
+	// quant.DefaultFracBits = 8).
+	FracBits uint
+	// NormLimit bounds |activation| before quantization via dynamic
+	// max-abs normalization (the paper's VGG-style normalization).
+	// <= 0 selects the default of 1.0.
+	NormLimit float64
+	// Seed drives all randomness (coding coefficients, noise).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.FracBits == 0 {
+		c.FracBits = quant.DefaultFracBits
+	}
+	if c.NormLimit <= 0 {
+		c.NormLimit = 1.0
+	}
+	if c.Collusion == 0 {
+		c.Collusion = 1
+	}
+	return c
+}
+
+// Validate checks the configuration against a cluster size.
+func (c Config) Validate(clusterSize int) error {
+	p := c.maskParams()
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if p.GPUs() > clusterSize {
+		return fmt.Errorf("sched: config needs K+M+E = %d GPUs, cluster has %d (paper rule K+M+1 <= K')",
+			p.GPUs(), clusterSize)
+	}
+	return nil
+}
+
+func (c Config) maskParams() masking.Params {
+	return masking.Params{K: c.VirtualBatch, M: c.Collusion, Redundancy: c.Redundancy}
+}
+
+// ErrIntegrity is returned (wrapped) when GPU results fail verification.
+var ErrIntegrity = masking.ErrIntegrity
+
+// Trainer drives private training of one model on one cluster.
+type Trainer struct {
+	cfg     Config
+	model   *nn.Model
+	cluster *gpu.Cluster
+	encl    *enclave.Enclave
+	q       *quant.Quantizer
+	rng     *rand.Rand
+
+	// stepSeq names coded tensors uniquely across steps so GPU-side
+	// storage from different steps cannot alias.
+	stepSeq int
+	// linSeq numbers linear layers within a step.
+	linSeq int
+	// plainStore backs sealShard when no enclave is attached (tests).
+	plainStore [][]float64
+	// recover enables audit-and-recover on integrity violations
+	// (EnableRecovery; needs Redundancy >= 2).
+	recover  bool
+	recovery RecoveryStats
+}
+
+// NewTrainer wires a trainer. The enclave may be nil, in which case memory
+// accounting is skipped (used by small tests).
+func NewTrainer(cfg Config, model *nn.Model, cluster *gpu.Cluster, encl *enclave.Enclave) (*Trainer, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(cluster.Size()); err != nil {
+		return nil, err
+	}
+	return &Trainer{
+		cfg:     cfg,
+		model:   model,
+		cluster: cluster,
+		encl:    encl,
+		q:       quant.New(cfg.FracBits),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// Config returns the effective configuration.
+func (t *Trainer) Config() Config { return t.cfg }
+
+// Model returns the model under training.
+func (t *Trainer) Model() *nn.Model { return t.model }
+
+// trace records one layer's forward pass for the backward walk.
+type trace struct {
+	layer    nn.Layer
+	inputs   []*tensor.Tensor // per-example inputs to this layer
+	children []*trace         // Sequential children, or Residual {body, skip}
+	key      string           // GPU storage key (linear layers only)
+}
+
+// forwardLayer recursively runs one layer for all K examples.
+func (t *Trainer) forwardLayer(code *masking.Code, layer nn.Layer, xs []*tensor.Tensor, train bool) ([]*tensor.Tensor, *trace, error) {
+	tr := &trace{layer: layer, inputs: append([]*tensor.Tensor(nil), xs...)}
+	switch v := layer.(type) {
+	case *nn.Sequential:
+		cur := xs
+		for _, child := range v.Layers() {
+			out, childTr, err := t.forwardLayer(code, child, cur, train)
+			if err != nil {
+				return nil, nil, err
+			}
+			tr.children = append(tr.children, childTr)
+			cur = out
+		}
+		return cur, tr, nil
+	case *nn.Residual:
+		body, bodyTr, err := t.forwardLayer(code, v.Body(), xs, train)
+		if err != nil {
+			return nil, nil, err
+		}
+		tr.children = append(tr.children, bodyTr)
+		skip := xs
+		if v.Skip() != nil {
+			var skipTr *trace
+			skip, skipTr, err = t.forwardLayer(code, v.Skip(), xs, train)
+			if err != nil {
+				return nil, nil, err
+			}
+			tr.children = append(tr.children, skipTr)
+		}
+		outs := make([]*tensor.Tensor, len(xs))
+		for i := range outs {
+			o := body[i].Clone()
+			o.Add(skip[i])
+			outs[i] = o
+		}
+		return outs, tr, nil
+	default:
+		if lin, ok := layer.(nn.Linear); ok {
+			t.linSeq++
+			tr.key = fmt.Sprintf("step%d/lin%d", t.stepSeq, t.linSeq)
+			outs, err := t.offloadForward(code, tr.key, lin, xs)
+			return outs, tr, err
+		}
+		// TEE-resident non-linear layer: per-example forward.
+		outs := make([]*tensor.Tensor, len(xs))
+		for i := range xs {
+			outs[i] = layer.Forward(xs[i], train)
+		}
+		return outs, tr, nil
+	}
+}
+
+// backwardLayer reverses forwardLayer, returning per-example input grads.
+func (t *Trainer) backwardLayer(code *masking.Code, tr *trace, grads []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	switch v := tr.layer.(type) {
+	case *nn.Sequential:
+		cur := grads
+		var err error
+		for i := len(tr.children) - 1; i >= 0; i-- {
+			cur, err = t.backwardLayer(code, tr.children[i], cur)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return cur, nil
+	case *nn.Residual:
+		dBody, err := t.backwardLayer(code, tr.children[0], grads)
+		if err != nil {
+			return nil, err
+		}
+		dSkip := grads
+		if v.Skip() != nil {
+			dSkip, err = t.backwardLayer(code, tr.children[1], grads)
+			if err != nil {
+				return nil, err
+			}
+		}
+		out := make([]*tensor.Tensor, len(grads))
+		for i := range out {
+			o := dBody[i].Clone()
+			o.Add(dSkip[i])
+			out[i] = o
+		}
+		return out, nil
+	default:
+		if lin, ok := tr.layer.(nn.Linear); ok {
+			return t.offloadBackward(code, tr, lin, grads)
+		}
+		out := make([]*tensor.Tensor, len(grads))
+		for i := range grads {
+			// Re-prime the layer's single-forward cache for THIS example
+			// before its backward.
+			tr.layer.Forward(tr.inputs[i], true)
+			out[i] = tr.layer.Backward(grads[i])
+		}
+		return out, nil
+	}
+}
+
+// offloadForward quantizes, encodes, fans out, verifies, decodes and
+// restores one bilinear layer's outputs for the K current activations.
+func (t *Trainer) offloadForward(code *masking.Code, key string, lin nn.Linear, xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	k := t.cfg.VirtualBatch
+	// Shared dynamic normalization factor across the virtual batch so the
+	// backward decode (a sum across inputs) can be unscaled exactly.
+	fx := sharedNormFactor(xs, t.cfg.NormLimit)
+	fw := 1.0
+	if m := maxAbs(lin.WeightData()); m > t.cfg.NormLimit {
+		fw = m / t.cfg.NormLimit
+	}
+
+	// TEE: quantize into the field.
+	quantIn := make([]field.Vec, k)
+	scratch := make([]float64, lin.InLen())
+	for i := 0; i < k; i++ {
+		for j, v := range xs[i].Data {
+			scratch[j] = v / fx
+		}
+		quantIn[i] = t.q.Quantize(scratch)
+	}
+	wq := t.quantizeWeights(lin.WeightData(), fw)
+
+	// Enclave working set: K inputs + S+E coded vectors of InLen u32.
+	workset := int64(lin.InLen()) * int64(k+code.NumCoded()) * 4
+	if err := t.allocEnclave(workset); err != nil {
+		return nil, err
+	}
+	defer t.freeEnclave(workset)
+
+	coded, err := code.Encode(quantIn, t.rng)
+	if err != nil {
+		return nil, err
+	}
+	kernel := func(x field.Vec) field.Vec { return lin.LinearForwardField(wq, x) }
+	results, err := t.cluster.ForwardAll(key, kernel, coded)
+	if err != nil {
+		return nil, err
+	}
+	var decoded []field.Vec
+	if t.cfg.Redundancy > 0 {
+		if verr := code.VerifyForward(results); verr != nil {
+			if !t.recover {
+				return nil, verr
+			}
+			decoded, err = t.recoverForward(code, results)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if decoded == nil {
+		decoded, err = code.DecodeForward(results)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// TEE: restore floats, undo normalization, add bias.
+	outs := make([]*tensor.Tensor, k)
+	rescale := fx * fw
+	bias := lin.BiasData()
+	outShape := lin.OutShape()
+	for i := 0; i < k; i++ {
+		y := t.q.UnquantizeProduct(decoded[i])
+		for j := range y {
+			y[j] *= rescale
+		}
+		addBias(y, bias, outShape)
+		outs[i] = tensor.FromSlice(y, outShape...)
+	}
+	return outs, nil
+}
+
+// offloadBackward recovers the summed weight gradient of one bilinear
+// layer from the coded equations (Eq 4–6) and propagates input gradients.
+func (t *Trainer) offloadBackward(code *masking.Code, tr *trace, lin nn.Linear, grads []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	k := t.cfg.VirtualBatch
+
+	// Bias gradient: TEE-side, cheap, uses only the public δ.
+	for i := 0; i < k; i++ {
+		lin.AddGradB(grads[i], 1)
+	}
+
+	// Shared normalization so the decoded SUM can be unscaled exactly.
+	fd := sharedNormFactor(grads, t.cfg.NormLimit)
+	fx := sharedNormFactor(tr.inputs, t.cfg.NormLimit)
+
+	quantDeltas := make([]field.Vec, k)
+	scratch := make([]float64, lin.OutLen())
+	for i := 0; i < k; i++ {
+		for j, v := range grads[i].Data {
+			scratch[j] = v / fd
+		}
+		quantDeltas[i] = t.q.Quantize(scratch)
+	}
+
+	// Each GPU j computes Eq_j on (Σ_i β_ji·δ_i, x̄_j). The combination
+	// happens GPU-side in the paper; B and δ are public either way.
+	deltaBars := make([]field.Vec, code.S)
+	for j := 0; j < code.S; j++ {
+		bar := make(field.Vec, lin.OutLen())
+		for i := 0; i < k; i++ {
+			field.AXPY(bar, code.B.At(j, i), quantDeltas[i])
+		}
+		deltaBars[j] = bar
+	}
+	kernel := func(delta, x field.Vec) field.Vec { return lin.GradWeightsField(delta, x) }
+	eqs, err := t.cluster.BackwardAll(tr.key, kernel, deltaBars)
+	if err != nil {
+		return nil, err
+	}
+	sum, err := code.DecodeBackward(eqs)
+	if err != nil {
+		return nil, err
+	}
+	dw := t.q.UnquantizeProduct(sum)
+	// The coded inputs carried 1/fx, the deltas 1/fd: undo both. The
+	// quantization scales 2^(2l) are already removed by UnquantizeProduct.
+	rescale := fd * fx
+	for j := range dw {
+		dw[j] *= rescale
+	}
+	lin.AddGradW(dw, 1)
+
+	// Input gradient: input-independent linear op, offloadable without
+	// coding (paper §4.2, computation (2)); computed here functionally.
+	out := make([]*tensor.Tensor, k)
+	for i := 0; i < k; i++ {
+		out[i] = lin.BackwardInputOnly(grads[i])
+	}
+	return out, nil
+}
+
+// TrainVirtualBatch runs one masked forward+backward over exactly K
+// examples, accumulating the SUMMED gradients into the model's params.
+// Returns the mean loss. Callers average the grads and step the optimizer
+// (see TrainLargeBatch).
+func (t *Trainer) TrainVirtualBatch(examples []dataset.Example) (float64, error) {
+	k := t.cfg.VirtualBatch
+	if len(examples) != k {
+		return 0, fmt.Errorf("sched: virtual batch needs exactly %d examples, got %d", k, len(examples))
+	}
+	t.stepSeq++
+	t.linSeq = 0
+	code, err := masking.New(t.cfg.maskParams(), t.rng)
+	if err != nil {
+		return 0, err
+	}
+	xs := make([]*tensor.Tensor, k)
+	for i := range examples {
+		xs[i] = tensor.FromSlice(examples[i].Image, t.model.InShape...)
+	}
+	logits, tr, err := t.forwardLayer(code, t.model.Stack, xs, true)
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	grads := make([]*tensor.Tensor, k)
+	for i := range logits {
+		loss, g := nn.SoftmaxCrossEntropy(logits[i], examples[i].Label)
+		total += loss
+		grads[i] = g
+	}
+	if _, err := t.backwardLayer(code, tr, grads); err != nil {
+		return 0, err
+	}
+	return total / float64(k), nil
+}
+
+// Predict runs masked inference for a virtual batch of images, returning
+// the predicted class per image. Forward-only — the inference flow the
+// paper compares against Slalom (§7.2).
+func (t *Trainer) Predict(images [][]float64) ([]int, error) {
+	k := t.cfg.VirtualBatch
+	if len(images) != k {
+		return nil, fmt.Errorf("sched: predict needs exactly %d images, got %d", k, len(images))
+	}
+	t.stepSeq++
+	t.linSeq = 0
+	code, err := masking.New(t.cfg.maskParams(), t.rng)
+	if err != nil {
+		return nil, err
+	}
+	xs := make([]*tensor.Tensor, k)
+	for i := range images {
+		xs[i] = tensor.FromSlice(images[i], t.model.InShape...)
+	}
+	logits, _, err := t.forwardLayer(code, t.model.Stack, xs, false)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, k)
+	for i := range logits {
+		out[i] = nn.Argmax(logits[i])
+	}
+	return out, nil
+}
+
+func (t *Trainer) quantizeWeights(w []float64, fw float64) field.Vec {
+	if fw == 1 {
+		return t.q.Quantize(w)
+	}
+	scaled := make([]float64, len(w))
+	for i, v := range w {
+		scaled[i] = v / fw
+	}
+	return t.q.Quantize(scaled)
+}
+
+func (t *Trainer) allocEnclave(n int64) error {
+	if t.encl == nil {
+		return nil
+	}
+	if err := t.encl.Alloc(n); err != nil {
+		return fmt.Errorf("sched: virtual batch K=%d does not fit in enclave: %w",
+			t.cfg.VirtualBatch, err)
+	}
+	return nil
+}
+
+func (t *Trainer) freeEnclave(n int64) {
+	if t.encl != nil {
+		t.encl.Free(n)
+	}
+}
+
+// sharedNormFactor returns the common dynamic-normalization divisor for a
+// set of tensors: max(1, max_i MaxAbs(x_i)/limit).
+func sharedNormFactor(xs []*tensor.Tensor, limit float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if v := x.MaxAbs(); v > m {
+			m = v
+		}
+	}
+	f := m / limit
+	if f < 1 {
+		return 1
+	}
+	return f
+}
+
+func maxAbs(xs []float64) float64 {
+	m := 0.0
+	for _, v := range xs {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// addBias adds a per-channel (conv) or per-element (dense) bias in place.
+func addBias(y []float64, bias []float64, outShape []int) {
+	if bias == nil {
+		return
+	}
+	if len(bias) == len(y) {
+		for i := range y {
+			y[i] += bias[i]
+		}
+		return
+	}
+	// Conv layout: [C, H, W] with one bias per channel.
+	plane := len(y) / len(bias)
+	for c := range bias {
+		b := bias[c]
+		seg := y[c*plane : (c+1)*plane]
+		for i := range seg {
+			seg[i] += b
+		}
+	}
+}

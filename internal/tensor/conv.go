@@ -1,0 +1,195 @@
+package tensor
+
+import "fmt"
+
+// ConvParams describes a 2-D convolution: square-ish kernels with
+// independent stride and zero padding, NCHW layout.
+type ConvParams struct {
+	InC, OutC   int
+	KH, KW      int
+	Stride, Pad int
+	InH, InW    int
+	Groups      int // 1 for dense conv; InC for depthwise (MobileNet)
+}
+
+// OutH returns the output height.
+func (p ConvParams) OutH() int { return (p.InH+2*p.Pad-p.KH)/p.Stride + 1 }
+
+// OutW returns the output width.
+func (p ConvParams) OutW() int { return (p.InW+2*p.Pad-p.KW)/p.Stride + 1 }
+
+// Validate panics if the configuration is internally inconsistent.
+func (p ConvParams) Validate() {
+	if p.Groups == 0 {
+		panic("tensor: ConvParams.Groups must be >= 1")
+	}
+	if p.InC%p.Groups != 0 || p.OutC%p.Groups != 0 {
+		panic(fmt.Sprintf("tensor: channels %d/%d not divisible by groups %d",
+			p.InC, p.OutC, p.Groups))
+	}
+	if p.OutH() <= 0 || p.OutW() <= 0 {
+		panic(fmt.Sprintf("tensor: conv output collapsed: %+v", p))
+	}
+}
+
+// Im2Col unrolls input patches into a matrix with one column per output
+// pixel and one row per (in-channel, ky, kx) triple, so that convolution
+// becomes the bilinear matmul DarKnight's masking relies on ("the most
+// computationally intensive operator (such as convolutions) is bilinear").
+// in is a single image [C, H, W] flattened.
+func Im2Col(in []float64, p ConvParams) *Tensor {
+	cpg := p.InC / p.Groups // channels per group
+	rows := cpg * p.KH * p.KW
+	oh, ow := p.OutH(), p.OutW()
+	cols := oh * ow
+	out := New(p.Groups, rows, cols)
+	for g := 0; g < p.Groups; g++ {
+		for c := 0; c < cpg; c++ {
+			inC := g*cpg + c
+			for ky := 0; ky < p.KH; ky++ {
+				for kx := 0; kx < p.KW; kx++ {
+					row := (c*p.KH+ky)*p.KW + kx
+					base := (g*rows + row) * cols
+					for oy := 0; oy < oh; oy++ {
+						iy := oy*p.Stride + ky - p.Pad
+						if iy < 0 || iy >= p.InH {
+							continue // stays zero (padding)
+						}
+						for ox := 0; ox < ow; ox++ {
+							ix := ox*p.Stride + kx - p.Pad
+							if ix < 0 || ix >= p.InW {
+								continue
+							}
+							out.Data[base+oy*ow+ox] = in[(inC*p.InH+iy)*p.InW+ix]
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Col2Im is the adjoint of Im2Col: it scatters a patch matrix back into an
+// image, accumulating overlaps. It is the core of the convolution input
+// gradient.
+func Col2Im(cols *Tensor, p ConvParams) []float64 {
+	cpg := p.InC / p.Groups
+	rows := cpg * p.KH * p.KW
+	oh, ow := p.OutH(), p.OutW()
+	ncols := oh * ow
+	out := make([]float64, p.InC*p.InH*p.InW)
+	for g := 0; g < p.Groups; g++ {
+		for c := 0; c < cpg; c++ {
+			inC := g*cpg + c
+			for ky := 0; ky < p.KH; ky++ {
+				for kx := 0; kx < p.KW; kx++ {
+					row := (c*p.KH+ky)*p.KW + kx
+					base := (g*rows + row) * ncols
+					for oy := 0; oy < oh; oy++ {
+						iy := oy*p.Stride + ky - p.Pad
+						if iy < 0 || iy >= p.InH {
+							continue
+						}
+						for ox := 0; ox < ow; ox++ {
+							ix := ox*p.Stride + kx - p.Pad
+							if ix < 0 || ix >= p.InW {
+								continue
+							}
+							out[(inC*p.InH+iy)*p.InW+ix] += cols.Data[base+oy*ow+ox]
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Conv2D convolves a single image in [InC, InH, InW] with weights
+// w [OutC, InC/Groups, KH, KW] and per-channel bias b (nil for none),
+// returning [OutC, OutH, OutW].
+func Conv2D(in []float64, w *Tensor, b []float64, p ConvParams) *Tensor {
+	p.Validate()
+	cols := Im2Col(in, p)
+	oh, ow := p.OutH(), p.OutW()
+	ocpg := p.OutC / p.Groups
+	cpg := p.InC / p.Groups
+	rows := cpg * p.KH * p.KW
+	npix := oh * ow
+	out := New(p.OutC, oh, ow)
+	for g := 0; g < p.Groups; g++ {
+		wg := FromSlice(w.Data[g*ocpg*rows:(g+1)*ocpg*rows], ocpg, rows)
+		cg := FromSlice(cols.Data[g*rows*npix:(g+1)*rows*npix], rows, npix)
+		res := MatMul(wg, cg) // [ocpg, npix]
+		copy(out.Data[g*ocpg*npix:(g+1)*ocpg*npix], res.Data)
+	}
+	if b != nil {
+		for oc := 0; oc < p.OutC; oc++ {
+			bb := b[oc]
+			seg := out.Data[oc*npix : (oc+1)*npix]
+			for i := range seg {
+				seg[i] += bb
+			}
+		}
+	}
+	return out
+}
+
+// Conv2DGradInput computes only dL/dIn = Col2Im(Wᵀ·gout). Unlike the full
+// backward it does not need the forward input — the input gradient of a
+// bilinear op is input-independent, which is what lets DarKnight offload δ
+// propagation without any coding (paper §4.2, computation (2)).
+func Conv2DGradInput(w *Tensor, gout *Tensor, p ConvParams) []float64 {
+	p.Validate()
+	oh, ow := p.OutH(), p.OutW()
+	npix := oh * ow
+	ocpg := p.OutC / p.Groups
+	cpg := p.InC / p.Groups
+	rows := cpg * p.KH * p.KW
+	dCols := New(p.Groups, rows, npix)
+	for g := 0; g < p.Groups; g++ {
+		gg := FromSlice(gout.Data[g*ocpg*npix:(g+1)*ocpg*npix], ocpg, npix)
+		wg := FromSlice(w.Data[g*ocpg*rows:(g+1)*ocpg*rows], ocpg, rows)
+		dcg := MatMulTransA(wg, gg)
+		copy(dCols.Data[g*rows*npix:(g+1)*rows*npix], dcg.Data)
+	}
+	return Col2Im(dCols, p)
+}
+
+// Conv2DBackward computes the gradients of a convolution given the upstream
+// gradient gout [OutC, OutH, OutW]: returns (dIn, dW, dB).
+func Conv2DBackward(in []float64, w *Tensor, gout *Tensor, p ConvParams) (dIn []float64, dW *Tensor, dB []float64) {
+	p.Validate()
+	cols := Im2Col(in, p)
+	oh, ow := p.OutH(), p.OutW()
+	npix := oh * ow
+	ocpg := p.OutC / p.Groups
+	cpg := p.InC / p.Groups
+	rows := cpg * p.KH * p.KW
+
+	dW = New(w.Shape...)
+	dColsAll := New(p.Groups, rows, npix)
+	for g := 0; g < p.Groups; g++ {
+		gg := FromSlice(gout.Data[g*ocpg*npix:(g+1)*ocpg*npix], ocpg, npix)
+		cg := FromSlice(cols.Data[g*rows*npix:(g+1)*rows*npix], rows, npix)
+		// dW_g = gout_g · cols_gᵀ  -> [ocpg, rows]
+		dwg := MatMulTransB(gg, cg)
+		copy(dW.Data[g*ocpg*rows:(g+1)*ocpg*rows], dwg.Data)
+		// dCols_g = W_gᵀ · gout_g -> [rows, npix]
+		wg := FromSlice(w.Data[g*ocpg*rows:(g+1)*ocpg*rows], ocpg, rows)
+		dcg := MatMulTransA(wg, gg)
+		copy(dColsAll.Data[g*rows*npix:(g+1)*rows*npix], dcg.Data)
+	}
+	dIn = Col2Im(dColsAll, p)
+
+	dB = make([]float64, p.OutC)
+	for oc := 0; oc < p.OutC; oc++ {
+		var s float64
+		for _, v := range gout.Data[oc*npix : (oc+1)*npix] {
+			s += v
+		}
+		dB[oc] = s
+	}
+	return dIn, dW, dB
+}

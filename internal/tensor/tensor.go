@@ -1,0 +1,216 @@
+// Package tensor provides the dense float64 tensor type and the linear
+// kernels (matmul, im2col convolution, pooling) that internal/nn builds its
+// layers on. It is the from-scratch replacement for the Keras/TF + Intel
+// DNNL stack the paper runs inside and outside the enclave.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense row-major float64 tensor with an arbitrary shape.
+// Feature maps use NCHW order: [batch, channels, height, width].
+type Tensor struct {
+	Shape []int
+	Data  []float64
+}
+
+// New allocates a zero tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension in %v", shape))
+		}
+		n *= d
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
+}
+
+// FromSlice wraps data (not copied) in a tensor of the given shape.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	t := &Tensor{Shape: append([]int(nil), shape...), Data: data}
+	if t.Size() != len(data) {
+		panic(fmt.Sprintf("tensor: shape %v needs %d elements, have %d",
+			shape, t.Size(), len(data)))
+	}
+	return t
+}
+
+// Size returns the total element count.
+func (t *Tensor) Size() int {
+	n := 1
+	for _, d := range t.Shape {
+		n *= d
+	}
+	return n
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Reshape returns a view with a new shape of identical size.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	v := &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}
+	if v.Size() != t.Size() {
+		panic(fmt.Sprintf("tensor: reshape %v -> %v changes size", t.Shape, shape))
+	}
+	return v
+}
+
+// Zero resets all elements in place.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets all elements to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// RandUniform fills t with uniform values in [-a, a).
+func (t *Tensor) RandUniform(rng *rand.Rand, a float64) {
+	for i := range t.Data {
+		t.Data[i] = (rng.Float64()*2 - 1) * a
+	}
+}
+
+// RandNormal fills t with N(0, std²) values.
+func (t *Tensor) RandNormal(rng *rand.Rand, std float64) {
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64() * std
+	}
+}
+
+// Add accumulates o into t elementwise.
+func (t *Tensor) Add(o *Tensor) {
+	mustSameSize(t, o)
+	for i := range t.Data {
+		t.Data[i] += o.Data[i]
+	}
+}
+
+// Scale multiplies every element by s.
+func (t *Tensor) Scale(s float64) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// AXPY performs t += s·o.
+func (t *Tensor) AXPY(s float64, o *Tensor) {
+	mustSameSize(t, o)
+	for i := range t.Data {
+		t.Data[i] += s * o.Data[i]
+	}
+}
+
+// MaxAbs returns the maximum absolute element value (0 for empty tensors).
+func (t *Tensor) MaxAbs() float64 {
+	m := 0.0
+	for _, v := range t.Data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// EqualApprox reports whether t and o agree elementwise within tol.
+func (t *Tensor) EqualApprox(o *Tensor, tol float64) bool {
+	if t.Size() != o.Size() {
+		return false
+	}
+	for i := range t.Data {
+		if math.Abs(t.Data[i]-o.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func mustSameSize(a, b *Tensor) {
+	if a.Size() != b.Size() {
+		panic(fmt.Sprintf("tensor: size mismatch %v vs %v", a.Shape, b.Shape))
+	}
+}
+
+// MatMul computes C = A·B for 2-D tensors (m×k)·(k×n).
+func MatMul(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: matmul shapes %v · %v", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*n : (i+1)*n]
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[kk*n : (kk+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTransB computes C = A·Bᵀ for (m×k)·(n×k) operands, the layout the
+// dense backward pass prefers.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[1] {
+		panic(fmt.Sprintf("tensor: matmulTransB shapes %v · %vᵀ", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			var s float64
+			for kk := 0; kk < k; kk++ {
+				s += arow[kk] * brow[kk]
+			}
+			out.Data[i*n+j] = s
+		}
+	}
+	return out
+}
+
+// MatMulTransA computes C = Aᵀ·B for (k×m)·(k×n) operands.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[0] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: matmulTransA shapes %vᵀ · %v", a.Shape, b.Shape))
+	}
+	k, m, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	out := New(m, n)
+	for kk := 0; kk < k; kk++ {
+		arow := a.Data[kk*m : (kk+1)*m]
+		brow := b.Data[kk*n : (kk+1)*n]
+		for i := 0; i < m; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			orow := out.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
