@@ -6,7 +6,11 @@ package darknight
 // whole evaluation. EXPERIMENTS.md records paper-vs-measured per artifact.
 
 import (
+	"context"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"darknight/internal/experiments"
 )
@@ -127,6 +131,75 @@ func BenchmarkFigure7(b *testing.B) {
 		rows = experiments.Figure7()
 	}
 	b.ReportMetric(rows[len(rows)-1].Latency, "4-thread-latency-x")
+}
+
+// serveThroughput drives n closed-loop requests through a one-worker K=4
+// server at the given client concurrency and returns requests/second.
+// maxWait < 0 flushes every batch immediately (one real row + K-1 dummy
+// rows per dispatch — the sequential one-request-at-a-time baseline);
+// with concurrent clients and a positive maxWait the batcher coalesces
+// real rows into full batches on the same gang of devices.
+func serveThroughput(tb testing.TB, clients, n int, maxWait time.Duration) float64 {
+	tb.Helper()
+	srv, err := NewServer(func() *Model { return TinyCNN(1, 8, 8, 4, 1) }, ServerConfig{
+		Config:  Config{VirtualBatch: 4, Seed: 1, EnclaveBytes: -1},
+		Workers: 1,
+		MaxWait: maxWait,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer srv.Close()
+	data := SyntheticDataset(n, 4, 1, 8, 8, 2)
+
+	var next atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if _, err := srv.Infer(context.Background(), data[i].Image); err != nil {
+					tb.Errorf("request %d: %v", i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return float64(n) / time.Since(start).Seconds()
+}
+
+// BenchmarkServing measures concurrent batched serving against the
+// sequential one-request-at-a-time baseline at K=4 (same model, same
+// single worker, same device gang) and reports the speedup. Dynamic
+// K-batching amortizes one coded dispatch over up to K real rows, so the
+// batched-x metric sits near K.
+func BenchmarkServing(b *testing.B) {
+	var seq, batched float64
+	for i := 0; i < b.N; i++ {
+		seq = serveThroughput(b, 1, 32, -1)
+		batched = serveThroughput(b, 16, 128, 5*time.Millisecond)
+	}
+	b.ReportMetric(seq, "seq-req/s")
+	b.ReportMetric(batched, "batched-req/s")
+	b.ReportMetric(batched/seq, "batched-x")
+}
+
+// TestServingBatchedSpeedup enforces the serving win: batched concurrent
+// throughput must be at least 2x the sequential baseline at K=4.
+func TestServingBatchedSpeedup(t *testing.T) {
+	seq := serveThroughput(t, 1, 32, -1)
+	batched := serveThroughput(t, 16, 128, 5*time.Millisecond)
+	if batched < 2*seq {
+		t.Fatalf("batched throughput %.0f req/s < 2x sequential %.0f req/s", batched, seq)
+	}
+	t.Logf("sequential %.0f req/s, batched %.0f req/s (%.1fx)", seq, batched, batched/seq)
 }
 
 // BenchmarkMaskedTrainingStep measures the wall-clock cost of one full

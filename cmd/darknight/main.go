@@ -1,12 +1,18 @@
 // Command darknight is a CLI for the DarKnight reproduction. It trains and
 // serves small models on synthetic data through the full masked pipeline:
 //
-//	darknight train  [-model tiny|vgg|resnet|mobilenet] [-epochs N] [-k K]
-//	darknight infer  [-model ...] [-k K] [-integrity]
-//	darknight verify [-malicious GPUIDX]
+//	darknight train   [-model tiny|vgg|resnet|mobilenet] [-epochs N] [-k K]
+//	darknight infer   [-model ...] [-k K] [-integrity]
+//	darknight verify  [-malicious GPUIDX]
+//	darknight serve   [-model ...] [-k K] [-workers N] [-clients N] [-duration D]
+//	darknight loadgen [-model ...] [-k K] [-workers N] [-maxclients N] [-duration D]
 //
 // `verify` demonstrates integrity detection: it runs a training step
 // against a cluster containing a tampering GPU and reports the violation.
+// `serve` stands up the concurrent inference service under closed-loop
+// client load and reports throughput, latency quantiles and batch
+// occupancy; `loadgen` sweeps the client count to chart how dynamic
+// K-batching converts concurrency into throughput.
 package main
 
 import (
@@ -32,13 +38,17 @@ func main() {
 		cmdInfer(os.Args[2:])
 	case "verify":
 		cmdVerify(os.Args[2:])
+	case "serve":
+		cmdServe(os.Args[2:])
+	case "loadgen":
+		cmdLoadgen(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: darknight <train|infer|verify> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: darknight <train|infer|verify|serve|loadgen> [flags]")
 	os.Exit(2)
 }
 

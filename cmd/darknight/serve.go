@@ -1,0 +1,144 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"darknight"
+)
+
+// runLoad drives closed-loop client goroutines against a server for the
+// given duration and returns (completed, integrityErrors, otherErrors).
+func runLoad(srv *darknight.Server, images [][]float64, clients int, d time.Duration) (int64, int64, int64) {
+	var ok, integrity, failed int64
+	deadline := time.Now().Add(d)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; time.Now().Before(deadline); i++ {
+				_, err := srv.Infer(context.Background(), images[i%len(images)])
+				switch {
+				case err == nil:
+					atomic.AddInt64(&ok, 1)
+				case darknight.IsIntegrityError(err):
+					atomic.AddInt64(&integrity, 1)
+				default:
+					atomic.AddInt64(&failed, 1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	return ok, integrity, failed
+}
+
+func cmdServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	modelName := fs.String("model", "tiny", "model architecture")
+	k := fs.Int("k", 4, "virtual batch size K")
+	workers := fs.Int("workers", 2, "inference pipelines (model replicas)")
+	clients := fs.Int("clients", 8, "closed-loop client goroutines")
+	duration := fs.Duration("duration", 2*time.Second, "load duration")
+	maxWait := fs.Duration("maxwait", 2*time.Millisecond, "batching deadline before dummy-row padding")
+	integrity := fs.Bool("integrity", false, "enable integrity verification (one extra GPU per gang)")
+	malicious := fs.Int("malicious", -1, "index of a tampering GPU (-1 = none; implies -integrity)")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+
+	if *k < 1 {
+		log.Fatalf("serve: -k %d invalid, need K >= 1", *k)
+	}
+	redundancy := 0
+	if *integrity || *malicious >= 0 {
+		redundancy = 1
+	}
+	cfg := darknight.ServerConfig{
+		Config: darknight.Config{
+			VirtualBatch: *k,
+			Redundancy:   redundancy,
+			Seed:         *seed,
+		},
+		Workers: *workers,
+		MaxWait: *maxWait,
+	}
+	if *malicious >= 0 {
+		cfg.MaliciousGPUs = []int{*malicious}
+	}
+	srv, err := darknight.NewServer(func() *darknight.Model { return buildModel(*modelName, *seed) }, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	data := darknight.SyntheticDataset(256, 4, 1, 8, 8, *seed+1)
+	images := make([][]float64, len(data))
+	for i := range images {
+		images[i] = data[i].Image
+	}
+
+	gang := *k + 1 + redundancy
+	fmt.Printf("serving %s privately: K=%d, gang=%d GPUs, %d workers, %d clients, maxwait=%v\n",
+		*modelName, *k, gang, *workers, *clients, *maxWait)
+	ok, integ, failed := runLoad(srv, images, *clients, *duration)
+
+	m := srv.Metrics()
+	fmt.Printf("completed %d requests in %v (%.0f req/s)\n", ok, *duration, m.Throughput)
+	fmt.Printf("latency: p50 %v, p99 %v\n", m.P50, m.P99)
+	fmt.Printf("batches: %d dispatched, occupancy %.2f (%d real rows, %d dummy rows)\n",
+		m.Batches, m.Occupancy, m.RealRows, m.PaddedRows)
+	if *malicious >= 0 {
+		fmt.Printf("integrity: %d requests rejected with tampered-GPU detection\n", integ)
+		if integ == 0 && ok > 0 {
+			fmt.Println("note: the tampering GPU's gang was never leased; raise -clients or lower -workers")
+		}
+	} else if integ+failed > 0 {
+		fmt.Printf("errors: %d integrity, %d other\n", integ, failed)
+	}
+	tr := srv.GPUTraffic()
+	fmt.Printf("GPUs: %d jobs, %d bytes in, %d bytes out\n", tr.Jobs, tr.BytesIn, tr.BytesOut)
+}
+
+func cmdLoadgen(args []string) {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	modelName := fs.String("model", "tiny", "model architecture")
+	k := fs.Int("k", 4, "virtual batch size K")
+	workers := fs.Int("workers", 2, "inference pipelines")
+	maxClients := fs.Int("maxclients", 16, "largest client count in the sweep")
+	duration := fs.Duration("duration", time.Second, "load duration per step")
+	maxWait := fs.Duration("maxwait", 2*time.Millisecond, "batching deadline")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+
+	if *k < 1 {
+		log.Fatalf("loadgen: -k %d invalid, need K >= 1", *k)
+	}
+	data := darknight.SyntheticDataset(256, 4, 1, 8, 8, *seed+1)
+	images := make([][]float64, len(data))
+	for i := range images {
+		images[i] = data[i].Image
+	}
+
+	fmt.Printf("load sweep: %s, K=%d, %d workers, %v per step\n", *modelName, *k, *workers, *duration)
+	fmt.Printf("%8s %12s %12s %12s %10s\n", "clients", "req/s", "p50", "p99", "occupancy")
+	for clients := 1; clients <= *maxClients; clients *= 2 {
+		srv, err := darknight.NewServer(func() *darknight.Model { return buildModel(*modelName, *seed) }, darknight.ServerConfig{
+			Config:  darknight.Config{VirtualBatch: *k, Seed: *seed},
+			Workers: *workers,
+			MaxWait: *maxWait,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		runLoad(srv, images, clients, *duration)
+		m := srv.Metrics()
+		srv.Close()
+		fmt.Printf("%8d %12.0f %12v %12v %10.2f\n", clients, m.Throughput, m.P50, m.P99, m.Occupancy)
+	}
+}

@@ -83,29 +83,13 @@ func NewSystem(model *Model, cfg Config) (*System, error) {
 		cfg.LearningRate = 0.05
 	}
 
-	devs := make([]gpu.Device, cfg.GPUs)
-	for i := range devs {
-		devs[i] = gpu.NewHonest(i)
+	cluster, err := buildCluster(cfg)
+	if err != nil {
+		return nil, err
 	}
-	for _, idx := range cfg.MaliciousGPUs {
-		if idx < 0 || idx >= len(devs) {
-			return nil, fmt.Errorf("darknight: malicious GPU index %d outside cluster of %d", idx, len(devs))
-		}
-		devs[idx] = gpu.NewMalicious(devs[idx], gpu.FaultPolicy{EveryNth: 1})
-	}
-	cluster := gpu.NewCluster(devs...)
-
-	var encl *enclave.Enclave
-	if cfg.EnclaveBytes >= 0 {
-		cap := cfg.EnclaveBytes
-		if cap == 0 {
-			cap = enclave.DefaultEPCBytes
-		}
-		var err error
-		encl, err = enclave.New(cap)
-		if err != nil {
-			return nil, err
-		}
+	encl, err := buildEnclave(cfg)
+	if err != nil {
+		return nil, err
 	}
 
 	trainer, err := sched.NewTrainer(sched.Config{
@@ -125,6 +109,35 @@ func NewSystem(model *Model, cfg Config) (*System, error) {
 		opt:     nn.NewSGD(cfg.LearningRate, cfg.Momentum),
 		cfg:     cfg,
 	}, nil
+}
+
+// buildCluster assembles the simulated device fleet a Config describes,
+// wrapping the marked indices with always-tampering fault policies.
+func buildCluster(cfg Config) (*gpu.Cluster, error) {
+	devs := make([]gpu.Device, cfg.GPUs)
+	for i := range devs {
+		devs[i] = gpu.NewHonest(i)
+	}
+	for _, idx := range cfg.MaliciousGPUs {
+		if idx < 0 || idx >= len(devs) {
+			return nil, fmt.Errorf("darknight: malicious GPU index %d outside cluster of %d", idx, len(devs))
+		}
+		devs[idx] = gpu.NewMalicious(devs[idx], gpu.FaultPolicy{EveryNth: 1})
+	}
+	return gpu.NewCluster(devs...), nil
+}
+
+// buildEnclave creates the software enclave a Config asks for (nil when
+// memory accounting is disabled).
+func buildEnclave(cfg Config) (*enclave.Enclave, error) {
+	if cfg.EnclaveBytes < 0 {
+		return nil, nil
+	}
+	cap := cfg.EnclaveBytes
+	if cap == 0 {
+		cap = enclave.DefaultEPCBytes
+	}
+	return enclave.New(cap)
 }
 
 // TrainBatch runs one private training step over a batch (processed as
@@ -176,6 +189,24 @@ func (m *Model) Name() string { return m.m.Name }
 
 // ParamCount returns the learnable element count.
 func (m *Model) ParamCount() int64 { return m.m.ParamCount() }
+
+// CopyWeightsFrom copies the learned parameters of src into m. The two
+// models must share an architecture (same constructor and scale). It is how
+// trained weights are propagated into a serving fleet's per-worker model
+// replicas.
+func (m *Model) CopyWeightsFrom(src *Model) error {
+	dst, from := m.m.Params(), src.m.Params()
+	if len(dst) != len(from) {
+		return fmt.Errorf("darknight: architectures differ: %d vs %d param tensors", len(dst), len(from))
+	}
+	for i := range dst {
+		if dst[i].W.Size() != from[i].W.Size() {
+			return fmt.Errorf("darknight: param %q: size %d vs %d", dst[i].Name, dst[i].W.Size(), from[i].W.Size())
+		}
+		copy(dst[i].W.Data, from[i].W.Data)
+	}
+	return nil
+}
 
 // TinyCNN builds the smallest useful CNN (quickstart-scale).
 func TinyCNN(c, h, w, classes int, seed int64) *Model {

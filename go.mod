@@ -1,0 +1,3 @@
+module darknight
+
+go 1.21

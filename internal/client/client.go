@@ -31,10 +31,37 @@ var ErrSession = errors.New("client: session error")
 
 // Session is one authenticated-encryption channel between a data holder
 // and an attested enclave. Both endpoints hold a Session (with the same
-// keys) after Establish.
+// key) after Establish/Accept. The two directions use independent frame
+// counters and a direction byte inside the nonce, so client→TEE and
+// TEE→client traffic can never collide on a (key, nonce) pair no matter
+// how the endpoints interleave.
 type Session struct {
 	aead cipher.AEAD
-	seq  uint64
+	// client marks which end of the channel this Session is (set by
+	// Establish, cleared by Accept); it selects the nonce direction byte.
+	client bool
+	// txSeq/rxSeq count sent and received frames independently.
+	txSeq, rxSeq uint64
+}
+
+// Nonce direction bytes: byte 8 of the 12-byte GCM nonce.
+const (
+	dirClientToTEE = 1
+	dirTEEToClient = 2
+)
+
+func (s *Session) sendDir() byte {
+	if s.client {
+		return dirClientToTEE
+	}
+	return dirTEEToClient
+}
+
+func (s *Session) recvDir() byte {
+	if s.client {
+		return dirTEEToClient
+	}
+	return dirClientToTEE
 }
 
 // Establish runs the client-side handshake:
@@ -63,7 +90,7 @@ func Establish(platform *enclave.Platform, want enclave.Measurement, enclavePub 
 	if err != nil {
 		return nil, nil, err
 	}
-	s, err := newSession(shared, want)
+	s, err := newSession(shared, want, true)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -77,10 +104,10 @@ func Accept(priv *ecdh.PrivateKey, clientPub *ecdh.PublicKey, measurement enclav
 	if err != nil {
 		return nil, err
 	}
-	return newSession(shared, measurement)
+	return newSession(shared, measurement, false)
 }
 
-func newSession(shared []byte, m enclave.Measurement) (*Session, error) {
+func newSession(shared []byte, m enclave.Measurement, client bool) (*Session, error) {
 	kdf := hmac.New(sha256.New, shared)
 	kdf.Write([]byte("darknight session v1"))
 	kdf.Write(m[:])
@@ -93,12 +120,45 @@ func newSession(shared []byte, m enclave.Measurement) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Session{aead: aead}, nil
+	return &Session{aead: aead, client: client}, nil
 }
 
-// SealBatch encrypts a labelled batch for transmission to the TEE. The
-// sequence number is bound into the nonce and the header is authenticated,
-// so replay and reorder are detected.
+// seal encrypts one payload frame. The sender's fresh sequence number and
+// direction byte are bound into the nonce and the frame header is
+// authenticated, so replay, reorder and cross-direction reflection are
+// all detected by open.
+func (s *Session) seal(plain []byte) []byte {
+	s.txSeq++
+	nonce := make([]byte, s.aead.NonceSize())
+	binary.LittleEndian.PutUint64(nonce, s.txSeq)
+	nonce[8] = s.sendDir()
+	out := make([]byte, 8, 8+len(plain)+s.aead.Overhead())
+	binary.LittleEndian.PutUint64(out, s.txSeq)
+	return s.aead.Seal(out, nonce, plain, out[:8])
+}
+
+// open authenticates and decrypts one frame from the peer direction.
+// Sequence numbers must be strictly increasing per direction.
+func (s *Session) open(blob []byte) ([]byte, error) {
+	if len(blob) < 8 {
+		return nil, fmt.Errorf("%w: truncated frame", ErrSession)
+	}
+	seq := binary.LittleEndian.Uint64(blob[:8])
+	if seq <= s.rxSeq {
+		return nil, fmt.Errorf("%w: replayed or reordered frame %d (last %d)", ErrSession, seq, s.rxSeq)
+	}
+	nonce := make([]byte, s.aead.NonceSize())
+	binary.LittleEndian.PutUint64(nonce, seq)
+	nonce[8] = s.recvDir()
+	plain, err := s.aead.Open(nil, nonce, blob[8:], blob[:8])
+	if err != nil {
+		return nil, fmt.Errorf("%w: authentication failed: %v", ErrSession, err)
+	}
+	s.rxSeq = seq
+	return plain, nil
+}
+
+// SealBatch encrypts a labelled batch for transmission to the TEE.
 func (s *Session) SealBatch(batch []dataset.Example) ([]byte, error) {
 	if len(batch) == 0 {
 		return nil, fmt.Errorf("%w: empty batch", ErrSession)
@@ -120,31 +180,15 @@ func (s *Session) SealBatch(batch []dataset.Example) ([]byte, error) {
 			off += 8
 		}
 	}
-	s.seq++
-	nonce := make([]byte, s.aead.NonceSize())
-	binary.LittleEndian.PutUint64(nonce, s.seq)
-	out := make([]byte, 8, 8+len(plain)+s.aead.Overhead())
-	binary.LittleEndian.PutUint64(out, s.seq)
-	return s.aead.Seal(out, nonce, plain, out[:8]), nil
+	return s.seal(plain), nil
 }
 
 // OpenBatch authenticates and decrypts a sealed batch on the enclave side.
-// Sequence numbers must be strictly increasing.
 func (s *Session) OpenBatch(blob []byte) ([]dataset.Example, error) {
-	if len(blob) < 8 {
-		return nil, fmt.Errorf("%w: truncated frame", ErrSession)
-	}
-	seq := binary.LittleEndian.Uint64(blob[:8])
-	if seq <= s.seq {
-		return nil, fmt.Errorf("%w: replayed or reordered frame %d (last %d)", ErrSession, seq, s.seq)
-	}
-	nonce := make([]byte, s.aead.NonceSize())
-	binary.LittleEndian.PutUint64(nonce, seq)
-	plain, err := s.aead.Open(nil, nonce, blob[8:], blob[:8])
+	plain, err := s.open(blob)
 	if err != nil {
-		return nil, fmt.Errorf("%w: authentication failed: %v", ErrSession, err)
+		return nil, err
 	}
-	s.seq = seq
 	if len(plain) < 8 {
 		return nil, fmt.Errorf("%w: truncated payload", ErrSession)
 	}
@@ -165,6 +209,41 @@ func (s *Session) OpenBatch(blob []byte) ([]dataset.Example, error) {
 			off += 8
 		}
 		out[i].Image = img
+	}
+	return out, nil
+}
+
+// SealPredictions encrypts a per-image prediction vector — the inference
+// response frame the TEE returns for a sealed request batch.
+func (s *Session) SealPredictions(preds []int) ([]byte, error) {
+	if len(preds) == 0 {
+		return nil, fmt.Errorf("%w: empty prediction vector", ErrSession)
+	}
+	plain := make([]byte, 8+4*len(preds))
+	binary.LittleEndian.PutUint64(plain, uint64(len(preds)))
+	for i, p := range preds {
+		binary.LittleEndian.PutUint32(plain[8+4*i:], uint32(int32(p)))
+	}
+	return s.seal(plain), nil
+}
+
+// OpenPredictions authenticates and decrypts a prediction vector on the
+// client side.
+func (s *Session) OpenPredictions(blob []byte) ([]int, error) {
+	plain, err := s.open(blob)
+	if err != nil {
+		return nil, err
+	}
+	if len(plain) < 8 {
+		return nil, fmt.Errorf("%w: truncated payload", ErrSession)
+	}
+	n := int(binary.LittleEndian.Uint64(plain))
+	if n <= 0 || len(plain) != 8+4*n {
+		return nil, fmt.Errorf("%w: malformed prediction payload", ErrSession)
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(int32(binary.LittleEndian.Uint32(plain[8+4*i:])))
 	}
 	return out, nil
 }

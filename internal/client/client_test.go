@@ -164,3 +164,73 @@ func TestCiphertextHidesPixels(t *testing.T) {
 		t.Fatalf("ciphertext has %d/%d zero bytes — looks structured", zeros, len(blob))
 	}
 }
+
+func TestSessionFullDuplexInterleaving(t *testing.T) {
+	// The two directions use independent counters and nonce direction
+	// bytes, so an endpoint may send several frames before opening any
+	// response — no alternation requirement, no (key, nonce) reuse.
+	cs, es := handshake(t)
+	a1, err := cs.SealBatch(sampleBatch(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := cs.SealBatch(sampleBatch(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The enclave sends before it has opened anything.
+	r1, err := es.SealPredictions([]int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := es.OpenBatch(a1); err != nil {
+		t.Fatalf("request 1 rejected: %v", err)
+	}
+	if _, err := es.OpenBatch(a2); err != nil {
+		t.Fatalf("pipelined request 2 rejected: %v", err)
+	}
+	preds, err := cs.OpenPredictions(r1)
+	if err != nil {
+		t.Fatalf("response rejected: %v", err)
+	}
+	if len(preds) != 2 || preds[0] != 1 || preds[1] != 2 {
+		t.Fatalf("preds = %v", preds)
+	}
+}
+
+func TestSessionRejectsReflectedFrame(t *testing.T) {
+	// A frame must not authenticate back to its own sender's direction:
+	// reflecting the client's sealed request to the client must fail.
+	cs, _ := handshake(t)
+	blob, err := cs.SealBatch(sampleBatch(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.OpenBatch(blob); err == nil {
+		t.Fatal("client accepted its own reflected frame")
+	}
+}
+
+func TestSessionPredictionsRoundTrip(t *testing.T) {
+	cs, es := handshake(t)
+	blob, err := es.SealPredictions([]int{3, 0, -1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cs.OpenPredictions(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 0, -1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pred %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// Tampered frame must fail authentication.
+	blob2, _ := es.SealPredictions([]int{1})
+	blob2[len(blob2)-1] ^= 1
+	if _, err := cs.OpenPredictions(blob2); err == nil {
+		t.Fatal("tampered prediction frame accepted")
+	}
+}

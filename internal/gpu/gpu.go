@@ -39,6 +39,9 @@ type Device interface {
 	// GradWeights computes the bilinear gradient equation on a previously
 	// stored coded input (by key) and the combined delta it received.
 	GradWeights(key string, kernel BilinearKernel, delta field.Vec) (field.Vec, error)
+	// Stored returns how many coded inputs the device currently holds —
+	// the §6 "Encoded Data Storage" footprint.
+	Stored() int
 	// Traffic returns the accumulated channel counters.
 	Traffic() Traffic
 }
@@ -85,6 +88,12 @@ func (d *honest) GradWeights(key string, kernel BilinearKernel, delta field.Vec)
 	d.traffic.BytesOut += int64(len(y)) * 4
 	d.mu.Unlock()
 	return y, nil
+}
+
+func (d *honest) Stored() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.store)
 }
 
 func (d *honest) Traffic() Traffic {

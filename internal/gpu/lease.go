@@ -1,0 +1,138 @@
+package gpu
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// LeaseManager arbitrates exclusive device leases over one physical
+// cluster. DarKnight's coded dispatch is a gang workload: one virtual batch
+// needs K+M+E devices *simultaneously* (each coded input goes to exactly
+// one device), so acquisition is all-or-none — a request either gets its
+// full gang atomically or waits. This is the gang-scheduling model of
+// cluster schedulers like KAI, scaled down to one process.
+//
+// Devices are handed out LIFO so a hot serving loop keeps reusing the same
+// few devices (warm stores) while the rest of the fleet stays idle for
+// other tenants.
+type LeaseManager struct {
+	cluster *Cluster
+
+	mu   sync.Mutex
+	free []int         // indices into cluster, free for leasing
+	wake chan struct{} // closed and replaced on every release
+
+	// stats
+	grants int64
+	waits  int64 // grants that had to block at least once
+}
+
+// NewLeaseManager puts every device of the cluster under lease management.
+func NewLeaseManager(c *Cluster) *LeaseManager {
+	free := make([]int, c.Size())
+	for i := range free {
+		free[i] = i
+	}
+	return &LeaseManager{cluster: c, free: free, wake: make(chan struct{})}
+}
+
+// Cluster returns the managed physical cluster.
+func (lm *LeaseManager) Cluster() *Cluster { return lm.cluster }
+
+// Free returns how many devices are currently leasable.
+func (lm *LeaseManager) Free() int {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	return len(lm.free)
+}
+
+// InUse returns how many devices are currently leased out.
+func (lm *LeaseManager) InUse() int { return lm.cluster.Size() - lm.Free() }
+
+// Stats reports (grants, grants-that-blocked).
+func (lm *LeaseManager) Stats() (grants, waited int64) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	return lm.grants, lm.waits
+}
+
+// Acquire blocks until n devices are simultaneously free, then leases all
+// of them atomically. It never hands out a partial gang. Cancellation of
+// ctx aborts the wait with ctx.Err().
+func (lm *LeaseManager) Acquire(ctx context.Context, n int) (*Lease, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gpu: lease size %d must be positive", n)
+	}
+	if n > lm.cluster.Size() {
+		return nil, fmt.Errorf("gpu: gang of %d devices can never fit cluster of %d", n, lm.cluster.Size())
+	}
+	blocked := false
+	for {
+		lm.mu.Lock()
+		if len(lm.free) >= n {
+			ids := make([]int, n)
+			copy(ids, lm.free[len(lm.free)-n:])
+			lm.free = lm.free[:len(lm.free)-n]
+			lm.grants++
+			if blocked {
+				lm.waits++
+			}
+			lm.mu.Unlock()
+			devs := make([]Device, n)
+			for i, id := range ids {
+				devs[i] = lm.cluster.Device(id)
+			}
+			return &Lease{lm: lm, ids: ids, gang: NewCluster(devs...)}, nil
+		}
+		wake := lm.wake
+		lm.mu.Unlock()
+		blocked = true
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// release returns device indices to the pool and wakes all waiters (each
+// re-checks whether its full gang now fits).
+func (lm *LeaseManager) release(ids []int) {
+	lm.mu.Lock()
+	lm.free = append(lm.free, ids...)
+	close(lm.wake)
+	lm.wake = make(chan struct{})
+	lm.mu.Unlock()
+}
+
+// Lease is temporary exclusive ownership of a device gang.
+type Lease struct {
+	lm   *LeaseManager
+	ids  []int
+	gang *Cluster
+
+	once sync.Once
+}
+
+// Cluster returns the leased gang as a dispatchable cluster view. Coded
+// input i goes to the i-th leased device; the view is only valid until
+// Release.
+func (l *Lease) Cluster() *Cluster { return l.gang }
+
+// Size returns the gang size.
+func (l *Lease) Size() int { return len(l.ids) }
+
+// DeviceIDs returns the physical device IDs backing the gang.
+func (l *Lease) DeviceIDs() []int {
+	out := make([]int, len(l.ids))
+	for i, id := range l.ids {
+		out[i] = l.lm.cluster.Device(id).ID()
+	}
+	return out
+}
+
+// Release returns the gang to the pool. Safe to call more than once.
+func (l *Lease) Release() {
+	l.once.Do(func() { l.lm.release(l.ids) })
+}

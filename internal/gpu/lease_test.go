@@ -1,0 +1,116 @@
+package gpu
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLeaseAllOrNone(t *testing.T) {
+	lm := NewLeaseManager(NewHonestCluster(5))
+	ctx := context.Background()
+
+	a, err := lm.Acquire(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Size() != 3 || lm.Free() != 2 {
+		t.Fatalf("gang size %d, free %d", a.Size(), lm.Free())
+	}
+
+	// A second gang of 3 cannot be satisfied from the 2 remaining devices:
+	// Acquire must hold out for the full gang, not hand over a partial one.
+	ctx2, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	if _, err := lm.Acquire(ctx2, 3); err == nil {
+		t.Fatal("partial gang handed out")
+	}
+	if lm.Free() != 2 {
+		t.Fatalf("failed acquire leaked devices: free %d", lm.Free())
+	}
+
+	a.Release()
+	a.Release() // idempotent
+	if lm.Free() != 5 {
+		t.Fatalf("release returned %d devices, want 5", lm.Free())
+	}
+}
+
+func TestLeaseOversizedGang(t *testing.T) {
+	lm := NewLeaseManager(NewHonestCluster(2))
+	if _, err := lm.Acquire(context.Background(), 3); err == nil {
+		t.Fatal("impossible gang accepted")
+	}
+}
+
+func TestLeaseContention(t *testing.T) {
+	const (
+		devices = 6
+		gang    = 3
+		workers = 8
+		rounds  = 25
+	)
+	lm := NewLeaseManager(NewHonestCluster(devices))
+
+	var mu sync.Mutex
+	held := map[int]int{} // physical device ID -> holder
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				l, err := lm.Acquire(context.Background(), gang)
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				mu.Lock()
+				for _, id := range l.DeviceIDs() {
+					if other, busy := held[id]; busy {
+						t.Errorf("device %d leased to workers %d and %d at once", id, other, w)
+					}
+					held[id] = w
+				}
+				mu.Unlock()
+				mu.Lock()
+				for _, id := range l.DeviceIDs() {
+					delete(held, id)
+				}
+				mu.Unlock()
+				l.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if lm.Free() != devices {
+		t.Fatalf("devices leaked: free %d, want %d", lm.Free(), devices)
+	}
+	grants, waited := lm.Stats()
+	if grants != workers*rounds {
+		t.Fatalf("grants = %d, want %d", grants, workers*rounds)
+	}
+	if waited == 0 {
+		t.Log("no acquisition ever blocked (scheduling luck); contention untested this run")
+	}
+}
+
+func TestLeaseAcquireCancel(t *testing.T) {
+	lm := NewLeaseManager(NewHonestCluster(2))
+	l, err := lm.Acquire(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := lm.Acquire(ctx, 1)
+		done <- err
+	}()
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	l.Release()
+}

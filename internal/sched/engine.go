@@ -1,0 +1,245 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+
+	"darknight/internal/enclave"
+	"darknight/internal/field"
+	"darknight/internal/gpu"
+	"darknight/internal/masking"
+	"darknight/internal/nn"
+	"darknight/internal/quant"
+	"darknight/internal/tensor"
+)
+
+// Fleet is the accelerator surface the runtime dispatches coded jobs to.
+// *gpu.Cluster is the canonical implementation; serving workers substitute
+// a gang-leased subset view so one physical fleet can back many concurrent
+// pipelines.
+type Fleet interface {
+	// Size returns the number of devices available for fan-out.
+	Size() int
+	// ForwardAll dispatches coded inputs one-per-device and gathers results
+	// in device order.
+	ForwardAll(key string, kernel gpu.LinearKernel, coded []field.Vec) ([]field.Vec, error)
+	// BackwardAll dispatches combined deltas against the coded inputs the
+	// devices stored during forward.
+	BackwardAll(key string, kernel gpu.BilinearKernel, deltas []field.Vec) ([]field.Vec, error)
+}
+
+// engine is the TEE-side forward core shared by Trainer and Inferencer: it
+// walks the model, keeps non-linear layers enclave-resident, and runs the
+// quantize → encode → fan-out → verify → decode → restore flow for every
+// bilinear layer. It owns no optimizer state; training-only logic lives on
+// Trainer.
+//
+// An engine is single-threaded by design — it mirrors one TEE execution
+// context. Concurrency is achieved by running one engine per worker, each
+// against its own model replica (nn layers cache forward state and are not
+// safe for sharing across goroutines).
+type engine struct {
+	cfg   Config
+	model *nn.Model
+	fleet Fleet
+	encl  *enclave.Enclave
+	q     *quant.Quantizer
+	rng   *rand.Rand
+
+	// keyspace prefixes GPU-side storage keys so coded tensors from
+	// different pipelines sharing one physical fleet cannot alias.
+	keyspace string
+	// reuseKeys drops the step counter from storage keys. Training needs
+	// per-step keys (backward reads the stored coded inputs), but a
+	// forward-only pipeline never reads them back — reusing keys lets each
+	// dispatch overwrite the last one so long-running serving does not
+	// grow device storage without bound.
+	reuseKeys bool
+	// stepSeq names coded tensors uniquely across steps so GPU-side
+	// storage from different steps cannot alias.
+	stepSeq int
+	// linSeq numbers linear layers within a step.
+	linSeq int
+
+	// recover enables audit-and-recover on integrity violations
+	// (EnableRecovery; needs Redundancy >= 2).
+	recover  bool
+	recovery RecoveryStats
+}
+
+func newEngine(cfg Config, model *nn.Model, fleet Fleet, encl *enclave.Enclave, keyspace string) engine {
+	return engine{
+		cfg:      cfg,
+		model:    model,
+		fleet:    fleet,
+		encl:     encl,
+		q:        quant.New(cfg.FracBits),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		keyspace: keyspace,
+	}
+}
+
+// beginStep opens a fresh key namespace for one virtual batch.
+func (e *engine) beginStep() {
+	e.stepSeq++
+	e.linSeq = 0
+}
+
+// forwardLayer recursively runs one layer for all K examples.
+func (e *engine) forwardLayer(code *masking.Code, layer nn.Layer, xs []*tensor.Tensor, train bool) ([]*tensor.Tensor, *trace, error) {
+	tr := &trace{layer: layer, inputs: append([]*tensor.Tensor(nil), xs...)}
+	switch v := layer.(type) {
+	case *nn.Sequential:
+		cur := xs
+		for _, child := range v.Layers() {
+			out, childTr, err := e.forwardLayer(code, child, cur, train)
+			if err != nil {
+				return nil, nil, err
+			}
+			tr.children = append(tr.children, childTr)
+			cur = out
+		}
+		return cur, tr, nil
+	case *nn.Residual:
+		body, bodyTr, err := e.forwardLayer(code, v.Body(), xs, train)
+		if err != nil {
+			return nil, nil, err
+		}
+		tr.children = append(tr.children, bodyTr)
+		skip := xs
+		if v.Skip() != nil {
+			var skipTr *trace
+			skip, skipTr, err = e.forwardLayer(code, v.Skip(), xs, train)
+			if err != nil {
+				return nil, nil, err
+			}
+			tr.children = append(tr.children, skipTr)
+		}
+		outs := make([]*tensor.Tensor, len(xs))
+		for i := range outs {
+			o := body[i].Clone()
+			o.Add(skip[i])
+			outs[i] = o
+		}
+		return outs, tr, nil
+	default:
+		if lin, ok := layer.(nn.Linear); ok {
+			e.linSeq++
+			if e.reuseKeys {
+				tr.key = fmt.Sprintf("%slin%d", e.keyspace, e.linSeq)
+			} else {
+				tr.key = fmt.Sprintf("%sstep%d/lin%d", e.keyspace, e.stepSeq, e.linSeq)
+			}
+			outs, err := e.offloadForward(code, tr.key, lin, xs)
+			return outs, tr, err
+		}
+		// TEE-resident non-linear layer: per-example forward.
+		outs := make([]*tensor.Tensor, len(xs))
+		for i := range xs {
+			outs[i] = layer.Forward(xs[i], train)
+		}
+		return outs, tr, nil
+	}
+}
+
+// offloadForward quantizes, encodes, fans out, verifies, decodes and
+// restores one bilinear layer's outputs for the K current activations.
+func (e *engine) offloadForward(code *masking.Code, key string, lin nn.Linear, xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	k := e.cfg.VirtualBatch
+	// Shared dynamic normalization factor across the virtual batch so the
+	// backward decode (a sum across inputs) can be unscaled exactly.
+	fx := sharedNormFactor(xs, e.cfg.NormLimit)
+	fw := 1.0
+	if m := maxAbs(lin.WeightData()); m > e.cfg.NormLimit {
+		fw = m / e.cfg.NormLimit
+	}
+
+	// TEE: quantize into the field.
+	quantIn := make([]field.Vec, k)
+	scratch := make([]float64, lin.InLen())
+	for i := 0; i < k; i++ {
+		for j, v := range xs[i].Data {
+			scratch[j] = v / fx
+		}
+		quantIn[i] = e.q.Quantize(scratch)
+	}
+	wq := e.quantizeWeights(lin.WeightData(), fw)
+
+	// Enclave working set: K inputs + S+E coded vectors of InLen u32.
+	workset := int64(lin.InLen()) * int64(k+code.NumCoded()) * 4
+	if err := e.allocEnclave(workset); err != nil {
+		return nil, err
+	}
+	defer e.freeEnclave(workset)
+
+	coded, err := code.Encode(quantIn, e.rng)
+	if err != nil {
+		return nil, err
+	}
+	kernel := func(x field.Vec) field.Vec { return lin.LinearForwardField(wq, x) }
+	results, err := e.fleet.ForwardAll(key, kernel, coded)
+	if err != nil {
+		return nil, err
+	}
+	var decoded []field.Vec
+	if e.cfg.Redundancy > 0 {
+		if verr := code.VerifyForward(results); verr != nil {
+			if !e.recover {
+				return nil, verr
+			}
+			decoded, err = e.recoverForward(code, results)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if decoded == nil {
+		decoded, err = code.DecodeForward(results)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// TEE: restore floats, undo normalization, add bias.
+	outs := make([]*tensor.Tensor, k)
+	rescale := fx * fw
+	bias := lin.BiasData()
+	outShape := lin.OutShape()
+	for i := 0; i < k; i++ {
+		y := e.q.UnquantizeProduct(decoded[i])
+		for j := range y {
+			y[j] *= rescale
+		}
+		addBias(y, bias, outShape)
+		outs[i] = tensor.FromSlice(y, outShape...)
+	}
+	return outs, nil
+}
+
+func (e *engine) quantizeWeights(w []float64, fw float64) field.Vec {
+	if fw == 1 {
+		return e.q.Quantize(w)
+	}
+	scaled := make([]float64, len(w))
+	for i, v := range w {
+		scaled[i] = v / fw
+	}
+	return e.q.Quantize(scaled)
+}
+
+func (e *engine) allocEnclave(n int64) error {
+	if e.encl == nil {
+		return nil
+	}
+	if err := e.encl.Alloc(n); err != nil {
+		return fmt.Errorf("sched: virtual batch K=%d does not fit in enclave: %w",
+			e.cfg.VirtualBatch, err)
+	}
+	return nil
+}
+
+func (e *engine) freeEnclave(n int64) {
+	if e.encl != nil {
+		e.encl.Free(n)
+	}
+}

@@ -1,0 +1,87 @@
+package sched
+
+import (
+	"fmt"
+
+	"darknight/internal/enclave"
+	"darknight/internal/masking"
+	"darknight/internal/nn"
+	"darknight/internal/tensor"
+)
+
+// Inferencer is the forward-only half of the runtime: one masked inference
+// pipeline carrying no optimizer state and no backward machinery. It exists
+// so serving workers can each own a pipeline (with a private model replica)
+// and dispatch onto whatever device gang they currently hold — the fleet is
+// a per-call argument rather than a construction-time binding.
+//
+// An Inferencer is NOT safe for concurrent use: like the TEE execution
+// context it models, it runs one virtual batch at a time. Run one
+// Inferencer per worker goroutine, each with its own model replica (nn
+// layers cache forward state; see package nn).
+type Inferencer struct {
+	eng engine
+}
+
+// NewInferencer wires a forward-only pipeline around a model replica. The
+// enclave may be nil (memory accounting skipped) or shared across workers —
+// enclave accounting is thread-safe, modelling one EPC budget serving many
+// TEE threads. keyspace must be unique among pipelines sharing physical
+// devices so their GPU-side coded-tensor storage cannot alias.
+func NewInferencer(cfg Config, model *nn.Model, encl *enclave.Enclave, keyspace string) (*Inferencer, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.maskParams().Validate(); err != nil {
+		return nil, err
+	}
+	eng := newEngine(cfg, model, nil, encl, keyspace)
+	// Forward-only: nothing reads the device-side coded-input cache back,
+	// so successive dispatches reuse keys (bounded device storage).
+	eng.reuseKeys = true
+	return &Inferencer{eng: eng}, nil
+}
+
+// Config returns the effective configuration.
+func (inf *Inferencer) Config() Config { return inf.eng.cfg }
+
+// Gang returns the number of devices one dispatch occupies: K+M+E.
+func (inf *Inferencer) Gang() int { return inf.eng.cfg.maskParams().GPUs() }
+
+// Forward runs the masked forward pass for exactly K images on the given
+// fleet and returns the per-image logits. The fleet must offer at least
+// K+M+E devices (a gang lease view or a whole cluster).
+func (inf *Inferencer) Forward(fleet Fleet, images [][]float64) ([]*tensor.Tensor, error) {
+	e := &inf.eng
+	k := e.cfg.VirtualBatch
+	if len(images) != k {
+		return nil, fmt.Errorf("sched: inference needs exactly %d images, got %d", k, len(images))
+	}
+	if need := inf.Gang(); fleet.Size() < need {
+		return nil, fmt.Errorf("sched: gang of %d devices required, fleet has %d", need, fleet.Size())
+	}
+	e.fleet = fleet
+	defer func() { e.fleet = nil }()
+	e.beginStep()
+	code, err := masking.New(e.cfg.maskParams(), e.rng)
+	if err != nil {
+		return nil, err
+	}
+	xs := make([]*tensor.Tensor, k)
+	for i := range images {
+		xs[i] = tensor.FromSlice(images[i], e.model.InShape...)
+	}
+	logits, _, err := e.forwardLayer(code, e.model.Stack, xs, false)
+	return logits, err
+}
+
+// Predict classifies exactly K images on the given fleet.
+func (inf *Inferencer) Predict(fleet Fleet, images [][]float64) ([]int, error) {
+	logits, err := inf.Forward(fleet, images)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(logits))
+	for i := range logits {
+		out[i] = nn.Argmax(logits[i])
+	}
+	return out, nil
+}

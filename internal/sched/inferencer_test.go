@@ -1,0 +1,120 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"darknight/internal/dataset"
+	"darknight/internal/gpu"
+	"darknight/internal/nn"
+)
+
+func TestInferencerMatchesTrainerPredict(t *testing.T) {
+	cfg := Config{VirtualBatch: 2, Seed: 5}
+	tr, model, data := tinySetup(t, cfg, 3, nil)
+	images := [][]float64{data.Items[0].Image, data.Items[1].Image}
+
+	want, err := tr.Predict(images)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inf, err := NewInferencer(cfg, model, nil, "inf/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := inf.Predict(gpu.NewHonestCluster(3), images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("image %d: inferencer %d, trainer %d", i, got[i], want[i])
+		}
+	}
+}
+
+// The fleet is a per-call binding: the same Inferencer must serve
+// correctly across disjoint device gangs, as a serving worker does across
+// successive leases.
+func TestInferencerAcrossFleets(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	model := nn.TinyCNN(1, 8, 8, 4, rng)
+	data := dataset.SyntheticCIFAR(rand.New(rand.NewSource(7)), 4, 4, 1, 8, 8, 0.05)
+	images := [][]float64{data.Items[0].Image, data.Items[1].Image}
+
+	inf, err := NewInferencer(Config{VirtualBatch: 2, Seed: 5}, model, nil, "inf/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := inf.Predict(gpu.NewHonestCluster(3), images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := inf.Predict(gpu.NewHonestCluster(3), images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("image %d: %d on fleet A, %d on fleet B", i, a[i], b[i])
+		}
+	}
+}
+
+// Inference never reads the device-side coded-input cache back, so
+// successive dispatches must reuse storage keys — a serving loop may run
+// indefinitely and device memory has to stay bounded.
+func TestInferencerDeviceStorageBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	model := nn.TinyCNN(1, 8, 8, 4, rng)
+	data := dataset.SyntheticCIFAR(rand.New(rand.NewSource(7)), 4, 4, 1, 8, 8, 0.05)
+	images := [][]float64{data.Items[0].Image, data.Items[1].Image}
+
+	inf, err := NewInferencer(Config{VirtualBatch: 2, Seed: 5}, model, nil, "w0/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := gpu.NewHonestCluster(3)
+	if _, err := inf.Predict(cluster, images); err != nil {
+		t.Fatal(err)
+	}
+	after1 := cluster.Device(0).Stored()
+	if after1 == 0 {
+		t.Fatal("no coded inputs stored after a dispatch")
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := inf.Predict(cluster, images); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after6 := cluster.Device(0).Stored(); after6 != after1 {
+		t.Fatalf("device storage grew from %d to %d entries across inference steps", after1, after6)
+	}
+}
+
+func TestInferencerValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	model := nn.TinyCNN(1, 8, 8, 4, rng)
+	data := dataset.SyntheticCIFAR(rand.New(rand.NewSource(7)), 4, 4, 1, 8, 8, 0.05)
+
+	if _, err := NewInferencer(Config{VirtualBatch: 0}, model, nil, ""); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+
+	inf, err := NewInferencer(Config{VirtualBatch: 2, Seed: 5}, model, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inf.Gang(); got != 3 {
+		t.Fatalf("gang = %d, want 3 (K=2, M=1, E=0)", got)
+	}
+	// Wrong image count.
+	if _, err := inf.Predict(gpu.NewHonestCluster(3), [][]float64{data.Items[0].Image}); err == nil {
+		t.Fatal("wrong image count accepted")
+	}
+	// Undersized fleet: the gang cannot fit.
+	if _, err := inf.Predict(gpu.NewHonestCluster(2), [][]float64{data.Items[0].Image, data.Items[1].Image}); err == nil {
+		t.Fatal("undersized fleet accepted")
+	}
+}

@@ -39,7 +39,7 @@ func (t *Trainer) Recovery() RecoveryStats { return t.recovery }
 // recoverForward audits tampered results, identifies culprits and decodes
 // the K true outputs from a clean column subset. It returns the decoded
 // outputs or an error if attribution/recovery is impossible.
-func (t *Trainer) recoverForward(code *masking.Code, results []field.Vec) ([]field.Vec, error) {
+func (t *engine) recoverForward(code *masking.Code, results []field.Vec) ([]field.Vec, error) {
 	culprits, err := code.AuditForward(results)
 	if err != nil {
 		return nil, fmt.Errorf("sched: integrity violation not recoverable: %w", err)

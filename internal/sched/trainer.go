@@ -21,7 +21,6 @@ package sched
 
 import (
 	"fmt"
-	"math/rand"
 
 	"darknight/internal/dataset"
 	"darknight/internal/enclave"
@@ -87,26 +86,13 @@ func (c Config) maskParams() masking.Params {
 // ErrIntegrity is returned (wrapped) when GPU results fail verification.
 var ErrIntegrity = masking.ErrIntegrity
 
-// Trainer drives private training of one model on one cluster.
+// Trainer drives private training of one model on one cluster. It is the
+// forward engine plus everything training adds on top: the backward walk,
+// gradient offload and Algorithm 2 aggregation.
 type Trainer struct {
-	cfg     Config
-	model   *nn.Model
-	cluster *gpu.Cluster
-	encl    *enclave.Enclave
-	q       *quant.Quantizer
-	rng     *rand.Rand
-
-	// stepSeq names coded tensors uniquely across steps so GPU-side
-	// storage from different steps cannot alias.
-	stepSeq int
-	// linSeq numbers linear layers within a step.
-	linSeq int
+	engine
 	// plainStore backs sealShard when no enclave is attached (tests).
 	plainStore [][]float64
-	// recover enables audit-and-recover on integrity violations
-	// (EnableRecovery; needs Redundancy >= 2).
-	recover  bool
-	recovery RecoveryStats
 }
 
 // NewTrainer wires a trainer. The enclave may be nil, in which case memory
@@ -116,14 +102,7 @@ func NewTrainer(cfg Config, model *nn.Model, cluster *gpu.Cluster, encl *enclave
 	if err := cfg.Validate(cluster.Size()); err != nil {
 		return nil, err
 	}
-	return &Trainer{
-		cfg:     cfg,
-		model:   model,
-		cluster: cluster,
-		encl:    encl,
-		q:       quant.New(cfg.FracBits),
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-	}, nil
+	return &Trainer{engine: newEngine(cfg, model, cluster, encl, "")}, nil
 }
 
 // Config returns the effective configuration.
@@ -138,59 +117,6 @@ type trace struct {
 	inputs   []*tensor.Tensor // per-example inputs to this layer
 	children []*trace         // Sequential children, or Residual {body, skip}
 	key      string           // GPU storage key (linear layers only)
-}
-
-// forwardLayer recursively runs one layer for all K examples.
-func (t *Trainer) forwardLayer(code *masking.Code, layer nn.Layer, xs []*tensor.Tensor, train bool) ([]*tensor.Tensor, *trace, error) {
-	tr := &trace{layer: layer, inputs: append([]*tensor.Tensor(nil), xs...)}
-	switch v := layer.(type) {
-	case *nn.Sequential:
-		cur := xs
-		for _, child := range v.Layers() {
-			out, childTr, err := t.forwardLayer(code, child, cur, train)
-			if err != nil {
-				return nil, nil, err
-			}
-			tr.children = append(tr.children, childTr)
-			cur = out
-		}
-		return cur, tr, nil
-	case *nn.Residual:
-		body, bodyTr, err := t.forwardLayer(code, v.Body(), xs, train)
-		if err != nil {
-			return nil, nil, err
-		}
-		tr.children = append(tr.children, bodyTr)
-		skip := xs
-		if v.Skip() != nil {
-			var skipTr *trace
-			skip, skipTr, err = t.forwardLayer(code, v.Skip(), xs, train)
-			if err != nil {
-				return nil, nil, err
-			}
-			tr.children = append(tr.children, skipTr)
-		}
-		outs := make([]*tensor.Tensor, len(xs))
-		for i := range outs {
-			o := body[i].Clone()
-			o.Add(skip[i])
-			outs[i] = o
-		}
-		return outs, tr, nil
-	default:
-		if lin, ok := layer.(nn.Linear); ok {
-			t.linSeq++
-			tr.key = fmt.Sprintf("step%d/lin%d", t.stepSeq, t.linSeq)
-			outs, err := t.offloadForward(code, tr.key, lin, xs)
-			return outs, tr, err
-		}
-		// TEE-resident non-linear layer: per-example forward.
-		outs := make([]*tensor.Tensor, len(xs))
-		for i := range xs {
-			outs[i] = layer.Forward(xs[i], train)
-		}
-		return outs, tr, nil
-	}
 }
 
 // backwardLayer reverses forwardLayer, returning per-example input grads.
@@ -240,80 +166,6 @@ func (t *Trainer) backwardLayer(code *masking.Code, tr *trace, grads []*tensor.T
 	}
 }
 
-// offloadForward quantizes, encodes, fans out, verifies, decodes and
-// restores one bilinear layer's outputs for the K current activations.
-func (t *Trainer) offloadForward(code *masking.Code, key string, lin nn.Linear, xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
-	k := t.cfg.VirtualBatch
-	// Shared dynamic normalization factor across the virtual batch so the
-	// backward decode (a sum across inputs) can be unscaled exactly.
-	fx := sharedNormFactor(xs, t.cfg.NormLimit)
-	fw := 1.0
-	if m := maxAbs(lin.WeightData()); m > t.cfg.NormLimit {
-		fw = m / t.cfg.NormLimit
-	}
-
-	// TEE: quantize into the field.
-	quantIn := make([]field.Vec, k)
-	scratch := make([]float64, lin.InLen())
-	for i := 0; i < k; i++ {
-		for j, v := range xs[i].Data {
-			scratch[j] = v / fx
-		}
-		quantIn[i] = t.q.Quantize(scratch)
-	}
-	wq := t.quantizeWeights(lin.WeightData(), fw)
-
-	// Enclave working set: K inputs + S+E coded vectors of InLen u32.
-	workset := int64(lin.InLen()) * int64(k+code.NumCoded()) * 4
-	if err := t.allocEnclave(workset); err != nil {
-		return nil, err
-	}
-	defer t.freeEnclave(workset)
-
-	coded, err := code.Encode(quantIn, t.rng)
-	if err != nil {
-		return nil, err
-	}
-	kernel := func(x field.Vec) field.Vec { return lin.LinearForwardField(wq, x) }
-	results, err := t.cluster.ForwardAll(key, kernel, coded)
-	if err != nil {
-		return nil, err
-	}
-	var decoded []field.Vec
-	if t.cfg.Redundancy > 0 {
-		if verr := code.VerifyForward(results); verr != nil {
-			if !t.recover {
-				return nil, verr
-			}
-			decoded, err = t.recoverForward(code, results)
-			if err != nil {
-				return nil, err
-			}
-		}
-	}
-	if decoded == nil {
-		decoded, err = code.DecodeForward(results)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	// TEE: restore floats, undo normalization, add bias.
-	outs := make([]*tensor.Tensor, k)
-	rescale := fx * fw
-	bias := lin.BiasData()
-	outShape := lin.OutShape()
-	for i := 0; i < k; i++ {
-		y := t.q.UnquantizeProduct(decoded[i])
-		for j := range y {
-			y[j] *= rescale
-		}
-		addBias(y, bias, outShape)
-		outs[i] = tensor.FromSlice(y, outShape...)
-	}
-	return outs, nil
-}
-
 // offloadBackward recovers the summed weight gradient of one bilinear
 // layer from the coded equations (Eq 4–6) and propagates input gradients.
 func (t *Trainer) offloadBackward(code *masking.Code, tr *trace, lin nn.Linear, grads []*tensor.Tensor) ([]*tensor.Tensor, error) {
@@ -348,7 +200,7 @@ func (t *Trainer) offloadBackward(code *masking.Code, tr *trace, lin nn.Linear, 
 		deltaBars[j] = bar
 	}
 	kernel := func(delta, x field.Vec) field.Vec { return lin.GradWeightsField(delta, x) }
-	eqs, err := t.cluster.BackwardAll(tr.key, kernel, deltaBars)
+	eqs, err := t.fleet.BackwardAll(tr.key, kernel, deltaBars)
 	if err != nil {
 		return nil, err
 	}
@@ -383,8 +235,7 @@ func (t *Trainer) TrainVirtualBatch(examples []dataset.Example) (float64, error)
 	if len(examples) != k {
 		return 0, fmt.Errorf("sched: virtual batch needs exactly %d examples, got %d", k, len(examples))
 	}
-	t.stepSeq++
-	t.linSeq = 0
+	t.beginStep()
 	code, err := masking.New(t.cfg.maskParams(), t.rng)
 	if err != nil {
 		return 0, err
@@ -418,8 +269,7 @@ func (t *Trainer) Predict(images [][]float64) ([]int, error) {
 	if len(images) != k {
 		return nil, fmt.Errorf("sched: predict needs exactly %d images, got %d", k, len(images))
 	}
-	t.stepSeq++
-	t.linSeq = 0
+	t.beginStep()
 	code, err := masking.New(t.cfg.maskParams(), t.rng)
 	if err != nil {
 		return nil, err
@@ -437,34 +287,6 @@ func (t *Trainer) Predict(images [][]float64) ([]int, error) {
 		out[i] = nn.Argmax(logits[i])
 	}
 	return out, nil
-}
-
-func (t *Trainer) quantizeWeights(w []float64, fw float64) field.Vec {
-	if fw == 1 {
-		return t.q.Quantize(w)
-	}
-	scaled := make([]float64, len(w))
-	for i, v := range w {
-		scaled[i] = v / fw
-	}
-	return t.q.Quantize(scaled)
-}
-
-func (t *Trainer) allocEnclave(n int64) error {
-	if t.encl == nil {
-		return nil
-	}
-	if err := t.encl.Alloc(n); err != nil {
-		return fmt.Errorf("sched: virtual batch K=%d does not fit in enclave: %w",
-			t.cfg.VirtualBatch, err)
-	}
-	return nil
-}
-
-func (t *Trainer) freeEnclave(n int64) {
-	if t.encl != nil {
-		t.encl.Free(n)
-	}
 }
 
 // sharedNormFactor returns the common dynamic-normalization divisor for a

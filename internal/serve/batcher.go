@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"math/rand"
+	"time"
+)
+
+// vbatch is one virtual batch headed for a worker: exactly K images, the
+// first len(reqs) of which are real client rows and the rest uniform-noise
+// padding.
+type vbatch struct {
+	reqs   []*request
+	images [][]float64
+}
+
+func (b *vbatch) fail(err error) {
+	for _, r := range b.reqs {
+		r.done <- result{err: err}
+	}
+}
+
+// batchLoop is the dynamic batcher: it coalesces admitted requests into
+// virtual batches of exactly K, flushing early — padded with dummy rows —
+// when the earliest batching deadline among the pending requests expires.
+// It owns all batching state; no locks needed.
+func (s *Server) batchLoop() {
+	defer s.wg.Done()
+	defer close(s.batches)
+
+	// Dummy rows are drawn fresh per flush: uniform noise, exactly like the
+	// M noise rows the masking code mixes in, so a padded batch is
+	// indistinguishable from a full one at the GPUs.
+	rng := rand.New(rand.NewSource(s.cfg.Sched.Seed + 0x5eed))
+
+	var pending []*request
+	timer := time.NewTimer(time.Hour)
+	timer.Stop()
+	timerSet := false
+
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		if timerSet && !timer.Stop() {
+			select { // drain a fire that raced the flush
+			case <-timer.C:
+			default:
+			}
+		}
+		timerSet = false
+		b := &vbatch{reqs: pending, images: make([][]float64, s.k)}
+		for i, r := range pending {
+			b.images[i] = r.image
+		}
+		for i := len(pending); i < s.k; i++ {
+			dummy := make([]float64, s.imgLen)
+			for j := range dummy {
+				dummy[j] = rng.Float64()
+			}
+			b.images[i] = dummy
+		}
+		s.metrics.queued(-len(pending))
+		pending = nil
+		s.batches <- b
+	}
+
+	rearm := func() {
+		if len(pending) == 0 {
+			return
+		}
+		earliest := pending[0].flushBy
+		for _, r := range pending[1:] {
+			if r.flushBy.Before(earliest) {
+				earliest = r.flushBy
+			}
+		}
+		if timerSet && !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(time.Until(earliest))
+		timerSet = true
+	}
+
+	for {
+		select {
+		case r, ok := <-s.admit:
+			if !ok {
+				flush() // final partial batch drains on Close
+				return
+			}
+			pending = append(pending, r)
+			if len(pending) == s.k {
+				flush()
+			} else {
+				rearm()
+			}
+		case <-timer.C:
+			timerSet = false
+			flush()
+		}
+	}
+}

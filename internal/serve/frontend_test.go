@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"darknight/internal/client"
+	"darknight/internal/dataset"
+	"darknight/internal/enclave"
+	"darknight/internal/gpu"
+	"darknight/internal/nn"
+	"darknight/internal/sched"
+)
+
+func frontendFixture(t *testing.T) (*Server, *Frontend) {
+	t.Helper()
+	const k = 2
+	lm := gpu.NewLeaseManager(gpu.NewHonestCluster(2 * (k + 1)))
+	srv, err := New(Config{
+		Sched:   sched.Config{VirtualBatch: k, Seed: 61},
+		MaxWait: 2 * time.Millisecond,
+	}, replicas(2, 61), lm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := NewFrontend(srv, []byte("darknight serving enclave v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, fe
+}
+
+// dial runs the full client handshake against the frontend.
+func dial(t *testing.T, fe *Frontend) (clientSess *client.Session, conn *Conn) {
+	t.Helper()
+	cs, clientPub, err := client.Establish(fe.Platform(), fe.Measurement(), fe.PublicKey(), fe.Quote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err = fe.Accept(clientPub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cs, conn
+}
+
+func TestFrontendEncryptedRoundTrip(t *testing.T) {
+	srv, fe := frontendFixture(t)
+	defer srv.Close()
+
+	ref := nn.TinyCNN(1, 8, 8, 4, rand.New(rand.NewSource(61)))
+	d := dataset.SyntheticCIFAR(rand.New(rand.NewSource(62)), 6, 4, 1, 8, 8, 0.05)
+
+	// Two independent attested clients submit sealed batches concurrently;
+	// predictions are checked after the join (the reference model is a
+	// single-threaded nn stack).
+	got := make([][]int, 2)
+	var wg sync.WaitGroup
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cs, conn := dial(t, fe)
+			batch := d.Items[c*3 : c*3+3]
+			req := make([]dataset.Example, len(batch))
+			for i, ex := range batch {
+				req[i] = dataset.Example{Image: ex.Image, Label: -1}
+			}
+			blob, err := cs.SealBatch(req)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp, err := conn.HandleSealed(context.Background(), blob)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			preds, err := cs.OpenPredictions(resp)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[c] = preds
+		}(c)
+	}
+	wg.Wait()
+	for c := 0; c < 2; c++ {
+		if got[c] == nil {
+			continue // reported above
+		}
+		for i, ex := range d.Items[c*3 : c*3+3] {
+			if want := nn.Argmax(ref.Forward(ex.Image, false)); got[c][i] != want {
+				t.Errorf("client %d row %d: pred %d, float %d", c, i, got[c][i], want)
+			}
+		}
+	}
+}
+
+func TestFrontendRejectsReplay(t *testing.T) {
+	srv, fe := frontendFixture(t)
+	defer srv.Close()
+
+	cs, conn := dial(t, fe)
+	d := dataset.SyntheticCIFAR(rand.New(rand.NewSource(63)), 1, 4, 1, 8, 8, 0.05)
+	blob, err := cs.SealBatch([]dataset.Example{{Image: d.Items[0].Image, Label: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.HandleSealed(context.Background(), blob); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.HandleSealed(context.Background(), blob); err == nil {
+		t.Fatal("replayed frame accepted")
+	}
+}
+
+func TestFrontendRejectsWrongMeasurement(t *testing.T) {
+	srv, fe := frontendFixture(t)
+	defer srv.Close()
+
+	// A client expecting a different enclave identity must fail attestation
+	// before any image leaves its hands.
+	evil := enclave.Measure([]byte("evil serving enclave"))
+	_, _, err := client.Establish(fe.Platform(), evil, fe.PublicKey(), fe.Quote)
+	if err == nil {
+		t.Fatal("attestation against wrong measurement succeeded")
+	}
+}

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latWindow bounds the latency sample reservoir: quantiles are computed
+// over the most recent latWindow completed requests.
+const latWindow = 4096
+
+// Metrics accumulates serving counters. All methods are safe for
+// concurrent use.
+type Metrics struct {
+	mu    sync.Mutex
+	k     int
+	start time.Time
+
+	completed int64
+	failed    int64
+	integrity int64
+	batches   int64
+	realRows  int64
+	padRows   int64
+	depth     int
+
+	lat    []time.Duration // ring buffer of recent request latencies
+	latIdx int
+}
+
+func newMetrics(k int) *Metrics {
+	return &Metrics{k: k, start: time.Now()}
+}
+
+// queued adjusts the queue-depth gauge (admitted but not yet dispatched).
+func (m *Metrics) queued(delta int) {
+	m.mu.Lock()
+	m.depth += delta
+	m.mu.Unlock()
+}
+
+// finished records one dispatched batch outcome at time now.
+func (m *Metrics) finished(b *vbatch, now time.Time, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.batches++
+	m.realRows += int64(len(b.reqs))
+	m.padRows += int64(m.k - len(b.reqs))
+	if err != nil {
+		m.failed += int64(len(b.reqs))
+		if IsIntegrityError(err) {
+			m.integrity += int64(len(b.reqs))
+		}
+		return
+	}
+	m.completed += int64(len(b.reqs))
+	for _, r := range b.reqs {
+		l := now.Sub(r.enqueued)
+		if len(m.lat) < latWindow {
+			m.lat = append(m.lat, l)
+		} else {
+			m.lat[m.latIdx] = l
+			m.latIdx = (m.latIdx + 1) % latWindow
+		}
+	}
+}
+
+// Snapshot is a consistent copy of the serving counters.
+type Snapshot struct {
+	Completed  int64 // requests answered successfully
+	Failed     int64 // requests answered with an error
+	Integrity  int64 // failed requests caused by tampered GPU results
+	Batches    int64 // virtual batches dispatched
+	RealRows   int64 // client rows across all batches
+	PaddedRows int64 // dummy rows across all batches
+	QueueDepth int   // admitted requests not yet dispatched
+
+	// Occupancy is the mean fraction of real rows per dispatched batch
+	// (1.0 = every batch full, 1/K = pure one-at-a-time traffic).
+	Occupancy float64
+	// Throughput is completed requests per second since server start.
+	Throughput float64
+	// P50/P99 are latency quantiles over the recent completion window.
+	P50, P99 time.Duration
+}
+
+// Snapshot returns the current counters.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		Completed:  m.completed,
+		Failed:     m.failed,
+		Integrity:  m.integrity,
+		Batches:    m.batches,
+		RealRows:   m.realRows,
+		PaddedRows: m.padRows,
+		QueueDepth: m.depth,
+	}
+	if m.batches > 0 {
+		s.Occupancy = float64(m.realRows) / float64(m.batches*int64(m.k))
+	}
+	if el := time.Since(m.start).Seconds(); el > 0 {
+		s.Throughput = float64(m.completed) / el
+	}
+	if len(m.lat) > 0 {
+		sorted := append([]time.Duration(nil), m.lat...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		s.P50 = sorted[len(sorted)/2]
+		s.P99 = sorted[len(sorted)*99/100]
+	}
+	return s
+}

@@ -1,0 +1,244 @@
+// Package serve turns the DarKnight pipeline into a concurrent
+// private-inference service. The paper's TEE *must* code K inputs together
+// before every GPU offload (§3.1), which makes dynamic batching the natural
+// serving primitive rather than an optimization: independent clients'
+// requests are coalesced into virtual batches of exactly K, and when a
+// request's deadline expires before K real rows arrive, the batch is padded
+// with uniform-noise dummy rows — privacy-neutral, since the masking code
+// mixes every row with uniform noise anyway and dummy outputs are simply
+// dropped.
+//
+// The moving parts:
+//
+//   - an admission queue (Server.Infer) accepting single-image requests
+//     with deadlines;
+//   - a dynamic batcher goroutine coalescing them into virtual batches;
+//   - a worker pool where each worker owns a forward-only pipeline
+//     (sched.Inferencer) over a private model replica and gang-acquires
+//     K+M+E devices from a shared gpu.LeaseManager before each dispatch —
+//     all-or-none, the gang-scheduling model of GPU cluster schedulers;
+//   - metrics: throughput, latency quantiles, queue depth, occupancy.
+//
+// Integrity faults (a tampering GPU caught by the redundant decoding)
+// surface as per-request errors wrapping masking.ErrIntegrity.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"darknight/internal/enclave"
+	"darknight/internal/gpu"
+	"darknight/internal/nn"
+	"darknight/internal/sched"
+)
+
+// ErrClosed is returned for requests submitted after Close.
+var ErrClosed = errors.New("serve: server closed")
+
+// ErrBadImage is returned when a request's image does not match the model
+// input geometry.
+var ErrBadImage = errors.New("serve: image does not match model input shape")
+
+// Config tunes the serving layer. The privacy/integrity operating point
+// lives in Sched.
+type Config struct {
+	// Sched is the pipeline operating point (K, M, E, quantization, seed).
+	// VirtualBatch must be >= 1.
+	Sched sched.Config
+	// QueueDepth bounds the admission queue; Infer blocks (or honors its
+	// context) when the queue is full. 0 picks 4·K.
+	QueueDepth int
+	// MaxWait bounds how long an admitted request may wait for K-1 peers
+	// before the batcher flushes a padded partial batch. A request context
+	// with an earlier deadline shortens the wait for its batch. <= 0
+	// flushes immediately (every batch carries exactly one real row).
+	MaxWait time.Duration
+}
+
+// result is what a worker delivers back to one waiting request.
+type result struct {
+	class int
+	err   error
+}
+
+// request is one admitted inference job.
+type request struct {
+	image    []float64
+	enqueued time.Time
+	flushBy  time.Time // batching deadline: enqueued+MaxWait or ctx deadline
+	done     chan result
+}
+
+// Server is a concurrent private-inference service over one GPU fleet.
+type Server struct {
+	cfg     Config
+	k       int
+	imgLen  int
+	leases  *gpu.LeaseManager
+	workers []*sched.Inferencer
+
+	admit   chan *request
+	batches chan *vbatch
+	metrics *Metrics
+
+	gate closeGate
+	wg   sync.WaitGroup
+}
+
+// New assembles and starts a server. models supplies one private replica
+// per worker (nn layers cache forward state, so replicas are not shared);
+// all replicas must have identical input geometry and should carry
+// identical weights. The enclave may be nil or shared — its accounting is
+// thread-safe, modelling one EPC budget shared by the TEE threads.
+func New(cfg Config, models []*nn.Model, leases *gpu.LeaseManager, encl *enclave.Enclave) (*Server, error) {
+	if len(models) == 0 {
+		return nil, fmt.Errorf("serve: need at least one worker model")
+	}
+	workers := make([]*sched.Inferencer, len(models))
+	for i, m := range models {
+		// Each worker draws its own coding randomness: reusing one RNG
+		// stream across workers would emit identical noise vectors and
+		// coefficients for different clients' batches at the same step,
+		// letting an observer of two gangs cancel the masking noise.
+		wcfg := cfg.Sched
+		wcfg.Seed += int64(i)
+		inf, err := sched.NewInferencer(wcfg, m, encl, fmt.Sprintf("w%d/", i))
+		if err != nil {
+			return nil, err
+		}
+		workers[i] = inf
+	}
+	gang := workers[0].Gang()
+	if gang > leases.Cluster().Size() {
+		return nil, fmt.Errorf("serve: gang of K+M+E = %d devices exceeds cluster of %d",
+			gang, leases.Cluster().Size())
+	}
+	shape := models[0].InShape
+	imgLen := 1
+	for _, d := range shape {
+		imgLen *= d
+	}
+	for _, m := range models[1:] {
+		if fmt.Sprint(m.InShape) != fmt.Sprint(shape) {
+			return nil, fmt.Errorf("serve: worker models disagree on input shape")
+		}
+	}
+	k := workers[0].Config().VirtualBatch
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 4 * k
+	}
+	s := &Server{
+		cfg:     cfg,
+		k:       k,
+		imgLen:  imgLen,
+		leases:  leases,
+		workers: workers,
+		admit:   make(chan *request, depth),
+		batches: make(chan *vbatch, len(models)),
+		metrics: newMetrics(k),
+	}
+	s.wg.Add(1)
+	go s.batchLoop()
+	for _, inf := range workers {
+		s.wg.Add(1)
+		go s.workLoop(inf)
+	}
+	return s, nil
+}
+
+// K returns the virtual batch size requests are coalesced into.
+func (s *Server) K() int { return s.k }
+
+// Metrics returns a consistent snapshot of the serving counters.
+func (s *Server) Metrics() Snapshot { return s.metrics.Snapshot() }
+
+// Infer privately classifies one image. It blocks until the request is
+// batched, dispatched and decoded, or until ctx is done. The image never
+// leaves the TEE uncoded; an integrity violation on the request's batch is
+// reported as an error wrapping masking.ErrIntegrity.
+func (s *Server) Infer(ctx context.Context, image []float64) (int, error) {
+	if len(image) != s.imgLen {
+		return 0, fmt.Errorf("%w: got %d elements, model wants %d", ErrBadImage, len(image), s.imgLen)
+	}
+	if !s.gate.enter() {
+		return 0, ErrClosed
+	}
+	now := time.Now()
+	flushBy := now.Add(s.cfg.MaxWait)
+	if d, ok := ctx.Deadline(); ok && d.Before(flushBy) {
+		flushBy = d
+	}
+	r := &request{image: image, enqueued: now, flushBy: flushBy, done: make(chan result, 1)}
+	// The gauge moves before the send: the batcher may flush (and
+	// decrement) the moment the request lands, so counting afterwards
+	// could read negative.
+	s.metrics.queued(1)
+	select {
+	case s.admit <- r:
+		s.gate.leave()
+	case <-ctx.Done():
+		s.metrics.queued(-1)
+		s.gate.leave()
+		return 0, ctx.Err()
+	}
+	select {
+	case res := <-r.done:
+		if res.err != nil {
+			return 0, res.err
+		}
+		return res.class, nil
+	case <-ctx.Done():
+		// The batch may still complete; its result is discarded.
+		return 0, ctx.Err()
+	}
+}
+
+// Close drains the service: admitted requests are still dispatched (a final
+// partial batch is padded and flushed), then workers exit. Infer calls
+// after Close fail with ErrClosed. Close blocks until the drain completes.
+func (s *Server) Close() {
+	if !s.gate.close() {
+		return // already closed
+	}
+	close(s.admit)
+	s.wg.Wait()
+}
+
+// closeGate lets Close wait out in-flight admissions before closing the
+// admit channel, so Infer never sends on a closed channel.
+type closeGate struct {
+	mu       sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup
+}
+
+func (g *closeGate) enter() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return false
+	}
+	g.inflight.Add(1)
+	return true
+}
+
+func (g *closeGate) leave() { g.inflight.Done() }
+
+// close marks the gate closed and waits for entered admissions to leave.
+// Returns false if the gate was already closed.
+func (g *closeGate) close() bool {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return false
+	}
+	g.closed = true
+	g.mu.Unlock()
+	g.inflight.Wait()
+	return true
+}

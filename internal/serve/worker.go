@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"darknight/internal/masking"
+	"darknight/internal/sched"
+)
+
+// workLoop is one serving worker: it owns a forward-only pipeline over a
+// private model replica and, for every batch, gang-acquires K+M+E devices
+// from the shared lease manager — atomically, all or none — dispatches the
+// coded batch, and fans the decoded classes back out to the waiting
+// requests. Padding rows are decoded like any other row and dropped.
+func (s *Server) workLoop(inf *sched.Inferencer) {
+	defer s.wg.Done()
+	gang := inf.Gang()
+	for b := range s.batches {
+		lease, err := s.leases.Acquire(context.Background(), gang)
+		if err != nil {
+			b.fail(err)
+			s.metrics.finished(b, time.Now(), err)
+			continue
+		}
+		preds, err := inf.Predict(lease.Cluster(), b.images)
+		lease.Release()
+		now := time.Now()
+		if err != nil {
+			// One tampered GPU poisons the whole coded batch: every rider
+			// sees the integrity error (wrapping masking.ErrIntegrity).
+			b.fail(err)
+			s.metrics.finished(b, now, err)
+			continue
+		}
+		for i, r := range b.reqs {
+			r.done <- result{class: preds[i]}
+		}
+		s.metrics.finished(b, now, nil)
+	}
+}
+
+// IsIntegrityError reports whether a per-request serving error was caused
+// by tampered GPU results on the request's batch.
+func IsIntegrityError(err error) bool { return errors.Is(err, masking.ErrIntegrity) }

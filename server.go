@@ -1,0 +1,122 @@
+package darknight
+
+import (
+	"context"
+	"time"
+
+	"darknight/internal/enclave"
+	"darknight/internal/gpu"
+	"darknight/internal/nn"
+	"darknight/internal/sched"
+	"darknight/internal/serve"
+)
+
+// ServerConfig selects the operating point of an inference server: the
+// privacy/integrity knobs of Config plus the serving-layer shape.
+type ServerConfig struct {
+	// Config carries K, M, E, cluster size, malicious markings, enclave
+	// budget and seed. GPUs = 0 sizes the cluster for full worker
+	// parallelism (Workers gangs of K+M+E devices each).
+	Config
+	// Workers is the number of concurrent inference pipelines, each with a
+	// private model replica (default 2).
+	Workers int
+	// QueueDepth bounds the admission queue (0 = 4·K).
+	QueueDepth int
+	// MaxWait bounds how long a request waits for K-1 peers before its
+	// batch is flushed padded with uniform-noise dummy rows. 0 picks the
+	// default of 2ms; negative flushes immediately (every batch carries
+	// one real row — the unbatched baseline).
+	MaxWait time.Duration
+}
+
+// ServerMetrics is a snapshot of the serving counters.
+type ServerMetrics = serve.Snapshot
+
+// Server is a concurrent private-inference service: independent clients'
+// single-image requests are coalesced into virtual batches of exactly K,
+// coded in the TEE, and gang-dispatched onto K+M+E leased GPUs per batch.
+type Server struct {
+	inner   *serve.Server
+	cluster *gpu.Cluster
+	encl    *enclave.Enclave
+}
+
+// NewServer stands up a serving deployment. newModel is called once per
+// worker to build that worker's private model replica — return
+// weight-identical models (same constructor and seed, or
+// CopyWeightsFrom a trained reference).
+func NewServer(newModel func() *Model, cfg ServerConfig) (*Server, error) {
+	if cfg.VirtualBatch == 0 {
+		cfg.VirtualBatch = 2
+	}
+	if cfg.Collusion == 0 {
+		cfg.Collusion = 1
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	if cfg.MaxWait == 0 {
+		cfg.MaxWait = 2 * time.Millisecond
+	}
+	gang := cfg.VirtualBatch + cfg.Collusion + cfg.Redundancy
+	if cfg.GPUs == 0 {
+		cfg.GPUs = cfg.Workers * gang
+	}
+	cluster, err := buildCluster(cfg.Config)
+	if err != nil {
+		return nil, err
+	}
+	encl, err := buildEnclave(cfg.Config)
+	if err != nil {
+		return nil, err
+	}
+	replicas := make([]*nn.Model, cfg.Workers)
+	for i := range replicas {
+		replicas[i] = newModel().m
+	}
+	srv, err := serve.New(serve.Config{
+		Sched: sched.Config{
+			VirtualBatch: cfg.VirtualBatch,
+			Collusion:    cfg.Collusion,
+			Redundancy:   cfg.Redundancy,
+			Seed:         cfg.Seed,
+		},
+		QueueDepth: cfg.QueueDepth,
+		MaxWait:    cfg.MaxWait,
+	}, replicas, gpu.NewLeaseManager(cluster), encl)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{inner: srv, cluster: cluster, encl: encl}, nil
+}
+
+// Infer privately classifies one image, blocking until its virtual batch
+// is dispatched and decoded (or ctx is done). Tampered GPU results on the
+// request's batch surface as an error satisfying IsIntegrityError.
+func (s *Server) Infer(ctx context.Context, image []float64) (int, error) {
+	return s.inner.Infer(ctx, image)
+}
+
+// Metrics returns the serving counters: throughput, latency quantiles,
+// queue depth, batch occupancy and integrity failures.
+func (s *Server) Metrics() ServerMetrics { return s.inner.Metrics() }
+
+// GPUTraffic returns the fleet's total TEE<->GPU channel usage.
+func (s *Server) GPUTraffic() gpu.Traffic { return s.cluster.TotalTraffic() }
+
+// EnclaveStats returns the shared enclave's counters (zero value if
+// accounting is disabled).
+func (s *Server) EnclaveStats() enclave.Stats {
+	if s.encl == nil {
+		return enclave.Stats{}
+	}
+	return s.encl.Stats()
+}
+
+// Close drains in-flight requests and stops the workers.
+func (s *Server) Close() { s.inner.Close() }
+
+// IsIntegrityError reports whether a serving error was caused by tampered
+// GPU results.
+func IsIntegrityError(err error) bool { return serve.IsIntegrityError(err) }
