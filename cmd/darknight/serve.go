@@ -93,6 +93,14 @@ func cmdServe(args []string) {
 	fmt.Printf("latency: p50 %v, p99 %v\n", m.P50, m.P99)
 	fmt.Printf("batches: %d dispatched, occupancy %.2f (%d real rows, %d dummy rows)\n",
 		m.Batches, m.Occupancy, m.RealRows, m.PaddedRows)
+	if tot := m.Phases.Encode + m.Phases.Dispatch + m.Phases.Decode; tot > 0 {
+		pct := func(d time.Duration) float64 { return 100 * float64(d) / float64(tot) }
+		fmt.Printf("TEE phase breakdown over %d offloads: encode %v (%.0f%%), dispatch %v (%.0f%%), decode %v (%.0f%%)\n",
+			m.Phases.Offloads,
+			m.Phases.Encode, pct(m.Phases.Encode),
+			m.Phases.Dispatch, pct(m.Phases.Dispatch),
+			m.Phases.Decode, pct(m.Phases.Decode))
+	}
 	if *malicious >= 0 {
 		fmt.Printf("integrity: %d requests rejected with tampered-GPU detection\n", integ)
 		if integ == 0 && ok > 0 {

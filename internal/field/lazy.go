@@ -1,0 +1,260 @@
+package field
+
+import (
+	"fmt"
+	"sync"
+
+	"darknight/internal/par"
+	"darknight/internal/scratch"
+)
+
+// This file implements the lazy-reduction kernels behind the coding hot
+// path. A product of two reduced elements is at most (P-1)² < 2^50, so a
+// uint64 accumulator can absorb MaxLazyTerms = 2^14 such products plus one
+// already-reduced carry before it can wrap:
+//
+//	2^14·(P-1)² + (P-1) < 2^64.
+//
+// Encode/decode therefore run as blocked matrix-matrix products that
+// multiply-add without any modulo and reduce each accumulator exactly once
+// per MaxLazyTerms terms — versus the seed kernels' one `% P` per element
+// per term. Accumulator blocks are pooled (stored behind pointers so
+// Get/Put never boxes) and the column dimension fans out across cores via
+// par.For, keeping the steady-state path allocation-free.
+
+// MaxLazyTerms is how many ≤(P-1)² products a uint64 accumulator holding an
+// already-reduced value can absorb before it must be reduced again.
+const MaxLazyTerms = 1 << 14
+
+// combineBlock is the column-block width of Combine: 4096 uint64
+// accumulators (32 KiB) plus one source block stay L1/L2-resident.
+const combineBlock = 4096
+
+// combineParGrain is the element count below which Combine stays serial;
+// fanning out goroutines for tiny vectors costs more than the modmuls.
+const combineParGrain = 1 << 15
+
+// accPool recycles Combine's fixed-size accumulator blocks. It is kept
+// separate from the general scratch.Pool because the steady-state coding
+// loop must be allocation-free: the SAME *[]uint64 round-trips through
+// Get/Put (pointer interface conversions never box), whereas scratch.Pool
+// builds a fresh slice-header pointer on every Put.
+var accPool = sync.Pool{New: func() any {
+	b := make([]uint64, combineBlock)
+	return &b
+}}
+
+// getAcc returns a pooled accumulator of at least n elements.
+func getAcc(n int) *[]uint64 {
+	p := accPool.Get().(*[]uint64)
+	if cap(*p) < n {
+		*p = make([]uint64, n)
+	}
+	return p
+}
+
+func putAcc(p *[]uint64) { accPool.Put(p) }
+
+// LazyAXPY accumulates acc[i] += s·v[i] without reduction. The caller owns
+// the term budget: after MaxLazyTerms calls on the same accumulator (since
+// the last ReduceAcc) the sums may wrap. The 4-way slice-advance unroll
+// keeps the inner loop free of bounds checks.
+func LazyAXPY(acc []uint64, s Elem, v Vec) {
+	n := len(v)
+	a := acc[:n]
+	c := uint64(s)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		x0, x1, x2, x3 := uint64(v[i]), uint64(v[i+1]), uint64(v[i+2]), uint64(v[i+3])
+		a[i] += c * x0
+		a[i+1] += c * x1
+		a[i+2] += c * x2
+		a[i+3] += c * x3
+	}
+	for ; i < n; i++ {
+		a[i] += c * uint64(v[i])
+	}
+}
+
+// LazyAXPY2 accumulates two rows in a single pass over the shared source —
+// acc0 += c0·v and acc1 += c1·v — halving source traffic for kernels that
+// produce multiple output rows from one patch matrix (the conv GPU
+// kernel). Both accumulators share one term budget against MaxLazyTerms.
+func LazyAXPY2(acc0, acc1 []uint64, c0, c1 Elem, v Vec) {
+	n := len(v)
+	a0 := acc0[:n]
+	a1 := acc1[:n]
+	u0, u1 := uint64(c0), uint64(c1)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		x0, x1, x2, x3 := uint64(v[i]), uint64(v[i+1]), uint64(v[i+2]), uint64(v[i+3])
+		a0[i] += u0 * x0
+		a0[i+1] += u0 * x1
+		a0[i+2] += u0 * x2
+		a0[i+3] += u0 * x3
+		a1[i] += u1 * x0
+		a1[i+1] += u1 * x1
+		a1[i+2] += u1 * x2
+		a1[i+3] += u1 * x3
+	}
+	for ; i < n; i++ {
+		x := uint64(v[i])
+		a0[i] += u0 * x
+		a1[i] += u1 * x
+	}
+}
+
+// ReduceAcc reduces every accumulator into [0, P), resetting the lazy-term
+// budget to MaxLazyTerms.
+func ReduceAcc(acc []uint64) {
+	for i, v := range acc {
+		acc[i] = v % uint64(P)
+	}
+}
+
+// ReduceAccInto reduces the accumulators into a reduced Vec.
+func ReduceAccInto(dst Vec, acc []uint64) {
+	acc = acc[:len(dst)]
+	for i := range acc {
+		dst[i] = Elem(acc[i] % uint64(P))
+	}
+}
+
+// Combine computes the fused scale-add dst[i] = Σ_j coeffs[j]·srcs[j][i]
+// mod p — one output row of the coding matrix product — with blocked lazy
+// reduction and parallel column blocks. It is the kernel behind
+// Code.EncodeWith, DecodeForwardInto and DecodeBackwardInto. dst may alias
+// none of the srcs. It performs no allocation beyond pooled accumulator
+// blocks, so steady-state encode/decode loops stay allocation-free.
+func Combine(dst Vec, coeffs []Elem, srcs []Vec) {
+	if len(coeffs) != len(srcs) {
+		panic(fmt.Sprintf("field: combine has %d coefficients for %d sources", len(coeffs), len(srcs)))
+	}
+	n := len(dst)
+	for _, s := range srcs {
+		if len(s) != n {
+			panic(fmt.Sprintf("field: combine source length %d != %d", len(s), n))
+		}
+	}
+	// The serial fast path is taken without building a closure: a captured
+	// func literal heap-allocates, and the steady-state loop must not.
+	if n <= combineParGrain || par.Workers() == 1 {
+		combineRange(dst, coeffs, srcs, 0, n)
+		return
+	}
+	par.For(n, combineParGrain, func(lo, hi int) {
+		combineRange(dst, coeffs, srcs, lo, hi)
+	})
+}
+
+// combineRange is Combine over the column range [lo, hi), using one pooled
+// cache-resident accumulator block at a time.
+func combineRange(dst Vec, coeffs []Elem, srcs []Vec, lo, hi int) {
+	accp := getAcc(combineBlock)
+	acc := *accp
+	for b := lo; b < hi; b += combineBlock {
+		be := b + combineBlock
+		if be > hi {
+			be = hi
+		}
+		blk := acc[:be-b]
+		for i := range blk {
+			blk[i] = 0
+		}
+		terms := 0
+		for j, c := range coeffs {
+			if c == 0 {
+				continue
+			}
+			LazyAXPY(blk, c, srcs[j][b:be])
+			terms++
+			if terms == MaxLazyTerms {
+				ReduceAcc(blk)
+				terms = 0
+			}
+		}
+		ReduceAccInto(dst[b:be], blk)
+	}
+	putAcc(accp)
+}
+
+// Pooled kernel scratch (internal/scratch size-classed pools). The
+// GPU-side field kernels (internal/nn) draw their per-call im2col patch
+// matrices and accumulator rows here; pools are safe for the concurrent
+// gang-dispatch goroutines. Buffers are NOT zeroed on Get.
+var (
+	elemPool scratch.Pool[Elem]
+	u64Pool  scratch.Pool[uint64]
+)
+
+// GetScratchVec returns a pooled, NOT-zeroed Vec of length n. Return it
+// with PutScratchVec.
+func GetScratchVec(n int) Vec { return elemPool.Get(n) }
+
+// PutScratchVec returns a GetScratchVec buffer to the pool.
+func PutScratchVec(v Vec) { elemPool.Put(v) }
+
+// GetScratchAcc returns a pooled, NOT-zeroed uint64 accumulator row of
+// length n for lazy-reduction kernels. Return it with PutScratchAcc.
+func GetScratchAcc(n int) []uint64 { return u64Pool.Get(n) }
+
+// PutScratchAcc returns a GetScratchAcc buffer to the pool.
+func PutScratchAcc(a []uint64) { u64Pool.Put(a) }
+
+// Arena is a bump allocator for field vectors with stable backing arrays:
+// Vec hands out zeroed subslices of large blocks, Reset recycles them all
+// at once. A steady-state caller that requests the same vector sequence
+// every step allocates only on its first pass — afterwards the blocks are
+// simply re-sliced, which is what keeps the TEE-side encode→decode loop
+// allocation-free. Vectors obtained from an Arena are invalidated by Reset;
+// they must not be retained across it (hand long-lived copies out with
+// Clone). An Arena is not safe for concurrent use.
+type Arena struct {
+	blocks []Vec
+	block  int // index of the block currently served from
+	off    int // next free element in that block
+}
+
+// arenaBlock is the minimum size of a backing block.
+const arenaBlock = 1 << 16
+
+// Reset recycles every vector handed out since the last Reset.
+func (a *Arena) Reset() {
+	a.block = 0
+	a.off = 0
+}
+
+// Vec returns a zeroed vector of length n backed by the arena.
+func (a *Arena) Vec(n int) Vec {
+	v := a.RawVec(n)
+	for i := range v {
+		v[i] = 0
+	}
+	return v
+}
+
+// RawVec returns a vector of length n backed by the arena WITHOUT zeroing
+// it — the caller must overwrite every element before reading. The
+// steady-state offload loop uses it for buffers that QuantizeInto,
+// RandVecInto and Combine overwrite unconditionally, saving one full
+// memset pass over all coded data per offload.
+func (a *Arena) RawVec(n int) Vec {
+	for {
+		if a.block < len(a.blocks) {
+			b := a.blocks[a.block]
+			if a.off+n <= len(b) {
+				v := b[a.off : a.off+n : a.off+n]
+				a.off += n
+				return v
+			}
+			a.block++
+			a.off = 0
+			continue
+		}
+		size := arenaBlock
+		if size < n {
+			size = n
+		}
+		a.blocks = append(a.blocks, make(Vec, size))
+	}
+}

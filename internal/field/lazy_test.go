@@ -1,0 +1,170 @@
+package field
+
+import (
+	"math/rand"
+	"testing"
+
+	"darknight/internal/par"
+)
+
+// combineOracle is the naive per-term AXPY combination the lazy kernel
+// must match bit-for-bit.
+func combineOracle(coeffs []Elem, srcs []Vec) Vec {
+	out := NewVec(len(srcs[0]))
+	for j, c := range coeffs {
+		if c != 0 {
+			AXPY(out, c, srcs[j])
+		}
+	}
+	return out
+}
+
+func randSrcs(rng *rand.Rand, k, n int) ([]Elem, []Vec) {
+	coeffs := make([]Elem, k)
+	srcs := make([]Vec, k)
+	for j := range srcs {
+		coeffs[j] = Rand(rng)
+		srcs[j] = RandVec(rng, n)
+	}
+	return coeffs, srcs
+}
+
+func TestCombineMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, tc := range []struct{ k, n int }{
+		{1, 1}, {3, 17}, {7, 1000}, {5, combineBlock}, {4, combineBlock + 3}, {6, 3*combineBlock + 511},
+	} {
+		coeffs, srcs := randSrcs(rng, tc.k, tc.n)
+		coeffs[0] = 0 // exercise the zero-coefficient skip
+		want := combineOracle(coeffs, srcs)
+		got := NewVec(tc.n)
+		Combine(got, coeffs, srcs)
+		if !got.Equal(want) {
+			t.Fatalf("Combine(k=%d, n=%d) diverges from AXPY oracle", tc.k, tc.n)
+		}
+	}
+}
+
+// TestCombineParallelMatchesSerial pins parallel-vs-serial equivalence: the
+// fan-out across column blocks must be bit-identical to the single-worker
+// path even on a single-core machine (forced width).
+func TestCombineParallelMatchesSerial(t *testing.T) {
+	defer par.SetMaxWorkers(par.SetMaxWorkers(4))
+	rng := rand.New(rand.NewSource(22))
+	n := combineParGrain*2 + 37 // large enough to actually split
+	coeffs, srcs := randSrcs(rng, 6, n)
+	parallel := NewVec(n)
+	Combine(parallel, coeffs, srcs)
+
+	par.SetMaxWorkers(1)
+	serial := NewVec(n)
+	Combine(serial, coeffs, srcs)
+
+	if !parallel.Equal(serial) {
+		t.Fatal("parallel Combine diverges from serial Combine")
+	}
+	if !parallel.Equal(combineOracle(coeffs, srcs)) {
+		t.Fatal("parallel Combine diverges from AXPY oracle")
+	}
+}
+
+// TestCombineLazyReductionBound drives more than MaxLazyTerms sources
+// through one accumulator block so the interleaved reduction actually
+// fires; the result must still match the eagerly-reduced oracle.
+func TestCombineLazyReductionBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	k := MaxLazyTerms + 5
+	n := 4
+	coeffs := make([]Elem, k)
+	srcs := make([]Vec, k)
+	for j := range srcs {
+		coeffs[j] = P - 1 // worst-case magnitude products
+		v := make(Vec, n)
+		for i := range v {
+			v[i] = P - 1
+		}
+		srcs[j] = v
+	}
+	// A few random rows so the test is not purely the extreme point.
+	for j := 0; j < 100; j++ {
+		coeffs[rng.Intn(k)] = Rand(rng)
+	}
+	want := combineOracle(coeffs, srcs)
+	got := NewVec(n)
+	Combine(got, coeffs, srcs)
+	if !got.Equal(want) {
+		t.Fatal("Combine wraps past MaxLazyTerms: interleaved reduction is broken")
+	}
+}
+
+func TestLazyAXPYAndReduce(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	n := 257
+	acc := make([]uint64, n)
+	want := NewVec(n)
+	for j := 0; j < 50; j++ {
+		s := Rand(rng)
+		v := RandVec(rng, n)
+		LazyAXPY(acc, s, v)
+		AXPY(want, s, v)
+	}
+	got := NewVec(n)
+	ReduceAccInto(got, acc)
+	if !got.Equal(want) {
+		t.Fatal("LazyAXPY+ReduceAccInto diverges from AXPY")
+	}
+	ReduceAcc(acc)
+	for i, v := range acc {
+		if Elem(v) != want[i] {
+			t.Fatalf("ReduceAcc[%d] = %d, want %d", i, v, want[i])
+		}
+	}
+}
+
+func TestScratchPoolsRoundTrip(t *testing.T) {
+	v := GetScratchVec(100)
+	if len(v) != 100 {
+		t.Fatalf("GetScratchVec(100) has length %d", len(v))
+	}
+	PutScratchVec(v)
+	a := GetScratchAcc(3000)
+	if len(a) != 3000 {
+		t.Fatalf("GetScratchAcc(3000) has length %d", len(a))
+	}
+	PutScratchAcc(a)
+	if GetScratchVec(0) != nil || GetScratchAcc(0) != nil {
+		t.Fatal("zero-length scratch should be nil")
+	}
+}
+
+func TestInPlaceVecVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	a, b := RandVec(rng, 64), RandVec(rng, 64)
+	s := RandNonZero(rng)
+
+	if !AddVecInto(make(Vec, 64), a, b).Equal(AddVec(a, b)) {
+		t.Fatal("AddVecInto mismatch")
+	}
+	if !SubVecInto(make(Vec, 64), a, b).Equal(SubVec(a, b)) {
+		t.Fatal("SubVecInto mismatch")
+	}
+	if !ScaleVecInto(make(Vec, 64), s, a).Equal(ScaleVec(s, a)) {
+		t.Fatal("ScaleVecInto mismatch")
+	}
+	// Aliased destination: dst = a.
+	alias := a.Clone()
+	AddVecInto(alias, alias, b)
+	if !alias.Equal(AddVec(a, b)) {
+		t.Fatal("aliased AddVecInto mismatch")
+	}
+	// AXPYInto: dst = y + s·x, including the accumulate alias dst=y.
+	want := AddVec(ScaleVec(s, a), b)
+	if !AXPYInto(make(Vec, 64), s, a, b).Equal(want) {
+		t.Fatal("AXPYInto mismatch")
+	}
+	acc := b.Clone()
+	AXPYInto(acc, s, a, acc)
+	if !acc.Equal(want) {
+		t.Fatal("aliased AXPYInto mismatch")
+	}
+}

@@ -17,7 +17,14 @@ func NewVec(n int) Vec { return make(Vec, n) }
 // noise generator for the masking scheme (the r and r_1..r_M vectors of
 // Eq (1) and Eq (10)).
 func RandVec(rng *rand.Rand, n int) Vec {
-	v := make(Vec, n)
+	return RandVecInto(rng, make(Vec, n))
+}
+
+// RandVecInto fills v with uniformly random field elements in place and
+// returns it — the allocation-free noise draw of the serving loop. The rng
+// must be private to the calling goroutine (each pipeline worker owns its
+// own seeded RNG; see internal/serve).
+func RandVecInto(rng *rand.Rand, v Vec) Vec {
 	for i := range v {
 		v[i] = Rand(rng)
 	}
@@ -34,40 +41,72 @@ func (v Vec) Clone() Vec {
 // AddVec returns a + b elementwise. Panics if lengths differ: coded inputs
 // in a virtual batch must all have identical shape.
 func AddVec(a, b Vec) Vec {
+	return AddVecInto(make(Vec, len(a)), a, b)
+}
+
+// AddVecInto computes dst = a + b elementwise in place and returns dst.
+// dst may alias a or b.
+func AddVecInto(dst, a, b Vec) Vec {
 	checkLen(len(a), len(b))
-	out := make(Vec, len(a))
+	checkLen(len(dst), len(a))
 	for i := range a {
-		out[i] = Add(a[i], b[i])
+		dst[i] = Add(a[i], b[i])
 	}
-	return out
+	return dst
 }
 
 // SubVec returns a - b elementwise.
 func SubVec(a, b Vec) Vec {
+	return SubVecInto(make(Vec, len(a)), a, b)
+}
+
+// SubVecInto computes dst = a - b elementwise in place and returns dst.
+// dst may alias a or b.
+func SubVecInto(dst, a, b Vec) Vec {
 	checkLen(len(a), len(b))
-	out := make(Vec, len(a))
+	checkLen(len(dst), len(a))
 	for i := range a {
-		out[i] = Sub(a[i], b[i])
+		dst[i] = Sub(a[i], b[i])
 	}
-	return out
+	return dst
 }
 
 // ScaleVec returns s * v elementwise.
 func ScaleVec(s Elem, v Vec) Vec {
-	out := make(Vec, len(v))
-	for i := range v {
-		out[i] = Mul(s, v[i])
-	}
-	return out
+	return ScaleVecInto(make(Vec, len(v)), s, v)
 }
 
-// AXPY performs dst += s*v in place (the encode inner loop:
-// x̄ accumulates α_{j,i}·x_j one source vector at a time).
+// ScaleVecInto computes dst = s·v elementwise in place and returns dst.
+// dst may alias v.
+func ScaleVecInto(dst Vec, s Elem, v Vec) Vec {
+	checkLen(len(dst), len(v))
+	for i := range v {
+		dst[i] = Mul(s, v[i])
+	}
+	return dst
+}
+
+// AXPY performs dst += s*v in place — the reference encode inner loop
+// (x̄ accumulates α_{j,i}·x_j one source vector at a time, one reduction
+// per element per term). The production coding path uses Combine, which
+// fuses all terms with lazy reduction; AXPY remains the readable oracle.
 func AXPY(dst Vec, s Elem, v Vec) {
 	checkLen(len(dst), len(v))
 	for i := range dst {
 		dst[i] = MulAdd(dst[i], s, v[i])
 	}
+}
+
+// AXPYInto computes the fused scale-add dst = y + s·x elementwise in place
+// and returns dst. dst may alias x or y, so dst=y gives the classic
+// accumulate and dst=x an in-place scale-shift without a scratch vector.
+func AXPYInto(dst Vec, s Elem, x, y Vec) Vec {
+	checkLen(len(x), len(y))
+	checkLen(len(dst), len(x))
+	for i := range dst {
+		dst[i] = MulAdd(y[i], s, x[i])
+	}
+	return dst
 }
 
 // Dot returns the inner product <a, b> over F_p.

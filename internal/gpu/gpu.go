@@ -63,7 +63,11 @@ func (d *honest) ID() int { return d.id }
 
 func (d *honest) LinearForward(key string, kernel LinearKernel, x field.Vec) field.Vec {
 	d.mu.Lock()
-	d.store[key] = x
+	// The device stores its own copy, modelling the device-resident tensor
+	// left behind by the PCIe transfer. The TEE reuses its coded-input
+	// buffers across offloads (arena-backed; see internal/sched), so
+	// retaining the caller's slice would alias freely mutated memory.
+	d.store[key] = x.Clone()
 	d.traffic.BytesIn += int64(len(x)) * 4
 	d.traffic.Jobs++
 	d.mu.Unlock()

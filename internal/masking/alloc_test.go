@@ -1,0 +1,143 @@
+package masking
+
+import (
+	"math/rand"
+	"testing"
+
+	"darknight/internal/field"
+	"darknight/internal/par"
+)
+
+// TestFusedCodingMatchesRef pins the blocked lazy-reduction coding kernels
+// bit-for-bit to the retained seed kernels over F_p: identical noise
+// streams in, identical coded vectors, decodes and backward folds out —
+// serially and with parallelism forced on.
+func TestFusedCodingMatchesRef(t *testing.T) {
+	// Restore the fan-out override even if a Fatalf fires mid-loop.
+	defer par.SetMaxWorkers(par.SetMaxWorkers(0))
+	for _, workers := range []int{1, 4} {
+		par.SetMaxWorkers(workers)
+		code, err := New(Params{K: 3, M: 2, Redundancy: 1}, rand.New(rand.NewSource(31)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 5000
+		dataRng := rand.New(rand.NewSource(32))
+		inputs := make([]field.Vec, code.K)
+		for i := range inputs {
+			inputs[i] = field.RandVec(dataRng, n)
+		}
+
+		// Same noise stream for both paths: identical seeds, identical draw
+		// order (EncodeRef draws rows K..K+M-1 in order, as does Encode).
+		refCoded, err := code.EncodeRef(inputs, rand.New(rand.NewSource(33)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		coded, err := code.Encode(inputs, rand.New(rand.NewSource(33)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range coded {
+			if !coded[j].Equal(refCoded[j]) {
+				t.Fatalf("workers=%d: coded vector %d diverges from reference", workers, j)
+			}
+		}
+
+		refDec, err := code.DecodeForwardRef(coded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := code.DecodeForward(coded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range dec {
+			if !dec[i].Equal(refDec[i]) {
+				t.Fatalf("workers=%d: decoded vector %d diverges from reference", workers, i)
+			}
+			if !dec[i].Equal(inputs[i]) {
+				t.Fatalf("workers=%d: decode(encode) is not the identity at %d", workers, i)
+			}
+		}
+
+		refBwd, err := code.DecodeBackwardRef(coded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bwd, err := code.DecodeBackward(coded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bwd.Equal(refBwd) {
+			t.Fatalf("workers=%d: backward fold diverges from reference", workers)
+		}
+	}
+}
+
+// TestSteadyStateAllocationRegression pins the allocation behaviour of the
+// steady-state serving loop — noise draw, EncodeWith, DecodeForwardInto on
+// caller-owned buffers — at zero allocations per iteration, at least 10x
+// below the retained per-op-allocating reference kernels. Width is forced
+// to 1 because the measurement target is the TEE loop's own allocations,
+// not the transient goroutine spawns of the multicore fan-out.
+func TestSteadyStateAllocationRegression(t *testing.T) {
+	if raceEnabled {
+		t.Skip("the race detector deliberately bypasses sync.Pool, so allocation counts are meaningless under -race")
+	}
+	defer par.SetMaxWorkers(par.SetMaxWorkers(1))
+	rng := rand.New(rand.NewSource(41))
+	code, err := New(Params{K: 4, M: 1, Redundancy: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 4096
+	inputs := make([]field.Vec, code.K)
+	for i := range inputs {
+		inputs[i] = field.RandVec(rng, n)
+	}
+	noise := make([]field.Vec, code.M)
+	for i := range noise {
+		noise[i] = field.NewVec(n)
+	}
+	coded := make([]field.Vec, code.NumCoded())
+	for i := range coded {
+		coded[i] = field.NewVec(n)
+	}
+	decoded := make([]field.Vec, code.K)
+	for i := range decoded {
+		decoded[i] = field.NewVec(n)
+	}
+
+	steady := func() {
+		for i := range noise {
+			field.RandVecInto(rng, noise[i])
+		}
+		if err := code.EncodeWith(coded, inputs, noise); err != nil {
+			t.Fatal(err)
+		}
+		if err := code.DecodeForwardInto(decoded, coded); err != nil {
+			t.Fatal(err)
+		}
+	}
+	steady() // warm the Code's gather scratch and the accumulator pool
+
+	got := testing.AllocsPerRun(50, steady)
+	ref := testing.AllocsPerRun(50, func() {
+		c, err := code.EncodeRef(inputs, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := code.DecodeForwardRef(c); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Logf("steady-state allocs/op: %.2f (reference kernels: %.2f)", got, ref)
+	if got != 0 {
+		t.Fatalf("steady-state encode/decode loop allocates %.2f times per op, want 0", got)
+	}
+	if ref < 10 {
+		t.Fatalf("reference kernels allocate only %.2f times per op; regression baseline is broken", ref)
+	}
+}

@@ -91,6 +91,23 @@ type Code struct {
 	// decoding, defined over the last S coded inputs.
 	gammaSec field.Vec
 	bSec     *field.Mat
+
+	// srcs and col are scratch for the fused coding kernels: the source
+	// gather and the coefficient-column gather of one matrix-product row.
+	// They are reused across Encode/Decode calls — a Code belongs to one
+	// TEE execution context and is not safe for concurrent use.
+	srcs []field.Vec
+	col  field.Vec
+}
+
+// gatherScratch returns the (lazily grown) reusable scratch slices sized
+// for k coefficient/source entries.
+func (c *Code) gatherScratch(k int) ([]field.Vec, field.Vec) {
+	if cap(c.srcs) < k {
+		c.srcs = make([]field.Vec, k)
+		c.col = make(field.Vec, k)
+	}
+	return c.srcs[:k], c.col[:k]
 }
 
 // ErrWrongCount is returned when a decode is offered the wrong number of
@@ -201,35 +218,84 @@ func (c *Code) SecondaryB() *field.Mat {
 	return c.bSec.Clone()
 }
 
-// Encode produces the S+E coded vectors for a virtual batch of K inputs,
-// drawing the M noise vectors internally from rng (Eq 1 / Eq 10).
-// All inputs must share a length.
-func (c *Code) Encode(inputs []field.Vec, rng *rand.Rand) ([]field.Vec, error) {
+// checkBatch validates a virtual batch of K same-length inputs and returns
+// their common length.
+func (c *Code) checkBatch(inputs []field.Vec) (int, error) {
 	if len(inputs) != c.K {
-		return nil, fmt.Errorf("%w: got %d inputs, code has K=%d", ErrWrongCount, len(inputs), c.K)
+		return 0, fmt.Errorf("%w: got %d inputs, code has K=%d", ErrWrongCount, len(inputs), c.K)
 	}
 	n := len(inputs[0])
 	for _, in := range inputs {
 		if len(in) != n {
-			return nil, ErrShapeMismatch
+			return 0, ErrShapeMismatch
 		}
 	}
-	full := make([]field.Vec, c.S)
-	copy(full, inputs)
-	for m := 0; m < c.M; m++ {
-		full[c.K+m] = field.RandVec(rng, n)
+	return n, nil
+}
+
+// Encode produces the S+E coded vectors for a virtual batch of K inputs,
+// drawing the M noise vectors internally from rng (Eq 1 / Eq 10).
+// All inputs must share a length. Steady-state callers that want the
+// allocation-free path draw the noise themselves and use EncodeWith.
+func (c *Code) Encode(inputs []field.Vec, rng *rand.Rand) ([]field.Vec, error) {
+	n, err := c.checkBatch(inputs)
+	if err != nil {
+		return nil, err
+	}
+	noise := make([]field.Vec, c.M)
+	for m := range noise {
+		noise[m] = field.RandVec(rng, n)
 	}
 	coded := make([]field.Vec, c.NumCoded())
 	for j := range coded {
-		out := field.NewVec(n)
-		for m := 0; m < c.S; m++ {
-			if a := c.A.At(m, j); a != 0 {
-				field.AXPY(out, a, full[m])
-			}
-		}
-		coded[j] = out
+		coded[j] = field.NewVec(n)
+	}
+	if err := c.EncodeWith(coded, inputs, noise); err != nil {
+		return nil, err
 	}
 	return coded, nil
+}
+
+// EncodeWith combines the K inputs and M caller-drawn uniform noise rows
+// into the S+E caller-owned destination vectors (Eq 1 / Eq 10), each of
+// which is overwritten. Splitting the noise draw from the combination keeps
+// the combination a pure blocked matrix-matrix product over F_p (parallel,
+// lazy-reduced, allocation-free) and keeps all RNG use on the single
+// caller goroutine. noise rows must be uniform draws (field.RandVecInto) —
+// the privacy proof (Lemma 1) depends on it.
+func (c *Code) EncodeWith(dst, inputs, noise []field.Vec) error {
+	n, err := c.checkBatch(inputs)
+	if err != nil {
+		return err
+	}
+	if len(noise) != c.M {
+		return fmt.Errorf("%w: got %d noise rows, code has M=%d", ErrWrongCount, len(noise), c.M)
+	}
+	for _, r := range noise {
+		if len(r) != n {
+			return ErrShapeMismatch
+		}
+	}
+	if len(dst) != c.NumCoded() {
+		return fmt.Errorf("%w: got %d destinations, code emits %d", ErrWrongCount, len(dst), c.NumCoded())
+	}
+	for _, d := range dst {
+		if len(d) != n {
+			return ErrShapeMismatch
+		}
+	}
+	srcs, col := c.gatherScratch(c.S)
+	copy(srcs, inputs)
+	copy(srcs[c.K:], noise)
+	// Coded column j is one row of the product [X; R]ᵀ·A: gather A's
+	// column j and fuse all S scale-adds with lazy reduction.
+	for j := range dst {
+		for m := 0; m < c.S; m++ {
+			col[m] = c.A.At(m, j)
+		}
+		field.Combine(dst[j], col, srcs)
+	}
+	return nil
 }
 
 // DecodeForward inverts the linear GPU results back to the per-input
@@ -240,6 +306,12 @@ func (c *Code) DecodeForward(results []field.Vec) ([]field.Vec, error) {
 	return c.decodeWith(results, c.primaryInv, 0)
 }
 
+// DecodeForwardInto is DecodeForward writing into K caller-owned vectors,
+// each of which is overwritten — the allocation-free serving path.
+func (c *Code) DecodeForwardInto(dst []field.Vec, results []field.Vec) error {
+	return c.decodeWithInto(dst, results, c.primaryInv, 0)
+}
+
 // decodeWith decodes using the inverse of the S-column window starting at
 // column offset.
 func (c *Code) decodeWith(results []field.Vec, inv *field.Mat, offset int) ([]field.Vec, error) {
@@ -248,17 +320,46 @@ func (c *Code) decodeWith(results []field.Vec, inv *field.Mat, offset int) ([]fi
 	}
 	n := len(results[offset])
 	out := make([]field.Vec, c.K)
-	for i := 0; i < c.K; i++ {
-		y := field.NewVec(n)
-		// y_i = Σ_j inv[j, i] · ȳ_{offset+j}
-		for j := 0; j < c.S; j++ {
-			if a := inv.At(j, i); a != 0 {
-				field.AXPY(y, a, results[offset+j])
-			}
-		}
-		out[i] = y
+	for i := range out {
+		out[i] = field.NewVec(n)
+	}
+	if err := c.decodeWithInto(out, results, inv, offset); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// decodeWithInto decodes into caller-owned vectors using the inverse of the
+// S-column window starting at column offset.
+func (c *Code) decodeWithInto(dst []field.Vec, results []field.Vec, inv *field.Mat, offset int) error {
+	if len(results) < offset+c.S {
+		return fmt.Errorf("%w: got %d results, need %d", ErrWrongCount, len(results), offset+c.S)
+	}
+	if len(dst) != c.K {
+		return fmt.Errorf("%w: got %d destinations, decode yields K=%d", ErrWrongCount, len(dst), c.K)
+	}
+	n := len(results[offset])
+	for _, d := range dst {
+		if len(d) != n {
+			return ErrShapeMismatch
+		}
+	}
+	window := results[offset : offset+c.S]
+	for _, r := range window {
+		if len(r) != n {
+			return ErrShapeMismatch
+		}
+	}
+	_, col := c.gatherScratch(c.S)
+	// y_i = Σ_j inv[j, i] · ȳ_{offset+j}: gather inv's column i, one fused
+	// lazy-reduced product row per decoded input.
+	for i := range dst {
+		for j := 0; j < c.S; j++ {
+			col[j] = inv.At(j, i)
+		}
+		field.Combine(dst[i], col, window)
+	}
+	return nil
 }
 
 // DecodeBackward folds the S GPU gradient equations into the exact batch
@@ -269,10 +370,24 @@ func (c *Code) DecodeBackward(eqs []field.Vec) (field.Vec, error) {
 	if len(eqs) < c.S {
 		return nil, fmt.Errorf("%w: got %d equations, need %d", ErrWrongCount, len(eqs), c.S)
 	}
-	n := len(eqs[0])
-	out := field.NewVec(n)
-	for j := 0; j < c.S; j++ {
-		field.AXPY(out, c.Gamma[j], eqs[j])
+	out := field.NewVec(len(eqs[0]))
+	if err := c.DecodeBackwardInto(out, eqs); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// DecodeBackwardInto is DecodeBackward writing into a caller-owned vector,
+// which is overwritten.
+func (c *Code) DecodeBackwardInto(dst field.Vec, eqs []field.Vec) error {
+	if len(eqs) < c.S {
+		return fmt.Errorf("%w: got %d equations, need %d", ErrWrongCount, len(eqs), c.S)
+	}
+	for _, e := range eqs[:c.S] {
+		if len(e) != len(dst) {
+			return ErrShapeMismatch
+		}
+	}
+	field.Combine(dst, c.Gamma[:c.S], eqs[:c.S])
+	return nil
 }

@@ -44,14 +44,18 @@ func (c *Code) DecodeFull(results []field.Vec, cols []int) ([]field.Vec, error) 
 		}
 	}
 	n := len(results[cols[0]])
+	srcs := make([]field.Vec, c.S)
+	for j, col := range cols {
+		srcs[j] = results[col]
+	}
+	coeff := make(field.Vec, c.S)
 	out := make([]field.Vec, c.S)
 	for i := 0; i < c.S; i++ {
 		y := field.NewVec(n)
 		for j := 0; j < c.S; j++ {
-			if a := inv.At(j, i); a != 0 {
-				field.AXPY(y, a, results[cols[j]])
-			}
+			coeff[j] = inv.At(j, i)
 		}
+		field.Combine(y, coeff, srcs)
 		out[i] = y
 	}
 	return out, nil
@@ -60,13 +64,12 @@ func (c *Code) DecodeFull(results []field.Vec, cols []int) ([]field.Vec, error) 
 // Predict recomputes what an honest GPU j must have returned, given the
 // full decoded images: ȳ_j = Σ_m A[m,j]·f_m. Linearity makes this exact.
 func (c *Code) Predict(full []field.Vec, j int) field.Vec {
-	n := len(full[0])
-	out := field.NewVec(n)
+	out := field.NewVec(len(full[0]))
+	coeff := make(field.Vec, c.S)
 	for m := 0; m < c.S; m++ {
-		if a := c.A.At(m, j); a != 0 {
-			field.AXPY(out, a, full[m])
-		}
+		coeff[m] = c.A.At(m, j)
 	}
+	field.Combine(out, coeff, full[:c.S])
 	return out
 }
 
@@ -182,11 +185,13 @@ func (c *Code) DecodeBackwardSecondary(eqs []field.Vec) (field.Vec, error) {
 	if len(eqs) < c.S {
 		return nil, fmt.Errorf("%w: got %d secondary equations, need %d", ErrWrongCount, len(eqs), c.S)
 	}
-	n := len(eqs[0])
-	out := field.NewVec(n)
-	for j := 0; j < c.S; j++ {
-		field.AXPY(out, c.gammaSec[j], eqs[j])
+	for _, e := range eqs[:c.S] {
+		if len(e) != len(eqs[0]) {
+			return nil, ErrShapeMismatch
+		}
 	}
+	out := field.NewVec(len(eqs[0]))
+	field.Combine(out, c.gammaSec[:c.S], eqs[:c.S])
 	return out, nil
 }
 

@@ -1,0 +1,5 @@
+//go:build !race
+
+package masking
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package masking
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-count and wall-clock assertions are skipped under it.
+const raceEnabled = true

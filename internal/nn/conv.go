@@ -106,10 +106,92 @@ func (c *Conv2D) LinearForwardFloat(x []float64) []float64 {
 
 // LinearForwardField implements Linear: the convolution evaluated exactly
 // over F_p on quantized weights and (possibly coded) quantized inputs —
-// the kernel a DarKnight GPU worker runs.
+// the kernel a DarKnight GPU worker runs. Each output row accumulates its
+// ≤(P-1)² products in a pooled uint64 row with lazy reduction (one `% P`
+// per element per field.MaxLazyTerms terms instead of one per term), and
+// the im2col patch matrix comes from the shared scratch pool instead of a
+// fresh allocation per dispatch.
 func (c *Conv2D) LinearForwardField(wq, x field.Vec) field.Vec {
 	p := c.p
-	cols, rows, npix := fieldIm2Col(x, p)
+	cols, rows, npix := fieldIm2ColPooled(x, p)
+	defer field.PutScratchVec(cols)
+	acc0 := field.GetScratchAcc(npix)
+	acc1 := field.GetScratchAcc(npix)
+	defer field.PutScratchAcc(acc0)
+	defer field.PutScratchAcc(acc1)
+	ocpg := p.OutC / p.Groups
+	out := make(field.Vec, p.OutC*npix)
+	for g := 0; g < p.Groups; g++ {
+		gcols := cols[g*rows*npix : (g+1)*rows*npix]
+		oc := 0
+		// Output-row pairs: one pass over the patch matrix feeds two
+		// accumulator rows (LazyAXPY2), halving cols traffic.
+		for ; oc+2 <= ocpg; oc += 2 {
+			w0 := wq[(g*ocpg+oc)*rows : (g*ocpg+oc+1)*rows]
+			w1 := wq[(g*ocpg+oc+1)*rows : (g*ocpg+oc+2)*rows]
+			clearAcc(acc0)
+			clearAcc(acc1)
+			terms := 0
+			for r := 0; r < rows; r++ {
+				c0, c1 := w0[r], w1[r]
+				if c0 == 0 && c1 == 0 {
+					continue
+				}
+				cRow := gcols[r*npix : (r+1)*npix]
+				switch {
+				case c1 == 0:
+					field.LazyAXPY(acc0, c0, cRow)
+				case c0 == 0:
+					field.LazyAXPY(acc1, c1, cRow)
+				default:
+					field.LazyAXPY2(acc0, acc1, c0, c1, cRow)
+				}
+				if terms++; terms == field.MaxLazyTerms {
+					field.ReduceAcc(acc0)
+					field.ReduceAcc(acc1)
+					terms = 0
+				}
+			}
+			field.ReduceAccInto(out[(g*ocpg+oc)*npix:(g*ocpg+oc+1)*npix], acc0)
+			field.ReduceAccInto(out[(g*ocpg+oc+1)*npix:(g*ocpg+oc+2)*npix], acc1)
+		}
+		for ; oc < ocpg; oc++ {
+			wRow := wq[(g*ocpg+oc)*rows : (g*ocpg+oc+1)*rows]
+			clearAcc(acc0)
+			terms := 0
+			for r, wv := range wRow {
+				if wv == 0 {
+					continue
+				}
+				field.LazyAXPY(acc0, wv, gcols[r*npix:(r+1)*npix])
+				if terms++; terms == field.MaxLazyTerms {
+					field.ReduceAcc(acc0)
+					terms = 0
+				}
+			}
+			field.ReduceAccInto(out[(g*ocpg+oc)*npix:(g*ocpg+oc+1)*npix], acc0)
+		}
+	}
+	return out
+}
+
+func clearAcc(acc []uint64) {
+	for i := range acc {
+		acc[i] = 0
+	}
+}
+
+// LinearForwardFieldRef is the retained seed kernel — one field.MulAdd
+// (multiply plus reduction) per element per term and a freshly allocated
+// patch matrix per call. It is the oracle the lazy-reduction kernel must
+// match bit-for-bit (see field_test.go) and the baseline BenchmarkKernels
+// measures the coded forward path against.
+func (c *Conv2D) LinearForwardFieldRef(wq, x field.Vec) field.Vec {
+	p := c.p
+	cpg := p.InC / p.Groups
+	rows := cpg * p.KH * p.KW
+	npix := p.OutH() * p.OutW()
+	cols := fieldIm2ColNaive(x, p)
 	ocpg := p.OutC / p.Groups
 	out := make(field.Vec, p.OutC*npix)
 	for g := 0; g < p.Groups; g++ {
@@ -133,10 +215,12 @@ func (c *Conv2D) LinearForwardField(wq, x field.Vec) field.Vec {
 
 // GradWeightsField implements Linear: dW = delta · colsᵀ over F_p, where
 // delta is the (scaled, combined) output gradient [OutC×OutH×OutW] and x is
-// the (coded) layer input.
+// the (coded) layer input. field.Dot is already lazy-reduced; the patch
+// matrix is pooled.
 func (c *Conv2D) GradWeightsField(delta, x field.Vec) field.Vec {
 	p := c.p
-	cols, rows, npix := fieldIm2Col(x, p)
+	cols, rows, npix := fieldIm2ColPooled(x, p)
+	defer field.PutScratchVec(cols)
 	ocpg := p.OutC / p.Groups
 	out := make(field.Vec, p.OutC*rows)
 	for g := 0; g < p.Groups; g++ {
@@ -171,13 +255,15 @@ func (c *Conv2D) AddGradB(gout *tensor.Tensor, s float64) {
 	}
 }
 
-// fieldIm2Col is tensor.Im2Col over F_p: pure data movement, zero padding.
-func fieldIm2Col(in field.Vec, p tensor.ConvParams) (cols field.Vec, rows, npix int) {
+// fieldIm2ColNaive is the seed's element-at-a-time im2col with a fresh
+// allocation per call, retained solely for LinearForwardFieldRef so the
+// reference baseline stays faithful to the pre-PR2 kernel.
+func fieldIm2ColNaive(in field.Vec, p tensor.ConvParams) field.Vec {
 	cpg := p.InC / p.Groups
-	rows = cpg * p.KH * p.KW
+	rows := cpg * p.KH * p.KW
 	oh, ow := p.OutH(), p.OutW()
-	npix = oh * ow
-	cols = make(field.Vec, p.Groups*rows*npix)
+	npix := oh * ow
+	cols := make(field.Vec, p.Groups*rows*npix)
 	for g := 0; g < p.Groups; g++ {
 		for ci := 0; ci < cpg; ci++ {
 			inC := g*cpg + ci
@@ -202,5 +288,23 @@ func fieldIm2Col(in field.Vec, p tensor.ConvParams) (cols field.Vec, rows, npix 
 			}
 		}
 	}
+	return cols
+}
+
+// fieldIm2ColPooled is fieldIm2ColInto on a pooled scratch buffer; the
+// caller must return cols with field.PutScratchVec.
+func fieldIm2ColPooled(in field.Vec, p tensor.ConvParams) (cols field.Vec, rows, npix int) {
+	cpg := p.InC / p.Groups
+	rows = cpg * p.KH * p.KW
+	npix = p.OutH() * p.OutW()
+	cols = fieldIm2ColInto(field.GetScratchVec(p.Groups*rows*npix), in, p)
 	return cols, rows, npix
+}
+
+// fieldIm2ColInto is im2col over F_p: pure data movement, zero padding,
+// stride-1 rows as contiguous copies. The window math is single-sourced
+// in tensor.Im2ColSlices, shared with the float conv path.
+func fieldIm2ColInto(cols field.Vec, in field.Vec, p tensor.ConvParams) field.Vec {
+	tensor.Im2ColSlices(cols, in, p)
+	return cols
 }

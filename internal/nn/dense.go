@@ -80,17 +80,7 @@ func (d *Dense) Backward(gout *tensor.Tensor) *tensor.Tensor {
 
 // BackwardInputOnly implements Linear: dX = Wᵀ·gout.
 func (d *Dense) BackwardInputOnly(gout *tensor.Tensor) *tensor.Tensor {
-	din := make([]float64, d.in)
-	for i := 0; i < d.out; i++ {
-		g := gout.Data[i]
-		if g == 0 {
-			continue
-		}
-		row := d.w.W.Data[i*d.in : (i+1)*d.in]
-		for j := range din {
-			din[j] += g * row[j]
-		}
-	}
+	din := tensor.MatVecTransInto(make([]float64, d.in), d.w.W, gout.Data)
 	return tensor.FromSlice(din, d.in)
 }
 
@@ -111,16 +101,7 @@ func (d *Dense) BiasData() []float64 { return d.b.W.Data }
 
 // LinearForwardFloat implements Linear: y = W·x (no bias).
 func (d *Dense) LinearForwardFloat(x []float64) []float64 {
-	y := make([]float64, d.out)
-	for i := 0; i < d.out; i++ {
-		row := d.w.W.Data[i*d.in : (i+1)*d.in]
-		var s float64
-		for j, xv := range x {
-			s += row[j] * xv
-		}
-		y[i] = s
-	}
-	return y
+	return tensor.MatVecInto(make([]float64, d.out), d.w.W, x)
 }
 
 // LinearForwardField implements Linear over F_p.

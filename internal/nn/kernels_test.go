@@ -1,0 +1,40 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"darknight/internal/field"
+	"darknight/internal/tensor"
+)
+
+// TestConvFieldKernelMatchesRef pins the lazy-reduction GPU conv kernel
+// bit-for-bit to the retained seed kernel over F_p, including grouped and
+// strided/padded geometries, and verifies pooled-buffer reuse is clean.
+func TestConvFieldKernelMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	geoms := []tensor.ConvParams{
+		{InC: 3, OutC: 8, KH: 3, KW: 3, Stride: 1, Pad: 1, InH: 8, InW: 8, Groups: 1},
+		{InC: 4, OutC: 4, KH: 3, KW: 3, Stride: 2, Pad: 1, InH: 9, InW: 7, Groups: 4}, // depthwise
+		{InC: 6, OutC: 9, KH: 1, KW: 1, Stride: 1, Pad: 0, InH: 5, InW: 5, Groups: 3},
+	}
+	for _, p := range geoms {
+		layer := NewConv2D("c", p, rng)
+		wq := field.RandVec(rng, layer.WLen())
+		// Run twice per geometry: the second pass reuses pooled scratch.
+		for pass := 0; pass < 2; pass++ {
+			x := field.RandVec(rng, layer.InLen())
+			want := layer.LinearForwardFieldRef(wq, x)
+			got := layer.LinearForwardField(wq, x)
+			if !got.Equal(want) {
+				t.Fatalf("conv field kernel diverges from reference (%+v, pass %d)", p, pass)
+			}
+			delta := field.RandVec(rng, layer.OutLen())
+			gw := layer.GradWeightsField(delta, x)
+			gw2 := layer.GradWeightsField(delta, x)
+			if !gw.Equal(gw2) {
+				t.Fatalf("GradWeightsField is not deterministic under pooled reuse (%+v)", p)
+			}
+		}
+	}
+}

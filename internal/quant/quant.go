@@ -57,11 +57,19 @@ func round(x float64) int64 {
 // Quantize maps a float tensor to the field with one 2^l factor:
 // Field(Round(x * 2^l)). Used for inputs and weights.
 func (q *Quantizer) Quantize(xs []float64) field.Vec {
-	out := make(field.Vec, len(xs))
-	for i, x := range xs {
-		out[i] = field.FromInt64(round(x * q.scale))
+	return q.QuantizeInto(make(field.Vec, len(xs)), xs)
+}
+
+// QuantizeInto is Quantize writing into a caller-owned vector (typically
+// arena-backed; see internal/sched), which is overwritten and returned.
+func (q *Quantizer) QuantizeInto(dst field.Vec, xs []float64) field.Vec {
+	if len(dst) != len(xs) {
+		panic(fmt.Sprintf("quant: destination length %d != %d", len(dst), len(xs)))
 	}
-	return out
+	for i, x := range xs {
+		dst[i] = field.FromInt64(round(x * q.scale))
+	}
+	return dst
 }
 
 // QuantizeBias maps a bias tensor with the double factor 2^(2l)
@@ -88,11 +96,19 @@ func (q *Quantizer) Unquantize(v field.Vec) []float64 {
 // UnquantizeProduct restores floats from a linear-operation result carrying
 // the 2^(2l) factor: Algorithm 1 line 9, Round(Y_q × 2^-l) × 2^-l.
 func (q *Quantizer) UnquantizeProduct(v field.Vec) []float64 {
-	out := make([]float64, len(v))
-	for i, e := range v {
-		out[i] = float64(round(float64(field.Lift(e))/q.scale)) / q.scale
+	return q.UnquantizeProductInto(make([]float64, len(v)), v)
+}
+
+// UnquantizeProductInto is UnquantizeProduct writing into a caller-owned
+// float buffer, which is overwritten and returned.
+func (q *Quantizer) UnquantizeProductInto(dst []float64, v field.Vec) []float64 {
+	if len(dst) != len(v) {
+		panic(fmt.Sprintf("quant: destination length %d != %d", len(dst), len(v)))
 	}
-	return out
+	for i, e := range v {
+		dst[i] = float64(round(float64(field.Lift(e))/q.scale)) / q.scale
+	}
+	return dst
 }
 
 // MaxRepresentable returns the largest float magnitude whose quantized

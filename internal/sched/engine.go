@@ -3,6 +3,7 @@ package sched
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"darknight/internal/enclave"
 	"darknight/internal/field"
@@ -12,6 +13,29 @@ import (
 	"darknight/internal/quant"
 	"darknight/internal/tensor"
 )
+
+// PhaseStats is the cumulative TEE-side latency breakdown of the coded hot
+// path, split at the trust boundary: Encode covers quantization, the noise
+// draw and the coded combine; Dispatch covers the concurrent K+M+E gang
+// fan-out and gather; Decode covers verification, the inverse combine and
+// float restoration. One PhaseStats accumulates per pipeline (engine);
+// serving aggregates them across workers into its metrics.
+type PhaseStats struct {
+	Encode   time.Duration
+	Dispatch time.Duration
+	Decode   time.Duration
+	Offloads int64 // bilinear layer dispatches timed
+}
+
+// Sub returns the phase deltas s - o (for windowed measurements).
+func (s PhaseStats) Sub(o PhaseStats) PhaseStats {
+	return PhaseStats{
+		Encode:   s.Encode - o.Encode,
+		Dispatch: s.Dispatch - o.Dispatch,
+		Decode:   s.Decode - o.Decode,
+		Offloads: s.Offloads - o.Offloads,
+	}
+}
 
 // Fleet is the accelerator surface the runtime dispatches coded jobs to.
 // *gpu.Cluster is the canonical implementation; serving workers substitute
@@ -65,6 +89,30 @@ type engine struct {
 	// (EnableRecovery; needs Redundancy >= 2).
 	recover  bool
 	recovery RecoveryStats
+
+	// Steady-state scratch. The engine is single-threaded, so one arena and
+	// one set of reusable buffers serve every offload: after the first pass
+	// over the model, the coding data path (quantized inputs, noise, coded
+	// vectors, quantized weights, decoded results) allocates nothing.
+	// Small per-offload allocations remain by design: the escaping output
+	// tensors, the kernel closure, and the per-batch masking.New (S×S
+	// scalar matrices, negligible next to the vectors).
+	arena    field.Arena
+	fscratch []float64   // normalized-float staging, grown to the largest layer
+	quantIn  []field.Vec // K reusable header slots
+	noise    []field.Vec // M slots
+	coded    []field.Vec // S+E slots
+	decoded  []field.Vec // K slots
+	phases   PhaseStats
+}
+
+// slots returns *buf resized (without reallocation when possible) to k
+// header slots.
+func slots(buf *[]field.Vec, k int) []field.Vec {
+	if cap(*buf) < k {
+		*buf = make([]field.Vec, k)
+	}
+	return (*buf)[:k]
 }
 
 func newEngine(cfg Config, model *nn.Model, fleet Fleet, encl *enclave.Enclave, keyspace string) engine {
@@ -143,9 +191,12 @@ func (e *engine) forwardLayer(code *masking.Code, layer nn.Layer, xs []*tensor.T
 }
 
 // offloadForward quantizes, encodes, fans out, verifies, decodes and
-// restores one bilinear layer's outputs for the K current activations.
+// restores one bilinear layer's outputs for the K current activations. All
+// TEE-side intermediates live in the engine's arena (reset per offload), so
+// the steady-state loop allocates only the escaping output tensors.
 func (e *engine) offloadForward(code *masking.Code, key string, lin nn.Linear, xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 	k := e.cfg.VirtualBatch
+	t0 := time.Now()
 	// Shared dynamic normalization factor across the virtual batch so the
 	// backward decode (a sum across inputs) can be unscaled exactly.
 	fx := sharedNormFactor(xs, e.cfg.NormLimit)
@@ -155,13 +206,15 @@ func (e *engine) offloadForward(code *masking.Code, key string, lin nn.Linear, x
 	}
 
 	// TEE: quantize into the field.
-	quantIn := make([]field.Vec, k)
-	scratch := make([]float64, lin.InLen())
+	e.arena.Reset()
+	n := lin.InLen()
+	scratch := e.floats(n)
+	quantIn := slots(&e.quantIn, k)
 	for i := 0; i < k; i++ {
 		for j, v := range xs[i].Data {
 			scratch[j] = v / fx
 		}
-		quantIn[i] = e.q.Quantize(scratch)
+		quantIn[i] = e.q.QuantizeInto(e.arena.RawVec(n), scratch)
 	}
 	wq := e.quantizeWeights(lin.WeightData(), fw)
 
@@ -172,15 +225,32 @@ func (e *engine) offloadForward(code *masking.Code, key string, lin nn.Linear, x
 	}
 	defer e.freeEnclave(workset)
 
-	coded, err := code.Encode(quantIn, e.rng)
-	if err != nil {
+	// Noise rows are drawn serially here — the engine's RNG belongs to this
+	// single TEE context — so EncodeWith's combine can fan out freely.
+	noise := slots(&e.noise, code.M)
+	for m := range noise {
+		noise[m] = field.RandVecInto(e.rng, e.arena.RawVec(n))
+	}
+	coded := slots(&e.coded, code.NumCoded())
+	for j := range coded {
+		coded[j] = e.arena.RawVec(n)
+	}
+	if err := code.EncodeWith(coded, quantIn, noise); err != nil {
 		return nil, err
 	}
+	e.phases.Encode += time.Since(t0)
+
+	// Gang dispatch: the fleet fans the S+E coded inputs out to its devices
+	// concurrently (one goroutine per device) and gathers in device order.
+	t1 := time.Now()
 	kernel := func(x field.Vec) field.Vec { return lin.LinearForwardField(wq, x) }
 	results, err := e.fleet.ForwardAll(key, kernel, coded)
 	if err != nil {
 		return nil, err
 	}
+	e.phases.Dispatch += time.Since(t1)
+
+	t2 := time.Now()
 	var decoded []field.Vec
 	if e.cfg.Redundancy > 0 {
 		if verr := code.VerifyForward(results); verr != nil {
@@ -194,8 +264,12 @@ func (e *engine) offloadForward(code *masking.Code, key string, lin nn.Linear, x
 		}
 	}
 	if decoded == nil {
-		decoded, err = code.DecodeForward(results)
-		if err != nil {
+		decoded = slots(&e.decoded, k)
+		outLen := len(results[0])
+		for i := range decoded {
+			decoded[i] = e.arena.RawVec(outLen)
+		}
+		if err := code.DecodeForwardInto(decoded, results); err != nil {
 			return nil, err
 		}
 	}
@@ -206,6 +280,8 @@ func (e *engine) offloadForward(code *masking.Code, key string, lin nn.Linear, x
 	bias := lin.BiasData()
 	outShape := lin.OutShape()
 	for i := 0; i < k; i++ {
+		// Outputs escape to the caller as layer activations, so they are
+		// deliberately fresh allocations, not arena memory.
 		y := e.q.UnquantizeProduct(decoded[i])
 		for j := range y {
 			y[j] *= rescale
@@ -213,18 +289,33 @@ func (e *engine) offloadForward(code *masking.Code, key string, lin nn.Linear, x
 		addBias(y, bias, outShape)
 		outs[i] = tensor.FromSlice(y, outShape...)
 	}
+	e.phases.Decode += time.Since(t2)
+	e.phases.Offloads++
 	return outs, nil
 }
 
-func (e *engine) quantizeWeights(w []float64, fw float64) field.Vec {
-	if fw == 1 {
-		return e.q.Quantize(w)
+// floats returns the persistent normalized-float staging buffer, grown to
+// at least n.
+func (e *engine) floats(n int) []float64 {
+	if cap(e.fscratch) < n {
+		e.fscratch = make([]float64, n)
 	}
-	scaled := make([]float64, len(w))
+	return e.fscratch[:n]
+}
+
+// quantizeWeights stages the (optionally normalized) weights into an
+// arena-backed field vector. The result is only referenced by the dispatch
+// kernel closure, which completes before the next arena reset.
+func (e *engine) quantizeWeights(w []float64, fw float64) field.Vec {
+	wq := e.arena.RawVec(len(w))
+	if fw == 1 {
+		return e.q.QuantizeInto(wq, w)
+	}
+	scaled := e.floats(len(w))
 	for i, v := range w {
 		scaled[i] = v / fw
 	}
-	return e.q.Quantize(scaled)
+	return e.q.QuantizeInto(wq, scaled)
 }
 
 func (e *engine) allocEnclave(n int64) error {

@@ -46,6 +46,10 @@ func (inf *Inferencer) Config() Config { return inf.eng.cfg }
 // Gang returns the number of devices one dispatch occupies: K+M+E.
 func (inf *Inferencer) Gang() int { return inf.eng.cfg.maskParams().GPUs() }
 
+// PhaseStats returns the pipeline's cumulative encode/dispatch/decode
+// latency breakdown. Callers window measurements with PhaseStats.Sub.
+func (inf *Inferencer) PhaseStats() PhaseStats { return inf.eng.phases }
+
 // Forward runs the masked forward pass for exactly K images on the given
 // fleet and returns the per-image logits. The fleet must offer at least
 // K+M+E devices (a gang lease view or a whole cluster).

@@ -111,6 +111,10 @@ func (t *Trainer) Config() Config { return t.cfg }
 // Model returns the model under training.
 func (t *Trainer) Model() *nn.Model { return t.model }
 
+// PhaseStats returns the trainer's cumulative encode/dispatch/decode
+// latency breakdown for forward offloads.
+func (t *Trainer) PhaseStats() PhaseStats { return t.phases }
+
 // trace records one layer's forward pass for the backward walk.
 type trace struct {
 	layer    nn.Layer
@@ -190,13 +194,13 @@ func (t *Trainer) offloadBackward(code *masking.Code, tr *trace, lin nn.Linear, 
 	}
 
 	// Each GPU j computes Eq_j on (Σ_i β_ji·δ_i, x̄_j). The combination
-	// happens GPU-side in the paper; B and δ are public either way.
+	// happens GPU-side in the paper; B and δ are public either way. Row j
+	// of B is exactly the K combination coefficients — one fused
+	// lazy-reduced combine per equation.
 	deltaBars := make([]field.Vec, code.S)
 	for j := 0; j < code.S; j++ {
 		bar := make(field.Vec, lin.OutLen())
-		for i := 0; i < k; i++ {
-			field.AXPY(bar, code.B.At(j, i), quantDeltas[i])
-		}
+		field.Combine(bar, code.B.Row(j), quantDeltas)
 		deltaBars[j] = bar
 	}
 	kernel := func(delta, x field.Vec) field.Vec { return lin.GradWeightsField(delta, x) }

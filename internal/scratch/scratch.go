@@ -1,0 +1,57 @@
+// Package scratch provides the size-classed sync.Pool slice recycler
+// shared by the kernel packages: float64 scratch for the tensor kernels,
+// field-element and uint64-accumulator scratch for the coding kernels. One
+// implementation, three instantiations — a fix to the classing or the Put
+// cap-check lands everywhere at once.
+package scratch
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// maxClass bounds the pooled power-of-two size classes; larger requests
+// are served with one-off allocations and dropped on Put.
+const maxClass = 30
+
+// class returns the smallest power-of-two exponent c with 1<<c >= n.
+func class(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// Pool recycles slices of T in power-of-two size classes. The zero value
+// is ready to use; all methods are safe for concurrent use. Buffers are
+// NOT zeroed on Get.
+type Pool[T any] struct {
+	classes [maxClass + 1]sync.Pool
+}
+
+// Get returns a length-n slice from the pool (contents undefined). Return
+// it with Put when done; n <= 0 yields nil.
+func (p *Pool[T]) Get(n int) []T {
+	if n <= 0 {
+		return nil
+	}
+	c := class(n)
+	if c > maxClass {
+		return make([]T, n)
+	}
+	if b, _ := p.classes[c].Get().(*[]T); b != nil {
+		return (*b)[:n]
+	}
+	return make([]T, 1<<c)[:n]
+}
+
+// Put returns a Get buffer to the pool. Slices whose capacity is not an
+// exact size class (not obtained here) are dropped.
+func (p *Pool[T]) Put(s []T) {
+	c := class(cap(s))
+	if cap(s) == 0 || c > maxClass || cap(s) != 1<<c {
+		return
+	}
+	full := s[:cap(s)]
+	p.classes[c].Put(&full)
+}

@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"darknight/internal/sched"
 )
 
 // latWindow bounds the latency sample reservoir: quantiles are computed
@@ -27,6 +29,10 @@ type Metrics struct {
 
 	lat    []time.Duration // ring buffer of recent request latencies
 	latIdx int
+
+	// phase accumulates the TEE-side encode/dispatch/decode breakdown
+	// across all workers' offloads.
+	phase sched.PhaseStats
 }
 
 func newMetrics(k int) *Metrics {
@@ -37,6 +43,16 @@ func newMetrics(k int) *Metrics {
 func (m *Metrics) queued(delta int) {
 	m.mu.Lock()
 	m.depth += delta
+	m.mu.Unlock()
+}
+
+// phases folds one batch's TEE-side phase deltas into the totals.
+func (m *Metrics) phases(d sched.PhaseStats) {
+	m.mu.Lock()
+	m.phase.Encode += d.Encode
+	m.phase.Dispatch += d.Dispatch
+	m.phase.Decode += d.Decode
+	m.phase.Offloads += d.Offloads
 	m.mu.Unlock()
 }
 
@@ -83,6 +99,11 @@ type Snapshot struct {
 	Throughput float64
 	// P50/P99 are latency quantiles over the recent completion window.
 	P50, P99 time.Duration
+
+	// Phases is the cumulative TEE-side encode/dispatch/decode latency
+	// breakdown across all workers — where the coded hot path spends its
+	// time. Phases.Offloads counts the bilinear-layer dispatches measured.
+	Phases sched.PhaseStats
 }
 
 // Snapshot returns the current counters.
@@ -97,6 +118,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		RealRows:   m.realRows,
 		PaddedRows: m.padRows,
 		QueueDepth: m.depth,
+		Phases:     m.phase,
 	}
 	if m.batches > 0 {
 		s.Occupancy = float64(m.realRows) / float64(m.batches*int64(m.k))

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"darknight/internal/gpu"
+	"darknight/internal/nn"
+	"darknight/internal/sched"
+)
+
+// TestConcurrentPaddedServingNoSharedRNG is the per-worker RNG audit as a
+// test: many workers dispatch concurrently (each with its own seeded engine
+// RNG drawing coding coefficients and noise rows) while the batcher's
+// private RNG pads every batch with dummy rows (MaxWait ~0 forces padding
+// on essentially every flush). Run under -race, any RNG shared across
+// those goroutines fails the build's race job.
+func TestConcurrentPaddedServingNoSharedRNG(t *testing.T) {
+	const workers = 4
+	models := make([]*nn.Model, workers)
+	for i := range models {
+		models[i] = nn.TinyCNN(1, 8, 8, 4, rand.New(rand.NewSource(91)))
+	}
+	cfg := Config{
+		Sched:   sched.Config{VirtualBatch: 3, Seed: 5},
+		MaxWait: 100 * time.Microsecond, // frequent padded flushes
+	}
+	gang := cfg.Sched.VirtualBatch + 1 // K + M, E = 0
+	leases := gpu.NewLeaseManager(gpu.NewHonestCluster(gang * workers))
+	srv, err := New(cfg, models, leases, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	img := make([]float64, 64)
+	var wg sync.WaitGroup
+	for c := 0; c < 2*workers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				if _, err := srv.Infer(context.Background(), img); err != nil {
+					t.Errorf("infer: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	m := srv.Metrics()
+	if m.Completed != int64(2*workers*6) {
+		t.Fatalf("completed %d of %d requests", m.Completed, 2*workers*6)
+	}
+	if m.Phases.Offloads == 0 || m.Phases.Encode <= 0 || m.Phases.Dispatch <= 0 || m.Phases.Decode <= 0 {
+		t.Fatalf("phase breakdown not populated: %+v", m.Phases)
+	}
+}

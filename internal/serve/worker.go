@@ -24,8 +24,10 @@ func (s *Server) workLoop(inf *sched.Inferencer) {
 			s.metrics.finished(b, time.Now(), err)
 			continue
 		}
+		before := inf.PhaseStats()
 		preds, err := inf.Predict(lease.Cluster(), b.images)
 		lease.Release()
+		s.metrics.phases(inf.PhaseStats().Sub(before))
 		now := time.Now()
 		if err != nil {
 			// One tampered GPU poisons the whole coded batch: every rider

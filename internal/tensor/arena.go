@@ -1,0 +1,19 @@
+package tensor
+
+import "darknight/internal/scratch"
+
+// Shared scratch arena for the float64 kernels (internal/scratch pool), so
+// the conv hot loop (one patch matrix plus one gradient patch matrix per
+// image) recycles buffers instead of materializing fresh ones every call.
+// The pool is safe for concurrent use — worker pipelines and the
+// gang-dispatch goroutines all draw from the same arena.
+var floatPool scratch.Pool[float64]
+
+// GetScratch returns a length-n float64 scratch buffer from the shared
+// pool. Contents are NOT zeroed — callers that need zeros must clear it
+// (the Into kernels all overwrite or zero their destinations). Return it
+// with PutScratch when done.
+func GetScratch(n int) []float64 { return floatPool.Get(n) }
+
+// PutScratch returns a buffer obtained from GetScratch to the pool.
+func PutScratch(s []float64) { floatPool.Put(s) }

@@ -38,47 +38,104 @@ func (p ConvParams) Validate() {
 // computationally intensive operator (such as convolutions) is bilinear").
 // in is a single image [C, H, W] flattened.
 func Im2Col(in []float64, p ConvParams) *Tensor {
+	cpg := p.InC / p.Groups
+	rows := cpg * p.KH * p.KW
+	return Im2ColInto(New(p.Groups, rows, p.OutH()*p.OutW()), in, p)
+}
+
+// Im2ColInto unrolls patches into the caller-owned [Groups, rows, cols]
+// destination (typically a pooled scratch buffer reused per image), which
+// is overwritten, padding included. It returns dst.
+func Im2ColInto(dst *Tensor, in []float64, p ConvParams) *Tensor {
+	cpg := p.InC / p.Groups
+	rows := cpg * p.KH * p.KW
+	cols := p.OutH() * p.OutW()
+	if dst.Size() != p.Groups*rows*cols {
+		panic(fmt.Sprintf("tensor: im2col destination %v, want %d elements",
+			dst.Shape, p.Groups*rows*cols))
+	}
+	Im2ColSlices(dst.Data, in, p)
+	return dst
+}
+
+// Im2ColSlices is the element-type-generic im2col: it unrolls patches of
+// in into cols (fully overwritten, padding zeroed) for any scalar type.
+// The float kernels here and the F_p kernels in internal/nn share it so
+// the stride-1 window math — each output row collapses to one contiguous
+// copy with ox clamped so ix = ox·Stride + kx − Pad stays in [0, InW) —
+// is single-sourced.
+func Im2ColSlices[T any](cols []T, in []T, p ConvParams) {
+	var zero T
 	cpg := p.InC / p.Groups // channels per group
 	rows := cpg * p.KH * p.KW
 	oh, ow := p.OutH(), p.OutW()
-	cols := oh * ow
-	out := New(p.Groups, rows, cols)
+	npix := oh * ow
+	for i := range cols {
+		cols[i] = zero
+	}
 	for g := 0; g < p.Groups; g++ {
 		for c := 0; c < cpg; c++ {
 			inC := g*cpg + c
 			for ky := 0; ky < p.KH; ky++ {
 				for kx := 0; kx < p.KW; kx++ {
 					row := (c*p.KH+ky)*p.KW + kx
-					base := (g*rows + row) * cols
+					base := (g*rows + row) * npix
 					for oy := 0; oy < oh; oy++ {
 						iy := oy*p.Stride + ky - p.Pad
 						if iy < 0 || iy >= p.InH {
 							continue // stays zero (padding)
+						}
+						if p.Stride == 1 {
+							// ix = ox + kx - Pad must lie in [0, InW):
+							// the whole row is one contiguous copy.
+							oxLo, oxHi := 0, ow
+							if d := p.Pad - kx; d > oxLo {
+								oxLo = d
+							}
+							if d := p.InW + p.Pad - kx; d < oxHi {
+								oxHi = d
+							}
+							if oxHi > oxLo {
+								src := (inC*p.InH+iy)*p.InW + kx - p.Pad
+								copy(cols[base+oy*ow+oxLo:base+oy*ow+oxHi], in[src+oxLo:src+oxHi])
+							}
+							continue
 						}
 						for ox := 0; ox < ow; ox++ {
 							ix := ox*p.Stride + kx - p.Pad
 							if ix < 0 || ix >= p.InW {
 								continue
 							}
-							out.Data[base+oy*ow+ox] = in[(inC*p.InH+iy)*p.InW+ix]
+							cols[base+oy*ow+ox] = in[(inC*p.InH+iy)*p.InW+ix]
 						}
 					}
 				}
 			}
 		}
 	}
-	return out
 }
 
 // Col2Im is the adjoint of Im2Col: it scatters a patch matrix back into an
 // image, accumulating overlaps. It is the core of the convolution input
 // gradient.
 func Col2Im(cols *Tensor, p ConvParams) []float64 {
+	return Col2ImInto(make([]float64, p.InC*p.InH*p.InW), cols, p)
+}
+
+// Col2ImInto scatters a patch matrix into the caller-owned image buffer,
+// which is zeroed first, and returns it.
+func Col2ImInto(out []float64, cols *Tensor, p ConvParams) []float64 {
 	cpg := p.InC / p.Groups
 	rows := cpg * p.KH * p.KW
 	oh, ow := p.OutH(), p.OutW()
 	ncols := oh * ow
-	out := make([]float64, p.InC*p.InH*p.InW)
+	if len(out) != p.InC*p.InH*p.InW {
+		panic(fmt.Sprintf("tensor: col2im destination %d, want %d elements",
+			len(out), p.InC*p.InH*p.InW))
+	}
+	for i := range out {
+		out[i] = 0
+	}
 	for g := 0; g < p.Groups; g++ {
 		for c := 0; c < cpg; c++ {
 			inC := g*cpg + c
@@ -111,18 +168,20 @@ func Col2Im(cols *Tensor, p ConvParams) []float64 {
 // returning [OutC, OutH, OutW].
 func Conv2D(in []float64, w *Tensor, b []float64, p ConvParams) *Tensor {
 	p.Validate()
-	cols := Im2Col(in, p)
 	oh, ow := p.OutH(), p.OutW()
 	ocpg := p.OutC / p.Groups
 	cpg := p.InC / p.Groups
 	rows := cpg * p.KH * p.KW
 	npix := oh * ow
+	colsBuf := GetScratch(p.Groups * rows * npix)
+	defer PutScratch(colsBuf)
+	cols := Im2ColInto(FromSlice(colsBuf, p.Groups, rows, npix), in, p)
 	out := New(p.OutC, oh, ow)
 	for g := 0; g < p.Groups; g++ {
 		wg := FromSlice(w.Data[g*ocpg*rows:(g+1)*ocpg*rows], ocpg, rows)
 		cg := FromSlice(cols.Data[g*rows*npix:(g+1)*rows*npix], rows, npix)
-		res := MatMul(wg, cg) // [ocpg, npix]
-		copy(out.Data[g*ocpg*npix:(g+1)*ocpg*npix], res.Data)
+		// The output block is written in place — no per-group result copy.
+		MatMulInto(FromSlice(out.Data[g*ocpg*npix:(g+1)*ocpg*npix], ocpg, npix), wg, cg)
 	}
 	if b != nil {
 		for oc := 0; oc < p.OutC; oc++ {
@@ -147,12 +206,13 @@ func Conv2DGradInput(w *Tensor, gout *Tensor, p ConvParams) []float64 {
 	ocpg := p.OutC / p.Groups
 	cpg := p.InC / p.Groups
 	rows := cpg * p.KH * p.KW
-	dCols := New(p.Groups, rows, npix)
+	dColsBuf := GetScratch(p.Groups * rows * npix)
+	defer PutScratch(dColsBuf)
+	dCols := FromSlice(dColsBuf, p.Groups, rows, npix)
 	for g := 0; g < p.Groups; g++ {
 		gg := FromSlice(gout.Data[g*ocpg*npix:(g+1)*ocpg*npix], ocpg, npix)
 		wg := FromSlice(w.Data[g*ocpg*rows:(g+1)*ocpg*rows], ocpg, rows)
-		dcg := MatMulTransA(wg, gg)
-		copy(dCols.Data[g*rows*npix:(g+1)*rows*npix], dcg.Data)
+		MatMulTransAInto(FromSlice(dCols.Data[g*rows*npix:(g+1)*rows*npix], rows, npix), wg, gg)
 	}
 	return Col2Im(dCols, p)
 }
@@ -161,25 +221,27 @@ func Conv2DGradInput(w *Tensor, gout *Tensor, p ConvParams) []float64 {
 // gradient gout [OutC, OutH, OutW]: returns (dIn, dW, dB).
 func Conv2DBackward(in []float64, w *Tensor, gout *Tensor, p ConvParams) (dIn []float64, dW *Tensor, dB []float64) {
 	p.Validate()
-	cols := Im2Col(in, p)
 	oh, ow := p.OutH(), p.OutW()
 	npix := oh * ow
 	ocpg := p.OutC / p.Groups
 	cpg := p.InC / p.Groups
 	rows := cpg * p.KH * p.KW
+	colsBuf := GetScratch(p.Groups * rows * npix)
+	dColsBuf := GetScratch(p.Groups * rows * npix)
+	defer PutScratch(colsBuf)
+	defer PutScratch(dColsBuf)
+	cols := Im2ColInto(FromSlice(colsBuf, p.Groups, rows, npix), in, p)
 
 	dW = New(w.Shape...)
-	dColsAll := New(p.Groups, rows, npix)
+	dColsAll := FromSlice(dColsBuf, p.Groups, rows, npix)
 	for g := 0; g < p.Groups; g++ {
 		gg := FromSlice(gout.Data[g*ocpg*npix:(g+1)*ocpg*npix], ocpg, npix)
 		cg := FromSlice(cols.Data[g*rows*npix:(g+1)*rows*npix], rows, npix)
-		// dW_g = gout_g · cols_gᵀ  -> [ocpg, rows]
-		dwg := MatMulTransB(gg, cg)
-		copy(dW.Data[g*ocpg*rows:(g+1)*ocpg*rows], dwg.Data)
-		// dCols_g = W_gᵀ · gout_g -> [rows, npix]
+		// dW_g = gout_g · cols_gᵀ  -> [ocpg, rows], written in place
+		MatMulTransBInto(FromSlice(dW.Data[g*ocpg*rows:(g+1)*ocpg*rows], ocpg, rows), gg, cg)
+		// dCols_g = W_gᵀ · gout_g -> [rows, npix], written in place
 		wg := FromSlice(w.Data[g*ocpg*rows:(g+1)*ocpg*rows], ocpg, rows)
-		dcg := MatMulTransA(wg, gg)
-		copy(dColsAll.Data[g*rows*npix:(g+1)*rows*npix], dcg.Data)
+		MatMulTransAInto(FromSlice(dColsAll.Data[g*rows*npix:(g+1)*rows*npix], rows, npix), wg, gg)
 	}
 	dIn = Col2Im(dColsAll, p)
 

@@ -1,0 +1,5 @@
+//go:build !race
+
+package darknight
+
+const raceEnabled = false
