@@ -5,14 +5,19 @@
 //	darknight infer   [-model ...] [-k K] [-integrity]
 //	darknight verify  [-malicious GPUIDX]
 //	darknight serve   [-model ...] [-k K] [-workers N] [-clients N] [-duration D]
+//	                  [-tenants gold:3,bronze:1] [-malicious I] [-faultprob P] [-recover]
+//	                  [-spares N] [-slack N] [-speculate D] [-slow I] [-slowdelay D]
 //	darknight loadgen [-model ...] [-k K] [-workers N] [-maxclients N] [-duration D]
+//	                  [-tenants ...] [-malicious I] [-faultprob P] [-slow I]
 //
 // `verify` demonstrates integrity detection: it runs a training step
 // against a cluster containing a tampering GPU and reports the violation.
 // `serve` stands up the concurrent inference service under closed-loop
-// client load and reports throughput, latency quantiles and batch
-// occupancy; `loadgen` sweeps the client count to chart how dynamic
-// K-batching converts concurrency into throughput.
+// client load and reports throughput, latency quantiles, batch occupancy
+// and the fleet health snapshot (quarantines, stragglers, tenant shares);
+// `loadgen` sweeps the client count to chart how dynamic K-batching
+// converts concurrency into throughput, optionally with fault injection
+// and fair-share tenants.
 package main
 
 import (

@@ -5,6 +5,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,9 +14,31 @@ import (
 	"darknight"
 )
 
+// parseTenants parses "gold:3,bronze:1" into tenant configs.
+func parseTenants(s string) []darknight.Tenant {
+	if s == "" {
+		return nil
+	}
+	var out []darknight.Tenant
+	for _, part := range strings.Split(s, ",") {
+		name, weightStr, found := strings.Cut(strings.TrimSpace(part), ":")
+		w := 1.0
+		if found {
+			v, err := strconv.ParseFloat(weightStr, 64)
+			if err != nil || v <= 0 {
+				log.Fatalf("bad tenant spec %q (want name:weight)", part)
+			}
+			w = v
+		}
+		out = append(out, darknight.Tenant{Name: name, Weight: w})
+	}
+	return out
+}
+
 // runLoad drives closed-loop client goroutines against a server for the
-// given duration and returns (completed, integrityErrors, otherErrors).
-func runLoad(srv *darknight.Server, images [][]float64, clients int, d time.Duration) (int64, int64, int64) {
+// given duration, spreading clients round-robin over the tenants (empty =
+// default tenant), and returns (completed, integrityErrors, otherErrors).
+func runLoad(srv *darknight.Server, images [][]float64, clients int, d time.Duration, tenants []darknight.Tenant) (int64, int64, int64) {
 	var ok, integrity, failed int64
 	deadline := time.Now().Add(d)
 	var wg sync.WaitGroup
@@ -22,8 +46,17 @@ func runLoad(srv *darknight.Server, images [][]float64, clients int, d time.Dura
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
+			tenant := ""
+			if len(tenants) > 0 {
+				tenant = tenants[c%len(tenants)].Name
+			}
 			for i := c; time.Now().Before(deadline); i++ {
-				_, err := srv.Infer(context.Background(), images[i%len(images)])
+				var err error
+				if tenant == "" {
+					_, err = srv.Infer(context.Background(), images[i%len(images)])
+				} else {
+					_, err = srv.InferAs(context.Background(), tenant, images[i%len(images)])
+				}
 				switch {
 				case err == nil:
 					atomic.AddInt64(&ok, 1)
@@ -39,6 +72,35 @@ func runLoad(srv *darknight.Server, images [][]float64, clients int, d time.Dura
 	return ok, integrity, failed
 }
 
+// printFleet reports the fleet manager's health and fairness state.
+func printFleet(st darknight.FleetStats) {
+	fmt.Printf("fleet: %d healthy, %d probation, %d quarantined; %d quarantine events, %d re-admissions, %d stragglers, %d speculative re-dispatches\n",
+		st.Healthy, st.OnProbation, st.Quarantined,
+		st.QuarantineEvents, st.Readmissions, st.StragglerEvents, st.Speculations)
+	for _, d := range st.Devices {
+		if d.State.String() == "healthy" && d.Faults == 0 && d.Stragglers == 0 {
+			continue
+		}
+		fmt.Printf("  gpu %2d [%016x gen%d]: %-11s score %.2f, %d dispatches, %d faults, %d straggles, ewma %v\n",
+			d.ID, d.Fingerprint, d.Generation, d.State, d.FaultScore, d.Dispatches, d.Faults, d.Stragglers, d.EWMALatency)
+	}
+	events := st.Events
+	if len(events) > 10 {
+		fmt.Printf("  ... %d earlier events elided\n", len(events)-10)
+		events = events[len(events)-10:]
+	}
+	for _, ev := range events {
+		fmt.Printf("  event %d: gpu %d %s -> %s (%s)\n", ev.Seq, ev.Device, ev.From, ev.To, ev.Reason)
+	}
+	if len(st.Tenants) > 1 {
+		fmt.Println("  tenant shares:")
+		for _, tu := range st.Tenants {
+			fmt.Printf("    %-10s weight %.1f: %d gangs, %.3f device-s, normalized share %.3f\n",
+				tu.Name, tu.Weight, tu.Grants, tu.DeviceSeconds, tu.Share)
+		}
+	}
+}
+
 func cmdServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	modelName := fs.String("model", "tiny", "model architecture")
@@ -49,6 +111,15 @@ func cmdServe(args []string) {
 	maxWait := fs.Duration("maxwait", 2*time.Millisecond, "batching deadline before dummy-row padding")
 	integrity := fs.Bool("integrity", false, "enable integrity verification (one extra GPU per gang)")
 	malicious := fs.Int("malicious", -1, "index of a tampering GPU (-1 = none; implies -integrity)")
+	faultProb := fs.Float64("faultprob", 0, "probabilistic fault injection on the malicious GPU (0 = corrupt every job)")
+	faultSeed := fs.Int64("faultseed", 1, "seed of the probabilistic fault injector")
+	recover := fs.Bool("recover", false, "audit-and-recover tampered batches (forces E=2 and quarantine attribution)")
+	tenantsFlag := fs.String("tenants", "", "fair-share tenants, e.g. gold:3,bronze:1 (clients round-robin over them)")
+	spares := fs.Int("spares", 0, "spare GPUs beyond the worker gangs (quarantine/speculation headroom)")
+	slack := fs.Int("slack", 0, "straggler slack: decode after all but N coded responses (needs E >= 2)")
+	speculate := fs.Duration("speculate", 0, "speculative re-dispatch window for lagging shares (0 = off)")
+	slow := fs.Int("slow", -1, "index of a deterministically slow GPU (-1 = none)")
+	slowDelay := fs.Duration("slowdelay", 5*time.Millisecond, "added latency of the slow GPU")
 	seed := fs.Int64("seed", 1, "random seed")
 	fs.Parse(args)
 
@@ -59,17 +130,37 @@ func cmdServe(args []string) {
 	if *integrity || *malicious >= 0 {
 		redundancy = 1
 	}
+	if *recover || *slack > 0 {
+		redundancy = 2
+	}
+	tenants := parseTenants(*tenantsFlag)
 	cfg := darknight.ServerConfig{
 		Config: darknight.Config{
 			VirtualBatch: *k,
 			Redundancy:   redundancy,
 			Seed:         *seed,
 		},
-		Workers: *workers,
-		MaxWait: *maxWait,
+		Workers:        *workers,
+		MaxWait:        *maxWait,
+		Tenants:        tenants,
+		SpareGPUs:      *spares,
+		Recover:        *recover,
+		StragglerSlack: *slack,
+		SpeculateAfter: *speculate,
 	}
 	if *malicious >= 0 {
 		cfg.MaliciousGPUs = []int{*malicious}
+		if *faultProb > 0 {
+			cfg.FaultPolicy.Probability = *faultProb
+			cfg.FaultPolicy.Seed = *faultSeed
+		}
+	}
+	if *slow >= 0 {
+		cfg.SlowGPUs = []int{*slow}
+		cfg.SlowDelay = *slowDelay
+	}
+	if *speculate > 0 && *slack < 1 {
+		log.Println("note: -speculate rides the straggler quorum path; pass -slack >= 1 for it to engage")
 	}
 	srv, err := darknight.NewServer(func() *darknight.Model { return buildModel(*modelName, *seed) }, cfg)
 	if err != nil {
@@ -84,9 +175,9 @@ func cmdServe(args []string) {
 	}
 
 	gang := *k + 1 + redundancy
-	fmt.Printf("serving %s privately: K=%d, gang=%d GPUs, %d workers, %d clients, maxwait=%v\n",
-		*modelName, *k, gang, *workers, *clients, *maxWait)
-	ok, integ, failed := runLoad(srv, images, *clients, *duration)
+	fmt.Printf("serving %s privately: K=%d, gang=%d GPUs (+%d spares), %d workers, %d clients, maxwait=%v\n",
+		*modelName, *k, gang, *spares, *workers, *clients, *maxWait)
+	ok, integ, failed := runLoad(srv, images, *clients, *duration, tenants)
 
 	m := srv.Metrics()
 	fmt.Printf("completed %d requests in %v (%.0f req/s)\n", ok, *duration, m.Throughput)
@@ -102,13 +193,15 @@ func cmdServe(args []string) {
 			m.Phases.Decode, pct(m.Phases.Decode))
 	}
 	if *malicious >= 0 {
-		fmt.Printf("integrity: %d requests rejected with tampered-GPU detection\n", integ)
-		if integ == 0 && ok > 0 {
-			fmt.Println("note: the tampering GPU's gang was never leased; raise -clients or lower -workers")
+		if *recover {
+			fmt.Printf("integrity: %d requests rejected, %d served through recovery despite tampering\n", integ, ok)
+		} else {
+			fmt.Printf("integrity: %d requests rejected with tampered-GPU detection\n", integ)
 		}
 	} else if integ+failed > 0 {
 		fmt.Printf("errors: %d integrity, %d other\n", integ, failed)
 	}
+	printFleet(srv.FleetStats())
 	tr := srv.GPUTraffic()
 	fmt.Printf("GPUs: %d jobs, %d bytes in, %d bytes out\n", tr.Jobs, tr.BytesIn, tr.BytesOut)
 }
@@ -121,12 +214,19 @@ func cmdLoadgen(args []string) {
 	maxClients := fs.Int("maxclients", 16, "largest client count in the sweep")
 	duration := fs.Duration("duration", time.Second, "load duration per step")
 	maxWait := fs.Duration("maxwait", 2*time.Millisecond, "batching deadline")
+	tenantsFlag := fs.String("tenants", "", "fair-share tenants, e.g. gold:3,bronze:1 (clients round-robin over them)")
+	malicious := fs.Int("malicious", -1, "index of a tampering GPU (-1 = none; forces E=2 + recovery)")
+	faultProb := fs.Float64("faultprob", 0, "probabilistic fault injection on the malicious GPU (0 = corrupt every job)")
+	faultSeed := fs.Int64("faultseed", 1, "seed of the probabilistic fault injector")
+	slow := fs.Int("slow", -1, "index of a deterministically slow GPU (-1 = none)")
+	slowDelay := fs.Duration("slowdelay", 5*time.Millisecond, "added latency of the slow GPU")
 	seed := fs.Int64("seed", 1, "random seed")
 	fs.Parse(args)
 
 	if *k < 1 {
 		log.Fatalf("loadgen: -k %d invalid, need K >= 1", *k)
 	}
+	tenants := parseTenants(*tenantsFlag)
 	data := darknight.SyntheticDataset(256, 4, 1, 8, 8, *seed+1)
 	images := make([][]float64, len(data))
 	for i := range images {
@@ -134,19 +234,50 @@ func cmdLoadgen(args []string) {
 	}
 
 	fmt.Printf("load sweep: %s, K=%d, %d workers, %v per step\n", *modelName, *k, *workers, *duration)
-	fmt.Printf("%8s %12s %12s %12s %10s\n", "clients", "req/s", "p50", "p99", "occupancy")
+	fmt.Printf("%8s %12s %12s %12s %10s %12s\n", "clients", "req/s", "p50", "p99", "occupancy", "quarantined")
 	for clients := 1; clients <= *maxClients; clients *= 2 {
-		srv, err := darknight.NewServer(func() *darknight.Model { return buildModel(*modelName, *seed) }, darknight.ServerConfig{
+		cfg := darknight.ServerConfig{
 			Config:  darknight.Config{VirtualBatch: *k, Seed: *seed},
 			Workers: *workers,
 			MaxWait: *maxWait,
-		})
+			Tenants: tenants,
+		}
+		if *malicious >= 0 {
+			// Fault injection in a sweep wants the service to survive:
+			// attribute + recover + quarantine rather than fail requests.
+			cfg.Redundancy = 2
+			cfg.Recover = true
+			cfg.SpareGPUs = 2
+			cfg.MaliciousGPUs = []int{*malicious}
+			if *faultProb > 0 {
+				cfg.FaultPolicy.Probability = *faultProb
+				cfg.FaultPolicy.Seed = *faultSeed
+			}
+		}
+		if *slow >= 0 {
+			cfg.SlowGPUs = []int{*slow}
+			cfg.SlowDelay = *slowDelay
+		}
+		srv, err := darknight.NewServer(func() *darknight.Model { return buildModel(*modelName, *seed) }, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		runLoad(srv, images, clients, *duration)
+		runLoad(srv, images, clients, *duration, tenants)
 		m := srv.Metrics()
+		fst := srv.FleetStats()
 		srv.Close()
-		fmt.Printf("%8d %12.0f %12v %12v %10.2f\n", clients, m.Throughput, m.P50, m.P99, m.Occupancy)
+		fmt.Printf("%8d %12.0f %12v %12v %10.2f %12d\n", clients, m.Throughput, m.P50, m.P99, m.Occupancy, fst.Quarantined)
+		if len(tenants) > 0 {
+			for _, ts := range m.Tenants {
+				var share float64
+				for _, tu := range fst.Tenants {
+					if tu.Name == ts.Name {
+						share = tu.DeviceSeconds
+					}
+				}
+				fmt.Printf("%8s   %-10s completed %6d, occupancy %.2f, %.3f device-s\n",
+					"", ts.Name, ts.Completed, ts.Occupancy, share)
+			}
+		}
 	}
 }

@@ -22,6 +22,7 @@ package darknight
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"darknight/internal/dataset"
 	"darknight/internal/enclave"
@@ -41,9 +42,19 @@ type Config struct {
 	Redundancy int
 	// GPUs is the cluster size K'; 0 sizes it minimally (K+M+E).
 	GPUs int
-	// MaliciousGPUs marks device indices that corrupt every result —
-	// used to demonstrate integrity detection.
+	// MaliciousGPUs marks device indices that corrupt results — used to
+	// demonstrate integrity detection and fleet quarantine.
 	MaliciousGPUs []int
+	// FaultPolicy overrides how MaliciousGPUs corrupt (zero value picks
+	// corrupt-every-result). The probabilistic mode with a Seed gives
+	// reproducible fault injection.
+	FaultPolicy gpu.FaultPolicy
+	// SlowGPUs marks device indices that answer late by SlowDelay —
+	// deterministic stragglers for quorum/speculation experiments.
+	SlowGPUs []int
+	// SlowDelay is the added latency of SlowGPUs (default 5ms when
+	// SlowGPUs is set).
+	SlowDelay time.Duration
 	// EnclaveBytes bounds the software enclave's protected memory;
 	// 0 selects the SGX default (~93 MB usable), negative disables
 	// memory accounting.
@@ -112,17 +123,31 @@ func NewSystem(model *Model, cfg Config) (*System, error) {
 }
 
 // buildCluster assembles the simulated device fleet a Config describes,
-// wrapping the marked indices with always-tampering fault policies.
+// wrapping the marked indices with fault policies and straggler delays.
 func buildCluster(cfg Config) (*gpu.Cluster, error) {
 	devs := make([]gpu.Device, cfg.GPUs)
 	for i := range devs {
 		devs[i] = gpu.NewHonest(i)
 	}
+	policy := cfg.FaultPolicy
+	if policy.EveryNth == 0 && policy.Probability == 0 {
+		policy = gpu.FaultPolicy{EveryNth: 1}
+	}
 	for _, idx := range cfg.MaliciousGPUs {
 		if idx < 0 || idx >= len(devs) {
 			return nil, fmt.Errorf("darknight: malicious GPU index %d outside cluster of %d", idx, len(devs))
 		}
-		devs[idx] = gpu.NewMalicious(devs[idx], gpu.FaultPolicy{EveryNth: 1})
+		devs[idx] = gpu.NewMalicious(devs[idx], policy)
+	}
+	delay := cfg.SlowDelay
+	if delay == 0 {
+		delay = 5 * time.Millisecond
+	}
+	for _, idx := range cfg.SlowGPUs {
+		if idx < 0 || idx >= len(devs) {
+			return nil, fmt.Errorf("darknight: slow GPU index %d outside cluster of %d", idx, len(devs))
+		}
+		devs[idx] = gpu.NewSlow(devs[idx], delay)
 	}
 	return gpu.NewCluster(devs...), nil
 }

@@ -1,0 +1,262 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"darknight/internal/field"
+	"darknight/internal/gpu"
+)
+
+// Grant is temporary exclusive ownership of a device gang plus the
+// fleet-side dispatch machinery. It implements the runtime's Fleet surface
+// (Size/ForwardAll/BackwardAll) and the straggler-tolerant ForwardQuorum
+// extension, records per-device outcomes (latency, stragglers, faults) and
+// folds them into the health tracker on Release.
+type Grant struct {
+	m     *Manager
+	t     *tenant
+	ids   []int // cluster indices, slot i serves coded input i
+	devs  []gpu.Device
+	gang  *gpu.Cluster
+	start time.Time
+	once  sync.Once
+
+	mu        sync.Mutex
+	latSum    []time.Duration
+	latN      []int64
+	straggles []int
+	faulted   []bool
+	suspect   bool
+	specCount int64
+
+	// results is the reusable wait-all gather buffer; valid between
+	// dispatches of the single engine driving this grant.
+	results []field.Vec
+}
+
+func newGrant(m *Manager, t *tenant, ids []int) *Grant {
+	devs := make([]gpu.Device, len(ids))
+	for i, idx := range ids {
+		devs[i] = m.cluster.Device(idx)
+	}
+	return &Grant{
+		m:         m,
+		t:         t,
+		ids:       ids,
+		devs:      devs,
+		gang:      gpu.NewCluster(devs...),
+		start:     time.Now(),
+		latSum:    make([]time.Duration, len(ids)),
+		latN:      make([]int64, len(ids)),
+		straggles: make([]int, len(ids)),
+		faulted:   make([]bool, len(ids)),
+	}
+}
+
+// Size returns the gang size.
+func (g *Grant) Size() int { return len(g.ids) }
+
+// DeviceIDs returns the physical device IDs backing the gang slots.
+func (g *Grant) DeviceIDs() []int {
+	out := make([]int, len(g.devs))
+	for i, d := range g.devs {
+		out[i] = d.ID()
+	}
+	return out
+}
+
+// Tenant returns the tenant the gang is charged to.
+func (g *Grant) Tenant() string { return g.t.name }
+
+// record accumulates one device response latency.
+func (g *Grant) record(slot int, lat time.Duration) {
+	g.mu.Lock()
+	g.latSum[slot] += lat
+	g.latN[slot]++
+	g.mu.Unlock()
+}
+
+// ForwardAll dispatches coded inputs one-per-device and gathers every
+// result in slot order — the wait-for-all path, keeping the caller's
+// zero-allocation buffers live only until the next dispatch.
+func (g *Grant) ForwardAll(key string, kernel gpu.LinearKernel, coded []field.Vec) ([]field.Vec, error) {
+	n := len(coded)
+	if n > len(g.devs) {
+		return nil, fmt.Errorf("fleet: %d coded inputs for gang of %d", n, len(g.devs))
+	}
+	if cap(g.results) < n {
+		g.results = make([]field.Vec, n)
+	}
+	results := g.results[:n]
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for i := range coded {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = g.devs[i].LinearForward(key, kernel, coded[i])
+			g.record(i, time.Since(t0))
+		}(i)
+	}
+	wg.Wait()
+	return results, nil
+}
+
+// quorumState collects responses for one early-return dispatch. Laggards
+// keep delivering into it after the quorum snapshot is taken; the snapshot
+// arrays handed to the caller are never mutated again.
+type quorumState struct {
+	mu      sync.Mutex
+	results []field.Vec
+	filled  []bool
+}
+
+// deliver records a response for a slot; first writer wins. Each fill
+// sends one token on arrived.
+func (q *quorumState) deliver(slot int, y field.Vec, arrived chan<- int) {
+	q.mu.Lock()
+	if q.filled[slot] {
+		q.mu.Unlock()
+		return
+	}
+	q.filled[slot] = true
+	q.results[slot] = y
+	q.mu.Unlock()
+	arrived <- slot
+}
+
+func (q *quorumState) snapshot() ([]field.Vec, []bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]field.Vec, len(q.results))
+	present := make([]bool, len(q.filled))
+	copy(out, q.results)
+	copy(present, q.filled)
+	return out, present
+}
+
+// ForwardQuorum dispatches all coded inputs but returns as soon as quorum
+// responses have arrived — the MDS property lets the decoder proceed
+// without the stragglers. Devices that missed the quorum are recorded as
+// stragglers (their responses, arriving later, are discarded), and when
+// the manager's SpeculateAfter window expires first, a lagging slot's
+// coded share is re-dispatched to a borrowed spare device, first response
+// winning. The returned slices are immutable snapshots.
+//
+// The caller must guarantee the coded inputs and the kernel's captured
+// state outlive the call unboundedly (laggard kernels finish on their own
+// time): internal/sched clones them out of its arena on the quorum path.
+func (g *Grant) ForwardQuorum(key string, kernel gpu.LinearKernel, coded []field.Vec, quorum int) ([]field.Vec, []bool, error) {
+	n := len(coded)
+	if n > len(g.devs) {
+		return nil, nil, fmt.Errorf("fleet: %d coded inputs for gang of %d", n, len(g.devs))
+	}
+	if quorum <= 0 || quorum >= n {
+		results, err := g.ForwardAll(key, kernel, coded)
+		if err != nil {
+			return nil, nil, err
+		}
+		present := make([]bool, n)
+		for i := range present {
+			present[i] = true
+		}
+		return results, present, nil
+	}
+
+	st := &quorumState{results: make([]field.Vec, n), filled: make([]bool, n)}
+	arrived := make(chan int, 2*n) // n originals + at most n speculative retries
+	t0 := time.Now()
+	for i := range coded {
+		go func(i int) {
+			y := g.devs[i].LinearForward(key, kernel, coded[i])
+			g.record(i, time.Since(t0))
+			st.deliver(i, y, arrived)
+		}(i)
+	}
+	var spec *time.Timer
+	if d := g.m.cfg.SpeculateAfter; d > 0 {
+		spec = time.AfterFunc(d, func() { g.speculate(key, kernel, coded, st, arrived) })
+	}
+	for got := 0; got < quorum; got++ {
+		<-arrived
+	}
+	if spec != nil {
+		spec.Stop()
+	}
+	results, present := st.snapshot()
+	g.mu.Lock()
+	for i, p := range present {
+		if !p {
+			g.straggles[i]++
+		}
+	}
+	g.mu.Unlock()
+	return results, present, nil
+}
+
+// speculate re-dispatches every still-lagging coded share to a borrowed
+// spare device. Best-effort: it stops as soon as the spare pool runs dry.
+func (g *Grant) speculate(key string, kernel gpu.LinearKernel, coded []field.Vec, st *quorumState, arrived chan<- int) {
+	st.mu.Lock()
+	var lagging []int
+	for i, f := range st.filled {
+		if !f {
+			lagging = append(lagging, i)
+		}
+	}
+	st.mu.Unlock()
+	for _, slot := range lagging {
+		rec, dev, ok := g.m.borrowSpare()
+		if !ok {
+			return
+		}
+		g.mu.Lock()
+		g.specCount++
+		g.mu.Unlock()
+		go func(slot int, rec *deviceRec, dev gpu.Device) {
+			ts := time.Now()
+			y := dev.LinearForward(key+"#spec", kernel, coded[slot])
+			g.m.returnSpare(rec, time.Since(ts))
+			st.deliver(slot, y, arrived)
+		}(slot, rec, dev)
+	}
+}
+
+// BackwardAll dispatches the per-device gradient equations against the
+// coded inputs stored during forward (wait-for-all: the backward decode
+// has no redundant-subset path yet).
+func (g *Grant) BackwardAll(key string, kernel gpu.BilinearKernel, deltas []field.Vec) ([]field.Vec, error) {
+	return g.gang.BackwardAll(key, kernel, deltas)
+}
+
+// ReportFaults marks gang slots attributed as tampering by the redundant
+// decoding; on Release each marked device takes a full-threshold fault
+// (immediate quarantine).
+func (g *Grant) ReportFaults(slots []int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, s := range slots {
+		if s >= 0 && s < len(g.faulted) {
+			g.faulted[s] = true
+		}
+	}
+}
+
+// ReportSuspect marks the whole gang suspect: an integrity violation was
+// detected but could not be attributed (E < 2). Every member's fault score
+// rises by SuspectScore on Release; the persistent offender accumulates
+// suspicion across differently composed gangs until quarantined.
+func (g *Grant) ReportSuspect() {
+	g.mu.Lock()
+	g.suspect = true
+	g.mu.Unlock()
+}
+
+// Release returns the gang to the pool, folding the recorded outcomes into
+// the health tracker and the tenant's share account. Safe to call more
+// than once.
+func (g *Grant) Release() {
+	g.once.Do(func() { g.m.release(g) })
+}

@@ -9,7 +9,9 @@ package gpu
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
+	"time"
 
 	"darknight/internal/field"
 )
@@ -106,12 +108,22 @@ func (d *honest) Traffic() Traffic {
 	return d.traffic
 }
 
-// FaultPolicy decides which jobs a malicious device corrupts.
+// FaultPolicy decides which jobs a malicious device corrupts. Exactly one
+// of EveryNth and Probability should be set; the probabilistic mode draws
+// from a policy-private RNG seeded with Seed, so fault-injection runs are
+// reproducible — no global randomness is consulted.
 type FaultPolicy struct {
 	// EveryNth corrupts every n-th job (1 = all jobs). 0 disables.
 	EveryNth int
-	// Offset delays the first corruption.
+	// Offset delays the first corruption (counting-mode only).
 	Offset int
+	// Probability corrupts each job independently with this chance,
+	// drawn deterministically from a per-policy RNG. 0 disables; when
+	// both modes are set, Probability wins.
+	Probability float64
+	// Seed seeds the probabilistic mode's private RNG. Two devices given
+	// the same Seed corrupt the same job sequence.
+	Seed int64
 }
 
 // malicious wraps an honest device and corrupts selected outputs — the
@@ -120,6 +132,7 @@ type malicious struct {
 	Device
 	policy FaultPolicy
 	mu     sync.Mutex
+	rng    *rand.Rand // probabilistic mode only; guarded by mu
 	count  int
 	// Corruptions counts how many results were tampered with.
 	corruptions int
@@ -127,16 +140,27 @@ type malicious struct {
 
 // NewMalicious wraps a device with a fault policy.
 func NewMalicious(inner Device, policy FaultPolicy) Device {
-	return &malicious{Device: inner, policy: policy}
+	m := &malicious{Device: inner, policy: policy}
+	if policy.Probability > 0 {
+		m.rng = rand.New(rand.NewSource(policy.Seed))
+	}
+	return m
 }
 
 func (m *malicious) shouldCorrupt() bool {
-	if m.policy.EveryNth <= 0 {
+	if m.policy.Probability <= 0 && m.policy.EveryNth <= 0 {
 		return false
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.count++
+	if m.policy.Probability > 0 {
+		if m.rng.Float64() < m.policy.Probability {
+			m.corruptions++
+			return true
+		}
+		return false
+	}
 	if m.count <= m.policy.Offset {
 		return false
 	}
@@ -179,6 +203,31 @@ func (m *malicious) Corruptions() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.corruptions
+}
+
+// slow wraps a device and delays every result by a fixed amount — the
+// straggler of distributed-serving folklore: functionally correct, just
+// late. The delay is deterministic so straggler experiments reproduce.
+type slow struct {
+	Device
+	delay time.Duration
+}
+
+// NewSlow wraps a device so every job takes at least delay longer.
+func NewSlow(inner Device, delay time.Duration) Device {
+	return &slow{Device: inner, delay: delay}
+}
+
+func (s *slow) LinearForward(key string, kernel LinearKernel, x field.Vec) field.Vec {
+	y := s.Device.LinearForward(key, kernel, x)
+	time.Sleep(s.delay)
+	return y
+}
+
+func (s *slow) GradWeights(key string, kernel BilinearKernel, delta field.Vec) (field.Vec, error) {
+	y, err := s.Device.GradWeights(key, kernel, delta)
+	time.Sleep(s.delay)
+	return y, err
 }
 
 // CollusionPool gathers everything a coalition of devices observed, for the

@@ -3,6 +3,7 @@ package gpu
 import (
 	"math/rand"
 	"testing"
+	"time"
 
 	"darknight/internal/field"
 )
@@ -61,6 +62,60 @@ func TestMaliciousDevicePolicy(t *testing.T) {
 	}
 	if c := dev.(*malicious).Corruptions(); c != 2 {
 		t.Fatalf("corruptions = %d", c)
+	}
+}
+
+func TestMaliciousSeededProbabilityIsDeterministic(t *testing.T) {
+	// Two devices with the same seeded probabilistic policy must corrupt the
+	// exact same job sequence — fault-injection runs reproduce bit-for-bit.
+	rng := rand.New(rand.NewSource(5))
+	x := field.RandVec(rng, 6)
+	honest := field.ScaleVec(5, x)
+	run := func(seed int64) []bool {
+		dev := NewMalicious(NewHonest(0), FaultPolicy{Probability: 0.4, Seed: seed})
+		out := make([]bool, 40)
+		for i := range out {
+			out[i] = !dev.LinearForward("k", scaleKernel(5), x).Equal(honest)
+		}
+		return out
+	}
+	a, b := run(9), run(9)
+	corrupted := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("job %d: same seed diverged (%v vs %v)", i, a[i], b[i])
+		}
+		if a[i] {
+			corrupted++
+		}
+	}
+	if corrupted == 0 || corrupted == len(a) {
+		t.Fatalf("probability 0.4 corrupted %d/%d jobs; want a strict subset", corrupted, len(a))
+	}
+	c := run(10)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+func TestSlowDeviceIsCorrectJustLate(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := field.RandVec(rng, 8)
+	dev := NewSlow(NewHonest(0), time.Millisecond)
+	start := time.Now()
+	y := dev.LinearForward("k", scaleKernel(3), x)
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("slow device returned early")
+	}
+	if !y.Equal(field.ScaleVec(3, x)) {
+		t.Fatal("slow device corrupted the result")
 	}
 }
 

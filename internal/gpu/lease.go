@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // LeaseManager arbitrates exclusive device leases over one physical
@@ -24,8 +25,21 @@ type LeaseManager struct {
 	wake chan struct{} // closed and replaced on every release
 
 	// stats
-	grants int64
-	waits  int64 // grants that had to block at least once
+	grants   int64
+	waits    int64         // grants that had to block at least once
+	waitTime time.Duration // total time grants spent blocked
+}
+
+// LeaseStats reports the lease manager's grant counters.
+type LeaseStats struct {
+	// Grants is the total number of gangs handed out.
+	Grants int64
+	// Waits counts grants that had to block at least once before their
+	// full gang was free.
+	Waits int64
+	// WaitTime is the cumulative wall-clock time grants spent blocked in
+	// Acquire (acquire-wait duration summed over all blocked grants).
+	WaitTime time.Duration
 }
 
 // NewLeaseManager puts every device of the cluster under lease management.
@@ -50,11 +64,12 @@ func (lm *LeaseManager) Free() int {
 // InUse returns how many devices are currently leased out.
 func (lm *LeaseManager) InUse() int { return lm.cluster.Size() - lm.Free() }
 
-// Stats reports (grants, grants-that-blocked).
-func (lm *LeaseManager) Stats() (grants, waited int64) {
+// Stats reports the grant/wait counters and the cumulative acquire-wait
+// duration.
+func (lm *LeaseManager) Stats() LeaseStats {
 	lm.mu.Lock()
 	defer lm.mu.Unlock()
-	return lm.grants, lm.waits
+	return LeaseStats{Grants: lm.grants, Waits: lm.waits, WaitTime: lm.waitTime}
 }
 
 // Acquire blocks until n devices are simultaneously free, then leases all
@@ -68,6 +83,7 @@ func (lm *LeaseManager) Acquire(ctx context.Context, n int) (*Lease, error) {
 		return nil, fmt.Errorf("gpu: gang of %d devices can never fit cluster of %d", n, lm.cluster.Size())
 	}
 	blocked := false
+	var blockedAt time.Time
 	for {
 		lm.mu.Lock()
 		if len(lm.free) >= n {
@@ -77,6 +93,7 @@ func (lm *LeaseManager) Acquire(ctx context.Context, n int) (*Lease, error) {
 			lm.grants++
 			if blocked {
 				lm.waits++
+				lm.waitTime += time.Since(blockedAt)
 			}
 			lm.mu.Unlock()
 			devs := make([]Device, n)
@@ -87,7 +104,10 @@ func (lm *LeaseManager) Acquire(ctx context.Context, n int) (*Lease, error) {
 		}
 		wake := lm.wake
 		lm.mu.Unlock()
-		blocked = true
+		if !blocked {
+			blocked = true
+			blockedAt = time.Now()
+		}
 		select {
 		case <-wake:
 		case <-ctx.Done():

@@ -112,28 +112,54 @@ func (c *Code) VerifyForward(results []field.Vec) error {
 // On success it returns the (possibly empty) sorted list of faulty GPU
 // indices.
 func (c *Code) AuditForward(results []field.Vec) ([]int, error) {
-	if c.E == 0 {
-		return nil, ErrNoRedundancy
-	}
 	if len(results) < c.NumCoded() {
 		return nil, fmt.Errorf("%w: got %d results, need %d", ErrWrongCount, len(results), c.NumCoded())
 	}
-	total := c.NumCoded()
+	all := make([]bool, c.NumCoded())
+	for j := range all {
+		all[j] = true
+	}
+	return c.AuditForwardSubset(results, all)
+}
+
+// AuditForwardSubset is AuditForward restricted to the present coded
+// responses — the straggler-path audit. Only present columns are searched
+// as decode subsets and only present columns are cross-checked, so the
+// effective redundancy is checks = (present count) - S: attributing t
+// simultaneous culprits needs checks > t.
+func (c *Code) AuditForwardSubset(results []field.Vec, present []bool) ([]int, error) {
+	if c.E == 0 {
+		return nil, ErrNoRedundancy
+	}
+	if len(results) < c.NumCoded() || len(present) != len(results) {
+		return nil, fmt.Errorf("%w: got %d results / %d mask entries, code has %d columns",
+			ErrWrongCount, len(results), len(present), c.NumCoded())
+	}
+	var cols []int
+	for j := 0; j < c.NumCoded(); j++ {
+		if present[j] {
+			cols = append(cols, j)
+		}
+	}
+	if len(cols) < c.S {
+		return nil, fmt.Errorf("%w: %d responses present, need %d", ErrSubsetTooSmall, len(cols), c.S)
+	}
+	checks := len(cols) - c.S
 	best := []int(nil)
-	bestCount := total + 1
+	bestCount := len(cols) + 1
 	found := false
 	subset := make([]int, c.S)
-	try := func(cols []int) {
-		full, err := c.DecodeFull(results, cols)
+	try := func(chosen []int) {
+		full, err := c.DecodeFull(results, chosen)
 		if err != nil {
 			return // singular subset; skip
 		}
-		inSubset := make([]bool, total)
-		for _, col := range cols {
+		inSubset := make(map[int]bool, len(chosen))
+		for _, col := range chosen {
 			inSubset[col] = true
 		}
 		var mismatches []int
-		for j := 0; j < total; j++ {
+		for _, j := range cols {
 			if inSubset[j] {
 				continue
 			}
@@ -156,8 +182,8 @@ func (c *Code) AuditForward(results []field.Vec) ([]int, error) {
 			try(subset)
 			return
 		}
-		for i := start; i <= total-(c.S-depth); i++ {
-			subset[depth] = i
+		for i := start; i <= len(cols)-(c.S-depth); i++ {
+			subset[depth] = cols[i]
 			search(i+1, depth+1)
 		}
 	}
@@ -165,11 +191,11 @@ func (c *Code) AuditForward(results []field.Vec) ([]int, error) {
 	if !found {
 		return nil, fmt.Errorf("%w: no invertible decode subset", ErrIntegrity)
 	}
-	// A consistent subset explains all but `bestCount` equations. Those are
-	// attributable culprits only if enough redundancy remains to have
-	// cross-checked them.
-	if bestCount > c.E-1 && bestCount > 0 {
-		return nil, fmt.Errorf("%w: corruption detected but not attributable with E=%d", ErrIntegrity, c.E)
+	// A consistent subset explains all but `bestCount` present equations.
+	// Those are attributable culprits only if enough redundancy remains to
+	// have cross-checked them.
+	if bestCount > checks-1 && bestCount > 0 {
+		return nil, fmt.Errorf("%w: corruption detected but not attributable with %d present checks", ErrIntegrity, checks)
 	}
 	return best, nil
 }

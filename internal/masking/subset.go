@@ -1,0 +1,115 @@
+package masking
+
+import (
+	"fmt"
+
+	"darknight/internal/field"
+)
+
+// This file adds the response-subset decode path behind straggler
+// mitigation: the code is MDS over its coded columns — the K forward
+// results are decodable from ANY S = K+M of the S+E coded responses, not
+// just the primary window — so a dispatch does not have to wait for its
+// slowest device. The fleet layer returns early with a presence mask and
+// the decoder works from whatever arrived, spending every present column
+// beyond the first S as a redundant integrity check.
+
+// ErrSubsetTooSmall is returned when fewer than S coded results are present.
+var ErrSubsetTooSmall = fmt.Errorf("%w: fewer than S responses present", ErrWrongCount)
+
+// DecodeForwardSubsetInto decodes the K forward results into the
+// caller-owned dst vectors from any S present coded responses, using the
+// remaining present responses as redundant verification equations.
+//
+// results must have NumCoded entries, of which only those with present[j]
+// true are read; at least S must be present. Every present column beyond
+// the decode subset is re-predicted from the decoded images and compared
+// (the §4.4 redundant check generalized to arbitrary subsets): a mismatch
+// returns ErrIntegrity. Callers wanting verification must therefore supply
+// at least S+1 present responses; exactly S present decodes unverified.
+//
+// Because decoding is exact linear algebra over F_p, the output is
+// bit-for-bit identical to DecodeForward on the full response set — the
+// straggler path costs no accuracy.
+func (c *Code) DecodeForwardSubsetInto(dst []field.Vec, results []field.Vec, present []bool) error {
+	if len(results) < c.NumCoded() || len(present) != len(results) {
+		return fmt.Errorf("%w: got %d results / %d mask entries, code has %d columns",
+			ErrWrongCount, len(results), len(present), c.NumCoded())
+	}
+	if len(dst) != c.K {
+		return fmt.Errorf("%w: got %d destinations, decode yields K=%d", ErrWrongCount, len(dst), c.K)
+	}
+	cols := make([]int, 0, c.NumCoded())
+	for j := 0; j < c.NumCoded(); j++ {
+		if present[j] {
+			cols = append(cols, j)
+		}
+	}
+	if len(cols) < c.S {
+		return fmt.Errorf("%w: %d of %d responses present, need %d", ErrSubsetTooSmall, len(cols), c.NumCoded(), c.S)
+	}
+	n := len(results[cols[0]])
+	for _, j := range cols {
+		if len(results[j]) != n {
+			return ErrShapeMismatch
+		}
+	}
+	for _, d := range dst {
+		if len(d) != n {
+			return ErrShapeMismatch
+		}
+	}
+
+	// Decode all S underlying images (inputs + noise) from the first S
+	// present columns; by construction singular S-subsets are astronomically
+	// rare, but fall back to rotating one column in from the checks if the
+	// leading window happens to be degenerate.
+	full, used, err := c.decodeAnySubset(results, cols)
+	if err != nil {
+		return err
+	}
+
+	// Every present column outside the decode subset is a free redundant
+	// equation: an honest GPU j must have returned Σ_m A[m,j]·f_m exactly.
+	inUsed := make(map[int]bool, len(used))
+	for _, j := range used {
+		inUsed[j] = true
+	}
+	for _, j := range cols {
+		if inUsed[j] {
+			continue
+		}
+		if !c.Predict(full, j).Equal(results[j]) {
+			return fmt.Errorf("%w: present equation %d disagrees with subset decode", ErrIntegrity, j)
+		}
+	}
+	for i := range dst {
+		copy(dst[i], full[i])
+	}
+	return nil
+}
+
+// decodeAnySubset decodes the S full images from some invertible S-subset
+// of the given present columns, returning the images and the columns used.
+func (c *Code) decodeAnySubset(results []field.Vec, cols []int) ([]field.Vec, []int, error) {
+	base := make([]int, c.S)
+	copy(base, cols[:c.S])
+	full, err := c.DecodeFull(results, base)
+	if err == nil {
+		return full, base, nil
+	}
+	// Leading window singular: swap each trailing present column into each
+	// base slot until an invertible subset appears. The code construction
+	// makes even one retry essentially unreachable.
+	for _, alt := range cols[c.S:] {
+		for slot := 0; slot < c.S; slot++ {
+			saved := base[slot]
+			base[slot] = alt
+			if full, err2 := c.DecodeFull(results, base); err2 == nil {
+				return full, base, nil
+			}
+			base[slot] = saved
+		}
+	}
+	return nil, nil, fmt.Errorf("masking: no invertible decode subset among present responses: %w", err)
+}

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
@@ -52,6 +53,38 @@ type Fleet interface {
 	BackwardAll(key string, kernel gpu.BilinearKernel, deltas []field.Vec) ([]field.Vec, error)
 }
 
+// QuorumFleet is an optional Fleet extension for straggler-tolerant
+// dispatch: ForwardQuorum returns once `quorum` of the coded responses
+// have arrived, along with a presence mask saying which. Implementations
+// must guarantee the returned results and mask are immutable snapshots —
+// laggard devices completing later may not mutate them.
+type QuorumFleet interface {
+	Fleet
+	ForwardQuorum(key string, kernel gpu.LinearKernel, coded []field.Vec, quorum int) ([]field.Vec, []bool, error)
+}
+
+// IntegrityError is an integrity violation with (when the redundancy
+// budget allows attribution) the coded columns — equivalently the gang
+// device slots — that returned tampered results. It wraps
+// masking.ErrIntegrity so existing errors.Is checks keep working; fleet
+// layers use Culprits to quarantine the offending physical devices.
+type IntegrityError struct {
+	// Culprits are the faulty gang slots (coded column indices), empty
+	// when the corruption was detected but not attributable (E < 2).
+	Culprits []int
+	// Err is the underlying masking verification error.
+	Err error
+}
+
+func (e *IntegrityError) Error() string {
+	if len(e.Culprits) > 0 {
+		return fmt.Sprintf("sched: tampered results from gang slots %v: %v", e.Culprits, e.Err)
+	}
+	return e.Err.Error()
+}
+
+func (e *IntegrityError) Unwrap() error { return e.Err }
+
 // engine is the TEE-side forward core shared by Trainer and Inferencer: it
 // walks the model, keeps non-linear layers enclave-resident, and runs the
 // quantize → encode → fan-out → verify → decode → restore flow for every
@@ -89,6 +122,11 @@ type engine struct {
 	// (EnableRecovery; needs Redundancy >= 2).
 	recover  bool
 	recovery RecoveryStats
+	// stepCulprits accumulates the gang slots attributed as tampering
+	// during the current step (reset by beginStep) — the fleet layer reads
+	// them after a dispatch to quarantine the physical devices behind the
+	// slots, even when recovery masked the fault from the caller.
+	stepCulprits []int
 
 	// Steady-state scratch. The engine is single-threaded, so one arena and
 	// one set of reusable buffers serve every offload: after the first pass
@@ -131,6 +169,20 @@ func newEngine(cfg Config, model *nn.Model, fleet Fleet, encl *enclave.Enclave, 
 func (e *engine) beginStep() {
 	e.stepSeq++
 	e.linSeq = 0
+	e.stepCulprits = e.stepCulprits[:0]
+}
+
+// effectiveSlack bounds the configured straggler slack so at least one
+// redundant equation always remains for verification.
+func (e *engine) effectiveSlack() int {
+	s := e.cfg.StragglerSlack
+	if max := e.cfg.Redundancy - 1; s > max {
+		s = max
+	}
+	if s < 0 {
+		s = 0
+	}
+	return s
 }
 
 // forwardLayer recursively runs one layer for all K examples.
@@ -238,24 +290,91 @@ func (e *engine) offloadForward(code *masking.Code, key string, lin nn.Linear, x
 	if err := code.EncodeWith(coded, quantIn, noise); err != nil {
 		return nil, err
 	}
+
+	// Straggler-tolerant dispatch (QuorumFleet + slack) returns before the
+	// slowest devices answer. A laggard's kernel then runs concurrently
+	// with the TEE's next offload, so everything it references — the coded
+	// inputs and the quantized weights captured by the kernel closure —
+	// must outlive this arena generation: clone them out of the arena. The
+	// default wait-for-all path keeps the zero-allocation arena buffers.
+	qf, isQuorum := e.fleet.(QuorumFleet)
+	slack := e.effectiveSlack()
+	useQuorum := isQuorum && slack > 0
+	if useQuorum {
+		wq = wq.Clone()
+		cl := make([]field.Vec, len(coded))
+		for j := range coded {
+			cl[j] = coded[j].Clone()
+		}
+		coded = cl // fresh header array too: e.coded is rewritten next offload
+	}
 	e.phases.Encode += time.Since(t0)
 
 	// Gang dispatch: the fleet fans the S+E coded inputs out to its devices
 	// concurrently (one goroutine per device) and gathers in device order.
 	t1 := time.Now()
 	kernel := func(x field.Vec) field.Vec { return lin.LinearForwardField(wq, x) }
-	results, err := e.fleet.ForwardAll(key, kernel, coded)
+	var (
+		results []field.Vec
+		present []bool
+		err     error
+	)
+	if useQuorum {
+		results, present, err = qf.ForwardQuorum(key, kernel, coded, code.NumCoded()-slack)
+	} else {
+		results, err = e.fleet.ForwardAll(key, kernel, coded)
+	}
 	if err != nil {
 		return nil, err
 	}
 	e.phases.Dispatch += time.Since(t1)
 
 	t2 := time.Now()
+	missing := 0
+	for _, p := range present {
+		if !p {
+			missing++
+		}
+	}
 	var decoded []field.Vec
-	if e.cfg.Redundancy > 0 {
+	switch {
+	case missing > 0:
+		// Subset path: decode from the responses that arrived, spending the
+		// present redundancy as verification. Exact over F_p — bit-for-bit
+		// the full decode (pinned by masking's subset tests).
+		decoded = slots(&e.decoded, k)
+		outLen := 0
+		for j, p := range present {
+			if p {
+				outLen = len(results[j])
+				break
+			}
+		}
+		for i := range decoded {
+			decoded[i] = e.arena.RawVec(outLen)
+		}
+		if serr := code.DecodeForwardSubsetInto(decoded, results, present); serr != nil {
+			if !errors.Is(serr, masking.ErrIntegrity) {
+				return nil, serr
+			}
+			// Tampering among the present responses: recover from the clean
+			// present equations when enabled (needs slack < E-1 so at least
+			// two present checks remain for attribution), or at least
+			// attribute the culprits in the error.
+			if e.recover {
+				rec, rerr := e.recoverForwardSubset(code, results, present)
+				if rerr != nil {
+					return nil, rerr
+				}
+				decoded = rec
+			} else {
+				return nil, e.attributedSubsetError(code, results, present, serr)
+			}
+		}
+	case e.cfg.Redundancy > 0:
 		if verr := code.VerifyForward(results); verr != nil {
 			if !e.recover {
-				return nil, verr
+				return nil, e.attributedError(code, results, verr)
 			}
 			decoded, err = e.recoverForward(code, results)
 			if err != nil {
@@ -292,6 +411,31 @@ func (e *engine) offloadForward(code *masking.Code, key string, lin nn.Linear, x
 	e.phases.Decode += time.Since(t2)
 	e.phases.Offloads++
 	return outs, nil
+}
+
+// attributedError wraps a verification failure, attributing culprit gang
+// slots when the redundancy budget allows it (E >= 2); with the paper's
+// E = 1 the corruption is detectable but not attributable and the error
+// carries no culprits.
+func (e *engine) attributedError(code *masking.Code, results []field.Vec, verr error) error {
+	if code.E >= 2 {
+		if culprits, aerr := code.AuditForward(results); aerr == nil && len(culprits) > 0 {
+			e.stepCulprits = mergeSorted(e.stepCulprits, culprits)
+			return &IntegrityError{Culprits: culprits, Err: verr}
+		}
+	}
+	return &IntegrityError{Err: verr}
+}
+
+// attributedSubsetError is attributedError over a partial response set:
+// the audit runs on the present columns only, so attribution needs at
+// least two present redundant equations (slack <= E-2).
+func (e *engine) attributedSubsetError(code *masking.Code, results []field.Vec, present []bool, verr error) error {
+	if culprits, aerr := code.AuditForwardSubset(results, present); aerr == nil && len(culprits) > 0 {
+		e.stepCulprits = mergeSorted(e.stepCulprits, culprits)
+		return &IntegrityError{Culprits: culprits, Err: verr}
+	}
+	return &IntegrityError{Err: verr}
 }
 
 // floats returns the persistent normalized-float staging buffer, grown to

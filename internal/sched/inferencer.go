@@ -43,6 +43,27 @@ func NewInferencer(cfg Config, model *nn.Model, encl *enclave.Enclave, keyspace 
 // Config returns the effective configuration.
 func (inf *Inferencer) Config() Config { return inf.eng.cfg }
 
+// EnableRecovery turns on audit-and-recover for forward offloads: instead
+// of failing the batch, a tampered dispatch is re-decoded from the clean
+// equations and the culprit slots are recorded (readable via Culprits).
+// Requires Redundancy >= 2 — attribution needs a second redundant equation.
+func (inf *Inferencer) EnableRecovery() error {
+	if inf.eng.cfg.Redundancy < 2 {
+		return fmt.Errorf("sched: recovery needs Redundancy >= 2, have %d", inf.eng.cfg.Redundancy)
+	}
+	inf.eng.recover = true
+	return nil
+}
+
+// Recovery returns the accumulated recovery statistics.
+func (inf *Inferencer) Recovery() RecoveryStats { return inf.eng.recovery }
+
+// Culprits returns the gang slots attributed as tampering during the most
+// recent Forward/Predict call (empty when the batch was clean). The fleet
+// layer maps slots to physical devices for quarantine; meaningful even
+// when recovery hid the fault from the caller.
+func (inf *Inferencer) Culprits() []int { return inf.eng.stepCulprits }
+
 // Gang returns the number of devices one dispatch occupies: K+M+E.
 func (inf *Inferencer) Gang() int { return inf.eng.cfg.maskParams().GPUs() }
 

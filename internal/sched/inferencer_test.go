@@ -1,10 +1,12 @@
 package sched
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
 	"darknight/internal/dataset"
+	"darknight/internal/field"
 	"darknight/internal/gpu"
 	"darknight/internal/nn"
 )
@@ -90,6 +92,252 @@ func TestInferencerDeviceStorageBounded(t *testing.T) {
 	}
 	if after6 := cluster.Device(0).Stored(); after6 != after1 {
 		t.Fatalf("device storage grew from %d to %d entries across inference steps", after1, after6)
+	}
+}
+
+// quorumDropFleet is a QuorumFleet whose slowest device never makes the
+// quorum: it computes every response but reports the last column absent,
+// exercising the engine's subset-decode path.
+type quorumDropFleet struct {
+	*gpu.Cluster
+	quorumCalls int
+}
+
+func (f *quorumDropFleet) ForwardQuorum(key string, kernel gpu.LinearKernel, coded []field.Vec, quorum int) ([]field.Vec, []bool, error) {
+	f.quorumCalls++
+	results, err := f.Cluster.ForwardAll(key, kernel, coded)
+	if err != nil {
+		return nil, nil, err
+	}
+	present := make([]bool, len(results))
+	for j := range present {
+		present[j] = j < quorum
+	}
+	for j := quorum; j < len(results); j++ {
+		results[j] = nil // the straggler's response never arrived
+	}
+	return results, present, nil
+}
+
+func TestInferencerStragglerSubsetDecodeMatchesFull(t *testing.T) {
+	// With StragglerSlack and E=2, predictions decoded from a permanently
+	// missing response must equal the full-fleet decode exactly.
+	rng := rand.New(rand.NewSource(42))
+	model := nn.TinyCNN(1, 8, 8, 4, rng)
+	data := dataset.SyntheticCIFAR(rand.New(rand.NewSource(7)), 4, 4, 1, 8, 8, 0.05)
+	images := [][]float64{data.Items[0].Image, data.Items[1].Image}
+
+	full, err := NewInferencer(Config{VirtualBatch: 2, Redundancy: 2, Seed: 5}, model, nil, "a/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := full.Predict(gpu.NewHonestCluster(5), images)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	modelB := nn.TinyCNN(1, 8, 8, 4, rand.New(rand.NewSource(42)))
+	inf, err := NewInferencer(Config{VirtualBatch: 2, Redundancy: 2, StragglerSlack: 1, Seed: 5}, modelB, nil, "a/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := &quorumDropFleet{Cluster: gpu.NewHonestCluster(5)}
+	got, err := inf.Predict(fleet, images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fleet.quorumCalls == 0 {
+		t.Fatal("quorum path never engaged")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("image %d: straggler path %d, full path %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestInferencerSlackClampedWithoutRedundancyBudget(t *testing.T) {
+	// StragglerSlack with E <= 1 must clamp to zero: the one redundant
+	// equation is reserved for verification, so the quorum path never
+	// engages and dispatch waits for every device.
+	rng := rand.New(rand.NewSource(42))
+	model := nn.TinyCNN(1, 8, 8, 4, rng)
+	data := dataset.SyntheticCIFAR(rand.New(rand.NewSource(7)), 4, 4, 1, 8, 8, 0.05)
+	images := [][]float64{data.Items[0].Image, data.Items[1].Image}
+
+	inf, err := NewInferencer(Config{VirtualBatch: 2, Redundancy: 1, StragglerSlack: 3, Seed: 5}, model, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := &quorumDropFleet{Cluster: gpu.NewHonestCluster(4)}
+	if _, err := inf.Predict(fleet, images); err != nil {
+		t.Fatal(err)
+	}
+	if fleet.quorumCalls != 0 {
+		t.Fatalf("quorum path engaged %d times with E=1; want clamp to full dispatch", fleet.quorumCalls)
+	}
+}
+
+func TestInferencerRecoveryAttributesCulprit(t *testing.T) {
+	// E=2 + recovery: a persistently tampering device is identified per
+	// batch (Culprits) while predictions stay correct.
+	rng := rand.New(rand.NewSource(42))
+	model := nn.TinyCNN(1, 8, 8, 4, rng)
+	data := dataset.SyntheticCIFAR(rand.New(rand.NewSource(7)), 4, 4, 1, 8, 8, 0.05)
+	images := [][]float64{data.Items[0].Image, data.Items[1].Image}
+
+	ref, err := NewInferencer(Config{VirtualBatch: 2, Redundancy: 2, Seed: 5}, model, nil, "r/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Predict(gpu.NewHonestCluster(5), images)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	modelB := nn.TinyCNN(1, 8, 8, 4, rand.New(rand.NewSource(42)))
+	inf, err := NewInferencer(Config{VirtualBatch: 2, Redundancy: 2, Seed: 5}, modelB, nil, "r/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inf.EnableRecovery(); err != nil {
+		t.Fatal(err)
+	}
+	const bad = 3
+	devs := make([]gpu.Device, 5)
+	for i := range devs {
+		devs[i] = gpu.NewHonest(i)
+		if i == bad {
+			devs[i] = gpu.NewMalicious(devs[i], gpu.FaultPolicy{EveryNth: 1})
+		}
+	}
+	got, err := inf.Predict(gpu.NewCluster(devs...), images)
+	if err != nil {
+		t.Fatalf("recovery should mask the fault: %v", err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("image %d: recovered %d, clean %d", i, got[i], want[i])
+		}
+	}
+	culprits := inf.Culprits()
+	if len(culprits) != 1 || culprits[0] != bad {
+		t.Fatalf("culprits = %v, want [%d]", culprits, bad)
+	}
+	if st := inf.Recovery(); st.Violations == 0 || st.Recovered != st.Violations {
+		t.Fatalf("recovery stats = %+v", st)
+	}
+
+	// EnableRecovery without the redundancy budget must refuse.
+	weak, err := NewInferencer(Config{VirtualBatch: 2, Redundancy: 1, Seed: 5}, modelB, nil, "w/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := weak.EnableRecovery(); err == nil {
+		t.Fatal("recovery accepted with E=1")
+	}
+}
+
+// maliciousQuorumFleet drops the last response AND tampers a chosen slot,
+// exercising recovery on the subset-decode path.
+type maliciousQuorumFleet struct {
+	*gpu.Cluster
+}
+
+func (f *maliciousQuorumFleet) ForwardQuorum(key string, kernel gpu.LinearKernel, coded []field.Vec, quorum int) ([]field.Vec, []bool, error) {
+	results, err := f.Cluster.ForwardAll(key, kernel, coded)
+	if err != nil {
+		return nil, nil, err
+	}
+	present := make([]bool, len(results))
+	for j := range present {
+		present[j] = j < quorum
+	}
+	for j := quorum; j < len(results); j++ {
+		results[j] = nil
+	}
+	return results, present, nil
+}
+
+func TestInferencerRecoveryComposesWithStragglerSlack(t *testing.T) {
+	// E=3, slack=1: the dispatch proceeds without the slowest response AND
+	// one present device tampers. Two present redundant equations remain,
+	// so recovery must attribute the culprit and decode from the clean
+	// present subset — the two fault-tolerance mechanisms compose.
+	rng := rand.New(rand.NewSource(42))
+	model := nn.TinyCNN(1, 8, 8, 4, rng)
+	data := dataset.SyntheticCIFAR(rand.New(rand.NewSource(7)), 4, 4, 1, 8, 8, 0.05)
+	images := [][]float64{data.Items[0].Image, data.Items[1].Image}
+
+	ref, err := NewInferencer(Config{VirtualBatch: 2, Redundancy: 3, Seed: 5}, model, nil, "r/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Predict(gpu.NewHonestCluster(6), images)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	modelB := nn.TinyCNN(1, 8, 8, 4, rand.New(rand.NewSource(42)))
+	inf, err := NewInferencer(Config{VirtualBatch: 2, Redundancy: 3, StragglerSlack: 1, Seed: 5}, modelB, nil, "r/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inf.EnableRecovery(); err != nil {
+		t.Fatal(err)
+	}
+	const bad = 1
+	devs := make([]gpu.Device, 6)
+	for i := range devs {
+		devs[i] = gpu.NewHonest(i)
+		if i == bad {
+			devs[i] = gpu.NewMalicious(devs[i], gpu.FaultPolicy{EveryNth: 1})
+		}
+	}
+	fleet := &maliciousQuorumFleet{Cluster: gpu.NewCluster(devs...)}
+	got, err := inf.Predict(fleet, images)
+	if err != nil {
+		t.Fatalf("recovery on the quorum path should absorb the fault: %v", err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("image %d: recovered-quorum %d, clean %d", i, got[i], want[i])
+		}
+	}
+	culprits := inf.Culprits()
+	if len(culprits) != 1 || culprits[0] != bad {
+		t.Fatalf("culprits = %v, want [%d]", culprits, bad)
+	}
+}
+
+func TestInferencerQuorumAttributesWithoutRecovery(t *testing.T) {
+	// Same setup without recovery: the subset-path error must carry the
+	// attributed culprit so the fleet can still quarantine it.
+	rng := rand.New(rand.NewSource(42))
+	model := nn.TinyCNN(1, 8, 8, 4, rng)
+	data := dataset.SyntheticCIFAR(rand.New(rand.NewSource(7)), 4, 4, 1, 8, 8, 0.05)
+	images := [][]float64{data.Items[0].Image, data.Items[1].Image}
+
+	inf, err := NewInferencer(Config{VirtualBatch: 2, Redundancy: 3, StragglerSlack: 1, Seed: 5}, model, nil, "q/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bad = 2
+	devs := make([]gpu.Device, 6)
+	for i := range devs {
+		devs[i] = gpu.NewHonest(i)
+		if i == bad {
+			devs[i] = gpu.NewMalicious(devs[i], gpu.FaultPolicy{EveryNth: 1})
+		}
+	}
+	fleet := &maliciousQuorumFleet{Cluster: gpu.NewCluster(devs...)}
+	_, err = inf.Predict(fleet, images)
+	var ie *IntegrityError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %v, want *IntegrityError", err)
+	}
+	if len(ie.Culprits) != 1 || ie.Culprits[0] != bad {
+		t.Fatalf("culprits = %v, want [%d]", ie.Culprits, bad)
 	}
 }
 

@@ -46,6 +46,7 @@ func (t *engine) recoverForward(code *masking.Code, results []field.Vec) ([]fiel
 	}
 	t.recovery.Violations++
 	t.recovery.BlamedGPUs = mergeSorted(t.recovery.BlamedGPUs, culprits)
+	t.stepCulprits = mergeSorted(t.stepCulprits, culprits)
 
 	// Assemble a decode subset avoiding the culprits.
 	bad := make(map[int]bool, len(culprits))
@@ -60,6 +61,40 @@ func (t *engine) recoverForward(code *masking.Code, results []field.Vec) ([]fiel
 	}
 	if len(cols) < code.S {
 		return nil, fmt.Errorf("sched: only %d clean equations, need %d", len(cols), code.S)
+	}
+	full, err := code.DecodeFull(results, cols)
+	if err != nil {
+		return nil, fmt.Errorf("sched: clean-subset decode failed: %w", err)
+	}
+	t.recovery.Recovered++
+	return full[:code.K], nil
+}
+
+// recoverForwardSubset is recoverForward over a partial response set: the
+// audit and the clean-subset decode are restricted to the responses that
+// made the quorum. Attribution needs two present redundant equations, so
+// recovery on the straggler path requires StragglerSlack <= E-2.
+func (t *engine) recoverForwardSubset(code *masking.Code, results []field.Vec, present []bool) ([]field.Vec, error) {
+	culprits, err := code.AuditForwardSubset(results, present)
+	if err != nil {
+		return nil, fmt.Errorf("sched: integrity violation not recoverable from quorum subset: %w", err)
+	}
+	t.recovery.Violations++
+	t.recovery.BlamedGPUs = mergeSorted(t.recovery.BlamedGPUs, culprits)
+	t.stepCulprits = mergeSorted(t.stepCulprits, culprits)
+
+	bad := make(map[int]bool, len(culprits))
+	for _, c := range culprits {
+		bad[c] = true
+	}
+	var cols []int
+	for j := 0; j < code.NumCoded() && len(cols) < code.S; j++ {
+		if present[j] && !bad[j] {
+			cols = append(cols, j)
+		}
+	}
+	if len(cols) < code.S {
+		return nil, fmt.Errorf("sched: only %d clean present equations, need %d", len(cols), code.S)
 	}
 	full, err := code.DecodeFull(results, cols)
 	if err != nil {

@@ -49,6 +49,15 @@ type Config struct {
 	// max-abs normalization (the paper's VGG-style normalization).
 	// <= 0 selects the default of 1.0.
 	NormLimit float64
+	// StragglerSlack lets a forward dispatch return before its slowest
+	// devices: the decode proceeds once all but StragglerSlack coded
+	// responses have arrived (the MDS property — any S of the S+E
+	// responses decode exactly). At least one redundant equation is always
+	// retained for verification, so the effective slack is
+	// min(StragglerSlack, Redundancy-1); straggler tolerance therefore
+	// requires Redundancy >= 2. 0 waits for every device. The quorum path
+	// only engages on fleets implementing QuorumFleet.
+	StragglerSlack int
 	// Seed drives all randomness (coding coefficients, noise).
 	Seed int64
 }

@@ -5,10 +5,11 @@ import (
 	"time"
 )
 
-// vbatch is one virtual batch headed for a worker: exactly K images, the
-// first len(reqs) of which are real client rows and the rest uniform-noise
-// padding.
+// vbatch is one virtual batch headed for a worker: exactly K images of one
+// tenant, the first len(reqs) of which are real client rows and the rest
+// uniform-noise padding.
 type vbatch struct {
+	tenant string
 	reqs   []*request
 	images [][]float64
 }
@@ -20,9 +21,11 @@ func (b *vbatch) fail(err error) {
 }
 
 // batchLoop is the dynamic batcher: it coalesces admitted requests into
-// virtual batches of exactly K, flushing early — padded with dummy rows —
-// when the earliest batching deadline among the pending requests expires.
-// It owns all batching state; no locks needed.
+// per-tenant virtual batches of exactly K — tenants are never coded
+// together, so each batch maps to one fair-share account — flushing a
+// tenant early, padded with dummy rows, when the earliest batching
+// deadline among its pending requests expires. It owns all batching state;
+// no locks needed.
 func (s *Server) batchLoop() {
 	defer s.wg.Done()
 	defer close(s.batches)
@@ -32,15 +35,12 @@ func (s *Server) batchLoop() {
 	// indistinguishable from a full one at the GPUs.
 	rng := rand.New(rand.NewSource(s.cfg.Sched.Seed + 0x5eed))
 
-	var pending []*request
+	pending := map[string][]*request{}
 	timer := time.NewTimer(time.Hour)
 	timer.Stop()
 	timerSet := false
 
-	flush := func() {
-		if len(pending) == 0 {
-			return
-		}
+	stopTimer := func() {
 		if timerSet && !timer.Stop() {
 			select { // drain a fire that raced the flush
 			case <-timer.C:
@@ -48,37 +48,58 @@ func (s *Server) batchLoop() {
 			}
 		}
 		timerSet = false
-		b := &vbatch{reqs: pending, images: make([][]float64, s.k)}
-		for i, r := range pending {
+	}
+
+	flush := func(tenant string) {
+		reqs := pending[tenant]
+		if len(reqs) == 0 {
+			return
+		}
+		delete(pending, tenant)
+		b := &vbatch{tenant: tenant, reqs: reqs, images: make([][]float64, s.k)}
+		for i, r := range reqs {
 			b.images[i] = r.image
 		}
-		for i := len(pending); i < s.k; i++ {
+		for i := len(reqs); i < s.k; i++ {
 			dummy := make([]float64, s.imgLen)
 			for j := range dummy {
 				dummy[j] = rng.Float64()
 			}
 			b.images[i] = dummy
 		}
-		s.metrics.queued(-len(pending))
-		pending = nil
+		s.metrics.queued(-len(reqs))
 		s.batches <- b
 	}
 
+	// flushDue flushes every tenant whose earliest deadline has passed.
+	flushDue := func(now time.Time) {
+		for tenant, reqs := range pending {
+			due := false
+			for _, r := range reqs {
+				if !now.Before(r.flushBy) {
+					due = true
+					break
+				}
+			}
+			if due {
+				flush(tenant)
+			}
+		}
+	}
+
+	// rearm points the timer at the earliest deadline across all tenants.
 	rearm := func() {
-		if len(pending) == 0 {
+		stopTimer()
+		var earliest time.Time
+		for _, reqs := range pending {
+			for _, r := range reqs {
+				if earliest.IsZero() || r.flushBy.Before(earliest) {
+					earliest = r.flushBy
+				}
+			}
+		}
+		if earliest.IsZero() {
 			return
-		}
-		earliest := pending[0].flushBy
-		for _, r := range pending[1:] {
-			if r.flushBy.Before(earliest) {
-				earliest = r.flushBy
-			}
-		}
-		if timerSet && !timer.Stop() {
-			select {
-			case <-timer.C:
-			default:
-			}
 		}
 		timer.Reset(time.Until(earliest))
 		timerSet = true
@@ -88,18 +109,21 @@ func (s *Server) batchLoop() {
 		select {
 		case r, ok := <-s.admit:
 			if !ok {
-				flush() // final partial batch drains on Close
+				for tenant := range pending {
+					flush(tenant) // final partial batches drain on Close
+				}
 				return
 			}
-			pending = append(pending, r)
-			if len(pending) == s.k {
-				flush()
-			} else {
-				rearm()
+			pending[r.tenant] = append(pending[r.tenant], r)
+			if len(pending[r.tenant]) == s.k {
+				stopTimer()
+				flush(r.tenant)
 			}
+			rearm()
 		case <-timer.C:
 			timerSet = false
-			flush()
+			flushDue(time.Now())
+			rearm()
 		}
 	}
 }

@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"darknight/internal/fleet"
+	"darknight/internal/gpu"
+	"darknight/internal/sched"
+)
+
+// TestChaosFaultyFleetQuarantinesAndKeepsServing is the CI chaos job: two
+// probabilistically tampering devices (seeded, reproducible) inside a
+// multi-tenant serving run with recovery enabled. The run must terminate
+// (no deadlock under quarantine churn), every request must resolve as
+// success or a classified integrity error, the offenders must end up
+// quarantined, and the fleet must account every device as returned.
+func TestChaosFaultyFleetQuarantinesAndKeepsServing(t *testing.T) {
+	const (
+		k       = 2
+		gang    = k + 1 + 2 // E = 2: culprits are attributable
+		workers = 2
+		clients = 6
+		perEach = 8
+	)
+	devs := make([]gpu.Device, workers*gang+2)
+	for i := range devs {
+		devs[i] = gpu.NewHonest(i)
+	}
+	// Two seeded probabilistic offenders: reproducible chaos.
+	devs[1] = gpu.NewMalicious(devs[1], gpu.FaultPolicy{Probability: 0.5, Seed: 7})
+	devs[4] = gpu.NewMalicious(devs[4], gpu.FaultPolicy{Probability: 0.5, Seed: 8})
+
+	fm := fleet.NewManager(gpu.NewCluster(devs...), fleet.Config{
+		Tenants:              []fleet.TenantConfig{{Name: "gold", Weight: 2}, {Name: "bronze", Weight: 1}},
+		ProbationProbability: -1, // deterministic end state: offenders stay out
+		Seed:                 9,
+	})
+	srv, err := New(Config{
+		Sched:   sched.Config{VirtualBatch: k, Redundancy: 2, Seed: 151},
+		MaxWait: time.Millisecond,
+		Recover: true,
+	}, replicas(workers, 151), fm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	imgs := sampleImages(32, 152)
+	var ok, integrity, other int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			tenant := "gold"
+			if c%3 == 2 {
+				tenant = "bronze"
+			}
+			for i := 0; i < perEach; i++ {
+				_, err := srv.InferTenant(context.Background(), tenant, imgs[(c*perEach+i)%len(imgs)])
+				switch {
+				case err == nil:
+					atomic.AddInt64(&ok, 1)
+				case IsIntegrityError(err):
+					atomic.AddInt64(&integrity, 1)
+				default:
+					atomic.AddInt64(&other, 1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	srv.Close()
+
+	if other != 0 {
+		t.Fatalf("%d requests failed with non-integrity errors", other)
+	}
+	if total := ok + integrity; total != clients*perEach {
+		t.Fatalf("resolved %d of %d requests", total, clients*perEach)
+	}
+	// Recovery with E=2 absorbs single-culprit batches; only batches where
+	// both offenders landed in one gang and corrupted can fail. Most
+	// requests must succeed.
+	if ok < clients*perEach/2 {
+		t.Fatalf("only %d/%d requests succeeded under chaos", ok, clients*perEach)
+	}
+	st := fm.Stats()
+	if st.Quarantined < 2 {
+		t.Fatalf("offenders not quarantined: %+v", st)
+	}
+	for _, d := range st.Devices {
+		if d.Leased {
+			t.Fatalf("device %d still leased after drain", d.ID)
+		}
+		if (d.ID == 1 || d.ID == 4) && d.State != fleet.Quarantined {
+			t.Fatalf("offender %d ended %v, want quarantined", d.ID, d.State)
+		}
+	}
+	if st.QuarantineEvents < 2 {
+		t.Fatalf("quarantine events = %d, want >= 2", st.QuarantineEvents)
+	}
+}

@@ -1,0 +1,256 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"darknight/internal/fleet"
+	"darknight/internal/gpu"
+	"darknight/internal/nn"
+	"darknight/internal/sched"
+)
+
+func argmaxOf(m *nn.Model, img []float64) int { return nn.Argmax(m.Forward(img, false)) }
+
+// TestQuarantineMaliciousDeviceThenServeClean is the fleet acceptance
+// criterion: a serving run with one persistently malicious device must
+// quarantine it within a bounded number of batches and thereafter complete
+// requests with zero further integrity errors.
+func TestQuarantineMaliciousDeviceThenServeClean(t *testing.T) {
+	const (
+		k    = 2
+		gang = k + 1 + 2 // M=1, E=2: attribution budget
+		bad  = 3
+	)
+	devs := make([]gpu.Device, gang+2) // two spares keep the pool viable post-quarantine
+	for i := range devs {
+		devs[i] = gpu.NewHonest(i)
+		if i == bad {
+			devs[i] = gpu.NewMalicious(devs[i], gpu.FaultPolicy{EveryNth: 1})
+		}
+	}
+	fm := fleet.NewManager(gpu.NewCluster(devs...), fleet.Config{ProbationProbability: -1})
+	srv, err := New(Config{
+		Sched:   sched.Config{VirtualBatch: k, Redundancy: 2, Seed: 81},
+		MaxWait: time.Millisecond,
+	}, replicas(1, 81), fm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	imgs := sampleImages(20, 82)
+
+	// Phase 1: drive batches until the tampering device is quarantined.
+	// E=2 attributes the culprit on the very first poisoned batch, so the
+	// bound is tight: one failed batch.
+	integrityErrs := 0
+	quarantinedAfter := -1
+	for i := 0; i < 5; i++ {
+		_, err := srv.Infer(context.Background(), imgs[i])
+		if err != nil {
+			if !IsIntegrityError(err) {
+				t.Fatalf("request %d: unexpected error %v", i, err)
+			}
+			integrityErrs++
+		}
+		if fm.Stats().Quarantined == 1 {
+			quarantinedAfter = i
+			break
+		}
+	}
+	if quarantinedAfter != 0 {
+		t.Fatalf("malicious device not quarantined on the first poisoned batch (after=%d, integrity errs=%d)",
+			quarantinedAfter, integrityErrs)
+	}
+	st := fm.Stats()
+	if st.Devices[bad].State != fleet.Quarantined || st.Devices[bad].Faults == 0 {
+		t.Fatalf("device %d health: %+v", bad, st.Devices[bad])
+	}
+
+	// Phase 2: the service continues at full integrity — every subsequent
+	// request succeeds and the quarantined device never serves again.
+	for i := 5; i < len(imgs); i++ {
+		if _, err := srv.Infer(context.Background(), imgs[i]); err != nil {
+			t.Fatalf("post-quarantine request %d failed: %v", i, err)
+		}
+	}
+	snap := srv.Metrics()
+	if got := snap.Integrity; int(got) != integrityErrs*1 {
+		t.Fatalf("new integrity errors after quarantine: %d total, %d before", got, integrityErrs)
+	}
+	after := fm.Stats()
+	if after.Devices[bad].Dispatches != st.Devices[bad].Dispatches {
+		t.Fatalf("quarantined device dispatched again: %d -> %d",
+			st.Devices[bad].Dispatches, after.Devices[bad].Dispatches)
+	}
+}
+
+// TestRecoveryMasksFaultAndQuarantines: with Recover enabled the poisoned
+// batch itself succeeds (decoded from the clean equations) and the culprit
+// is still quarantined — zero client-visible integrity errors end to end.
+func TestRecoveryMasksFaultAndQuarantines(t *testing.T) {
+	const (
+		k   = 2
+		bad = 2
+	)
+	devs := make([]gpu.Device, (k+1+2)+1)
+	for i := range devs {
+		devs[i] = gpu.NewHonest(i)
+		if i == bad {
+			devs[i] = gpu.NewMalicious(devs[i], gpu.FaultPolicy{EveryNth: 1})
+		}
+	}
+	fm := fleet.NewManager(gpu.NewCluster(devs...), fleet.Config{ProbationProbability: -1})
+	srv, err := New(Config{
+		Sched:   sched.Config{VirtualBatch: k, Redundancy: 2, Seed: 91},
+		MaxWait: time.Millisecond,
+		Recover: true,
+	}, replicas(1, 91), fm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	imgs := sampleImages(12, 92)
+	for i, img := range imgs {
+		if _, err := srv.Infer(context.Background(), img); err != nil {
+			t.Fatalf("request %d: %v (recovery should absorb the fault)", i, err)
+		}
+	}
+	snap := srv.Metrics()
+	if snap.Failed != 0 || snap.Integrity != 0 {
+		t.Fatalf("failed=%d integrity=%d, want 0/0 under recovery", snap.Failed, snap.Integrity)
+	}
+	st := fm.Stats()
+	if st.Quarantined != 1 || st.Devices[bad].State != fleet.Quarantined {
+		t.Fatalf("culprit not quarantined: %+v", st.Devices[bad])
+	}
+	if st.QuarantineEvents != 1 {
+		t.Fatalf("quarantine events = %d, want 1", st.QuarantineEvents)
+	}
+}
+
+// TestRecoverNeedsRedundancyBudget pins the constructor validation.
+func TestRecoverNeedsRedundancyBudget(t *testing.T) {
+	fm := fleet.NewManager(gpu.NewHonestCluster(4), fleet.Config{})
+	_, err := New(Config{
+		Sched:   sched.Config{VirtualBatch: 2, Redundancy: 1, Seed: 1},
+		Recover: true,
+	}, replicas(1, 1), fm, nil)
+	if err == nil {
+		t.Fatal("Recover accepted with E=1")
+	}
+}
+
+// TestTenantsBatchSeparatelyAndAreAccounted: rows of different tenants are
+// never coded together, and both serving metrics and fleet share accounts
+// see the split.
+func TestTenantsBatchSeparatelyAndAreAccounted(t *testing.T) {
+	const k = 2
+	fm := fleet.NewManager(gpu.NewHonestCluster(2*(k+1)), fleet.Config{
+		Tenants: []fleet.TenantConfig{{Name: "gold", Weight: 3}, {Name: "bronze", Weight: 1}},
+	})
+	srv, err := New(Config{
+		Sched:   sched.Config{VirtualBatch: k, Seed: 101},
+		MaxWait: 20 * time.Millisecond,
+	}, replicas(2, 101), fm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	imgs := sampleImages(12, 102)
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tenant := "gold"
+			if i%2 == 1 {
+				tenant = "bronze"
+			}
+			if _, err := srv.InferTenant(context.Background(), tenant, imgs[i]); err != nil {
+				t.Errorf("request %d (%s): %v", i, tenant, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	srv.Close()
+
+	snap := srv.Metrics()
+	if len(snap.Tenants) != 2 {
+		t.Fatalf("tenant snapshots: %+v", snap.Tenants)
+	}
+	var total int64
+	for _, ts := range snap.Tenants {
+		if ts.Completed != 6 || ts.Failed != 0 {
+			t.Fatalf("tenant %s: completed=%d failed=%d, want 6/0", ts.Name, ts.Completed, ts.Failed)
+		}
+		// Tenants batch separately: each tenant's rows fit its own batches.
+		if ts.RealRows != 6 {
+			t.Fatalf("tenant %s: real rows %d", ts.Name, ts.RealRows)
+		}
+		total += ts.Completed
+	}
+	if total != snap.Completed {
+		t.Fatalf("tenant completions %d != total %d", total, snap.Completed)
+	}
+	for _, tu := range snap.Fleet.Tenants {
+		if tu.Name == "gold" || tu.Name == "bronze" {
+			if tu.Grants == 0 || tu.DeviceSeconds <= 0 {
+				t.Fatalf("tenant %s unaccounted in fleet: %+v", tu.Name, tu)
+			}
+		}
+	}
+}
+
+// TestServeStragglerQuorumMatchesReference: a deterministic slow device in
+// the gang, StragglerSlack 1 and E=2 — the decode proceeds from the first
+// S+1 responses, predictions match the float reference, and the fleet
+// records the stragglers.
+func TestServeStragglerQuorumMatchesReference(t *testing.T) {
+	const (
+		k     = 2
+		gang  = k + 1 + 2
+		delay = 30 * time.Millisecond
+	)
+	devs := make([]gpu.Device, gang)
+	for i := range devs {
+		devs[i] = gpu.NewHonest(i)
+		if i == gang-1 {
+			devs[i] = gpu.NewSlow(devs[i], delay)
+		}
+	}
+	fm := fleet.NewManager(gpu.NewCluster(devs...), fleet.Config{})
+	srv, err := New(Config{
+		Sched:   sched.Config{VirtualBatch: k, Redundancy: 2, StragglerSlack: 1, Seed: 111},
+		MaxWait: time.Millisecond,
+	}, replicas(1, 111), fm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	imgs := sampleImages(6, 112)
+	ref := replicas(1, 111)[0]
+	start := time.Now()
+	for i, img := range imgs {
+		p, err := srv.Infer(context.Background(), img)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if want := argmaxOf(ref, img); p != want {
+			t.Fatalf("request %d: straggler-path prediction %d, reference %d", i, p, want)
+		}
+	}
+	// 6 singleton batches × 3 offload layers × 30ms would dominate without
+	// the quorum; the sanity bound is loose to survive slow CI.
+	if el := time.Since(start); el > 4*delay*time.Duration(len(imgs)) {
+		t.Logf("note: serving took %v; quorum benefit not measurable here", el)
+	}
+	if st := fm.Stats(); st.StragglerEvents == 0 {
+		t.Fatalf("no stragglers recorded: %+v", st)
+	}
+}

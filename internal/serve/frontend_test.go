@@ -10,6 +10,7 @@ import (
 	"darknight/internal/client"
 	"darknight/internal/dataset"
 	"darknight/internal/enclave"
+	"darknight/internal/fleet"
 	"darknight/internal/gpu"
 	"darknight/internal/nn"
 	"darknight/internal/sched"
@@ -18,11 +19,11 @@ import (
 func frontendFixture(t *testing.T) (*Server, *Frontend) {
 	t.Helper()
 	const k = 2
-	lm := gpu.NewLeaseManager(gpu.NewHonestCluster(2 * (k + 1)))
+	fm := fleet.NewManager(gpu.NewHonestCluster(2*(k+1)), fleet.Config{})
 	srv, err := New(Config{
 		Sched:   sched.Config{VirtualBatch: k, Seed: 61},
 		MaxWait: 2 * time.Millisecond,
-	}, replicas(2, 61), lm, nil)
+	}, replicas(2, 61), fm, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

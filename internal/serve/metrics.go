@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"darknight/internal/fleet"
 	"darknight/internal/sched"
 )
 
@@ -33,10 +34,31 @@ type Metrics struct {
 	// phase accumulates the TEE-side encode/dispatch/decode breakdown
 	// across all workers' offloads.
 	phase sched.PhaseStats
+
+	// tenants accumulates per-tenant request outcomes.
+	tenants map[string]*tenantCounts
+}
+
+// tenantCounts is one tenant's request accounting.
+type tenantCounts struct {
+	completed int64
+	failed    int64
+	batches   int64
+	realRows  int64
 }
 
 func newMetrics(k int) *Metrics {
-	return &Metrics{k: k, start: time.Now()}
+	return &Metrics{k: k, start: time.Now(), tenants: make(map[string]*tenantCounts)}
+}
+
+// tenantLocked returns (creating if needed) a tenant's counters.
+func (m *Metrics) tenantLocked(name string) *tenantCounts {
+	tc, ok := m.tenants[name]
+	if !ok {
+		tc = &tenantCounts{}
+		m.tenants[name] = tc
+	}
+	return tc
 }
 
 // queued adjusts the queue-depth gauge (admitted but not yet dispatched).
@@ -63,14 +85,19 @@ func (m *Metrics) finished(b *vbatch, now time.Time, err error) {
 	m.batches++
 	m.realRows += int64(len(b.reqs))
 	m.padRows += int64(m.k - len(b.reqs))
+	tc := m.tenantLocked(b.tenant)
+	tc.batches++
+	tc.realRows += int64(len(b.reqs))
 	if err != nil {
 		m.failed += int64(len(b.reqs))
+		tc.failed += int64(len(b.reqs))
 		if IsIntegrityError(err) {
 			m.integrity += int64(len(b.reqs))
 		}
 		return
 	}
 	m.completed += int64(len(b.reqs))
+	tc.completed += int64(len(b.reqs))
 	for _, r := range b.reqs {
 		l := now.Sub(r.enqueued)
 		if len(m.lat) < latWindow {
@@ -104,6 +131,24 @@ type Snapshot struct {
 	// breakdown across all workers — where the coded hot path spends its
 	// time. Phases.Offloads counts the bilinear-layer dispatches measured.
 	Phases sched.PhaseStats
+
+	// Tenants is the per-tenant request accounting, ordered by name.
+	Tenants []TenantSnapshot
+
+	// Fleet is the device health / quarantine / fair-share snapshot
+	// (populated by Server.Metrics).
+	Fleet fleet.Stats
+}
+
+// TenantSnapshot is one tenant's serving counters.
+type TenantSnapshot struct {
+	Name      string
+	Completed int64
+	Failed    int64
+	Batches   int64
+	RealRows  int64
+	// Occupancy is the tenant's mean fraction of real rows per batch.
+	Occupancy float64
 }
 
 // Snapshot returns the current counters.
@@ -132,5 +177,19 @@ func (m *Metrics) Snapshot() Snapshot {
 		s.P50 = sorted[len(sorted)/2]
 		s.P99 = sorted[len(sorted)*99/100]
 	}
+	for name, tc := range m.tenants {
+		ts := TenantSnapshot{
+			Name:      name,
+			Completed: tc.completed,
+			Failed:    tc.failed,
+			Batches:   tc.batches,
+			RealRows:  tc.realRows,
+		}
+		if tc.batches > 0 {
+			ts.Occupancy = float64(tc.realRows) / float64(tc.batches*int64(m.k))
+		}
+		s.Tenants = append(s.Tenants, ts)
+	}
+	sort.Slice(s.Tenants, func(i, j int) bool { return s.Tenants[i].Name < s.Tenants[j].Name })
 	return s
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"darknight/internal/fleet"
 	"darknight/internal/gpu"
 	"darknight/internal/nn"
 	"darknight/internal/sched"
@@ -29,8 +30,8 @@ func TestConcurrentPaddedServingNoSharedRNG(t *testing.T) {
 		MaxWait: 100 * time.Microsecond, // frequent padded flushes
 	}
 	gang := cfg.Sched.VirtualBatch + 1 // K + M, E = 0
-	leases := gpu.NewLeaseManager(gpu.NewHonestCluster(gang * workers))
-	srv, err := New(cfg, models, leases, nil)
+	fm := fleet.NewManager(gpu.NewHonestCluster(gang*workers), fleet.Config{})
+	srv, err := New(cfg, models, fm, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

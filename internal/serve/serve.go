@@ -10,17 +10,25 @@
 //
 // The moving parts:
 //
-//   - an admission queue (Server.Infer) accepting single-image requests
-//     with deadlines;
-//   - a dynamic batcher goroutine coalescing them into virtual batches;
+//   - an admission queue (Server.Infer / Server.InferTenant) accepting
+//     single-image requests with deadlines, tagged with a tenant;
+//   - a dynamic batcher goroutine coalescing them into per-tenant virtual
+//     batches (tenants are never coded together: each batch is charged to
+//     one fair-share account);
 //   - a worker pool where each worker owns a forward-only pipeline
 //     (sched.Inferencer) over a private model replica and gang-acquires
-//     K+M+E devices from a shared gpu.LeaseManager before each dispatch —
-//     all-or-none, the gang-scheduling model of GPU cluster schedulers;
-//   - metrics: throughput, latency quantiles, queue depth, occupancy.
+//     K+M+E devices per batch from the shared fleet.Manager — all-or-none
+//     under fair-share arbitration;
+//   - the fleet layer: device health tracking, quarantine of tampering
+//     GPUs (attributed via the redundant decoding), straggler-tolerant
+//     quorum dispatch and speculative re-dispatch (internal/fleet);
+//   - metrics: throughput, latency quantiles, queue depth, occupancy,
+//     per-tenant usage and the fleet health snapshot.
 //
 // Integrity faults (a tampering GPU caught by the redundant decoding)
-// surface as per-request errors wrapping masking.ErrIntegrity.
+// surface as per-request errors wrapping masking.ErrIntegrity — unless
+// Recover is enabled (Redundancy >= 2), in which case the batch is decoded
+// from the clean equations and only the culprit device pays.
 package serve
 
 import (
@@ -31,7 +39,7 @@ import (
 	"time"
 
 	"darknight/internal/enclave"
-	"darknight/internal/gpu"
+	"darknight/internal/fleet"
 	"darknight/internal/nn"
 	"darknight/internal/sched"
 )
@@ -43,11 +51,15 @@ var ErrClosed = errors.New("serve: server closed")
 // input geometry.
 var ErrBadImage = errors.New("serve: image does not match model input shape")
 
+// DefaultTenant is the tenant requests are charged to when the caller does
+// not name one.
+const DefaultTenant = "default"
+
 // Config tunes the serving layer. The privacy/integrity operating point
-// lives in Sched.
+// lives in Sched; fleet health/fairness knobs live on the fleet.Manager.
 type Config struct {
-	// Sched is the pipeline operating point (K, M, E, quantization, seed).
-	// VirtualBatch must be >= 1.
+	// Sched is the pipeline operating point (K, M, E, quantization,
+	// straggler slack, seed). VirtualBatch must be >= 1.
 	Sched sched.Config
 	// QueueDepth bounds the admission queue; Infer blocks (or honors its
 	// context) when the queue is full. 0 picks 4·K.
@@ -57,6 +69,10 @@ type Config struct {
 	// with an earlier deadline shortens the wait for its batch. <= 0
 	// flushes immediately (every batch carries exactly one real row).
 	MaxWait time.Duration
+	// Recover enables audit-and-recover on integrity violations: tampered
+	// batches are decoded from the clean equations instead of failing, and
+	// the attributed culprit is quarantined. Requires Sched.Redundancy >= 2.
+	Recover bool
 }
 
 // result is what a worker delivers back to one waiting request.
@@ -67,18 +83,20 @@ type result struct {
 
 // request is one admitted inference job.
 type request struct {
+	tenant   string
 	image    []float64
 	enqueued time.Time
 	flushBy  time.Time // batching deadline: enqueued+MaxWait or ctx deadline
 	done     chan result
 }
 
-// Server is a concurrent private-inference service over one GPU fleet.
+// Server is a concurrent private-inference service over one managed GPU
+// fleet.
 type Server struct {
 	cfg     Config
 	k       int
 	imgLen  int
-	leases  *gpu.LeaseManager
+	fleet   *fleet.Manager
 	workers []*sched.Inferencer
 
 	admit   chan *request
@@ -89,14 +107,18 @@ type Server struct {
 	wg   sync.WaitGroup
 }
 
-// New assembles and starts a server. models supplies one private replica
-// per worker (nn layers cache forward state, so replicas are not shared);
-// all replicas must have identical input geometry and should carry
-// identical weights. The enclave may be nil or shared — its accounting is
-// thread-safe, modelling one EPC budget shared by the TEE threads.
-func New(cfg Config, models []*nn.Model, leases *gpu.LeaseManager, encl *enclave.Enclave) (*Server, error) {
+// New assembles and starts a server over a managed fleet. models supplies
+// one private replica per worker (nn layers cache forward state, so
+// replicas are not shared); all replicas must have identical input geometry
+// and should carry identical weights. The enclave may be nil or shared —
+// its accounting is thread-safe, modelling one EPC budget shared by the
+// TEE threads.
+func New(cfg Config, models []*nn.Model, fm *fleet.Manager, encl *enclave.Enclave) (*Server, error) {
 	if len(models) == 0 {
 		return nil, fmt.Errorf("serve: need at least one worker model")
+	}
+	if cfg.Recover && cfg.Sched.Redundancy < 2 {
+		return nil, fmt.Errorf("serve: Recover needs Redundancy >= 2, have %d", cfg.Sched.Redundancy)
 	}
 	workers := make([]*sched.Inferencer, len(models))
 	for i, m := range models {
@@ -110,12 +132,17 @@ func New(cfg Config, models []*nn.Model, leases *gpu.LeaseManager, encl *enclave
 		if err != nil {
 			return nil, err
 		}
+		if cfg.Recover {
+			if err := inf.EnableRecovery(); err != nil {
+				return nil, err
+			}
+		}
 		workers[i] = inf
 	}
 	gang := workers[0].Gang()
-	if gang > leases.Cluster().Size() {
-		return nil, fmt.Errorf("serve: gang of K+M+E = %d devices exceeds cluster of %d",
-			gang, leases.Cluster().Size())
+	if gang > fm.Cluster().Size() {
+		return nil, fmt.Errorf("serve: gang of K+M+E = %d devices exceeds fleet of %d",
+			gang, fm.Cluster().Size())
 	}
 	shape := models[0].InShape
 	imgLen := 1
@@ -136,7 +163,7 @@ func New(cfg Config, models []*nn.Model, leases *gpu.LeaseManager, encl *enclave
 		cfg:     cfg,
 		k:       k,
 		imgLen:  imgLen,
-		leases:  leases,
+		fleet:   fm,
 		workers: workers,
 		admit:   make(chan *request, depth),
 		batches: make(chan *vbatch, len(models)),
@@ -154,16 +181,35 @@ func New(cfg Config, models []*nn.Model, leases *gpu.LeaseManager, encl *enclave
 // K returns the virtual batch size requests are coalesced into.
 func (s *Server) K() int { return s.k }
 
-// Metrics returns a consistent snapshot of the serving counters.
-func (s *Server) Metrics() Snapshot { return s.metrics.Snapshot() }
+// Fleet returns the fleet manager the server dispatches through.
+func (s *Server) Fleet() *fleet.Manager { return s.fleet }
 
-// Infer privately classifies one image. It blocks until the request is
-// batched, dispatched and decoded, or until ctx is done. The image never
-// leaves the TEE uncoded; an integrity violation on the request's batch is
-// reported as an error wrapping masking.ErrIntegrity.
+// Metrics returns a consistent snapshot of the serving counters, including
+// the fleet health snapshot.
+func (s *Server) Metrics() Snapshot {
+	snap := s.metrics.Snapshot()
+	snap.Fleet = s.fleet.Stats()
+	return snap
+}
+
+// Infer privately classifies one image for the default tenant.
 func (s *Server) Infer(ctx context.Context, image []float64) (int, error) {
+	return s.InferTenant(ctx, DefaultTenant, image)
+}
+
+// InferTenant privately classifies one image on behalf of a named tenant.
+// It blocks until the request is batched, dispatched and decoded, or until
+// ctx is done. The image never leaves the TEE uncoded; it is only ever
+// batched with rows of the same tenant, and the batch's device time is
+// charged to the tenant's fair-share account. An integrity violation on
+// the request's batch is reported as an error wrapping masking.ErrIntegrity
+// (unless recovery absorbs it).
+func (s *Server) InferTenant(ctx context.Context, tenant string, image []float64) (int, error) {
 	if len(image) != s.imgLen {
 		return 0, fmt.Errorf("%w: got %d elements, model wants %d", ErrBadImage, len(image), s.imgLen)
+	}
+	if tenant == "" {
+		tenant = DefaultTenant
 	}
 	if !s.gate.enter() {
 		return 0, ErrClosed
@@ -173,7 +219,7 @@ func (s *Server) Infer(ctx context.Context, image []float64) (int, error) {
 	if d, ok := ctx.Deadline(); ok && d.Before(flushBy) {
 		flushBy = d
 	}
-	r := &request{image: image, enqueued: now, flushBy: flushBy, done: make(chan result, 1)}
+	r := &request{tenant: tenant, image: image, enqueued: now, flushBy: flushBy, done: make(chan result, 1)}
 	// The gauge moves before the send: the batcher may flush (and
 	// decrement) the moment the request lands, so counting afterwards
 	// could read negative.
@@ -198,8 +244,8 @@ func (s *Server) Infer(ctx context.Context, image []float64) (int, error) {
 	}
 }
 
-// Close drains the service: admitted requests are still dispatched (a final
-// partial batch is padded and flushed), then workers exit. Infer calls
+// Close drains the service: admitted requests are still dispatched (final
+// partial batches are padded and flushed), then workers exit. Infer calls
 // after Close fail with ErrClosed. Close blocks until the drain completes.
 func (s *Server) Close() {
 	if !s.gate.close() {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"darknight/internal/dataset"
+	"darknight/internal/fleet"
 	"darknight/internal/gpu"
 	"darknight/internal/nn"
 	"darknight/internal/sched"
@@ -38,11 +39,11 @@ func TestServeCoalescesAndMatchesFloat(t *testing.T) {
 		requests = 64
 	)
 	models := replicas(workers, 7)
-	lm := gpu.NewLeaseManager(gpu.NewHonestCluster(workers * (k + 1))) // two full gangs
+	fm := fleet.NewManager(gpu.NewHonestCluster(workers*(k+1)), fleet.Config{}) // two full gangs
 	srv, err := New(Config{
 		Sched:   sched.Config{VirtualBatch: k, Seed: 7},
 		MaxWait: 100 * time.Millisecond,
-	}, models, lm, nil)
+	}, models, fm, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,11 +96,11 @@ func TestServeCoalescesAndMatchesFloat(t *testing.T) {
 func TestDeadlineExpiryPadsPartialBatch(t *testing.T) {
 	const k = 4
 	models := replicas(1, 11)
-	lm := gpu.NewLeaseManager(gpu.NewHonestCluster(k + 1))
+	fm := fleet.NewManager(gpu.NewHonestCluster(k+1), fleet.Config{})
 	srv, err := New(Config{
 		Sched:   sched.Config{VirtualBatch: k, Seed: 11},
 		MaxWait: 5 * time.Millisecond,
-	}, models, lm, nil)
+	}, models, fm, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,11 +134,11 @@ func TestGangLeaseContention(t *testing.T) {
 		requests = 30
 	)
 	models := replicas(workers, 21)
-	lm := gpu.NewLeaseManager(gpu.NewHonestCluster(gang))
+	fm := fleet.NewManager(gpu.NewHonestCluster(gang), fleet.Config{})
 	srv, err := New(Config{
 		Sched:   sched.Config{VirtualBatch: k, Seed: 21},
 		MaxWait: time.Millisecond,
-	}, models, lm, nil)
+	}, models, fm, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,8 +157,10 @@ func TestGangLeaseContention(t *testing.T) {
 	wg.Wait()
 	srv.Close()
 
-	if free := lm.Free(); free != gang {
-		t.Fatalf("leaked devices: %d free, want %d", free, gang)
+	for _, d := range fm.Stats().Devices {
+		if d.Leased {
+			t.Fatalf("leaked device %d still leased after drain", d.ID)
+		}
 	}
 	if snap := srv.Metrics(); snap.Completed != requests {
 		t.Fatalf("completed %d, want %d", snap.Completed, requests)
@@ -175,11 +178,11 @@ func TestMaliciousGPUSurfacesAsRequestError(t *testing.T) {
 		gpu.NewHonest(2),
 		gpu.NewHonest(3),
 	}
-	lm := gpu.NewLeaseManager(gpu.NewCluster(devs...))
+	fm := fleet.NewManager(gpu.NewCluster(devs...), fleet.Config{})
 	srv, err := New(Config{
 		Sched:   sched.Config{VirtualBatch: k, Redundancy: 1, Seed: 31},
 		MaxWait: time.Millisecond,
-	}, replicas(1, 31), lm, nil)
+	}, replicas(1, 31), fm, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,11 +214,11 @@ func TestMaliciousGPUSurfacesAsRequestError(t *testing.T) {
 func TestWorkerCodingSeedsDiffer(t *testing.T) {
 	// Workers must not share an RNG stream: identical seeds would emit
 	// identical masking noise for different clients' batches.
-	lm := gpu.NewLeaseManager(gpu.NewHonestCluster(9))
+	fm := fleet.NewManager(gpu.NewHonestCluster(9), fleet.Config{})
 	srv, err := New(Config{
 		Sched:   sched.Config{VirtualBatch: 2, Seed: 71},
 		MaxWait: time.Millisecond,
-	}, replicas(3, 71), lm, nil)
+	}, replicas(3, 71), fm, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,11 +235,11 @@ func TestWorkerCodingSeedsDiffer(t *testing.T) {
 
 func TestInferValidation(t *testing.T) {
 	const k = 2
-	lm := gpu.NewLeaseManager(gpu.NewHonestCluster(k + 1))
+	fm := fleet.NewManager(gpu.NewHonestCluster(k+1), fleet.Config{})
 	srv, err := New(Config{
 		Sched:   sched.Config{VirtualBatch: k, Seed: 41},
 		MaxWait: time.Millisecond,
-	}, replicas(1, 41), lm, nil)
+	}, replicas(1, 41), fm, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,11 +266,11 @@ func TestCloseDrainsAdmittedRequests(t *testing.T) {
 	// Requests sitting in the queue when Close lands are flushed (padded),
 	// not dropped.
 	const k = 4
-	lm := gpu.NewLeaseManager(gpu.NewHonestCluster(k + 1))
+	fm := fleet.NewManager(gpu.NewHonestCluster(k+1), fleet.Config{})
 	srv, err := New(Config{
 		Sched:   sched.Config{VirtualBatch: k, Seed: 51},
 		MaxWait: time.Hour, // only Close can flush the partial batch
-	}, replicas(1, 51), lm, nil)
+	}, replicas(1, 51), fm, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,22 +11,40 @@ import (
 
 // workLoop is one serving worker: it owns a forward-only pipeline over a
 // private model replica and, for every batch, gang-acquires K+M+E devices
-// from the shared lease manager — atomically, all or none — dispatches the
-// coded batch, and fans the decoded classes back out to the waiting
-// requests. Padding rows are decoded like any other row and dropped.
+// from the fleet manager — atomically, all or none, under the batch
+// tenant's fair-share account — dispatches the coded batch, and fans the
+// decoded classes back out to the waiting requests. Padding rows are
+// decoded like any other row and dropped.
+//
+// The worker is also the fleet's sensor: culprit gang slots attributed by
+// the redundant decoding (whether the batch failed or recovery absorbed
+// the fault) are reported to the grant so the health tracker can
+// quarantine the physical device; unattributed violations cast suspicion
+// over the whole gang.
 func (s *Server) workLoop(inf *sched.Inferencer) {
 	defer s.wg.Done()
 	gang := inf.Gang()
 	for b := range s.batches {
-		lease, err := s.leases.Acquire(context.Background(), gang)
+		grant, err := s.fleet.Acquire(context.Background(), b.tenant, gang)
 		if err != nil {
 			b.fail(err)
 			s.metrics.finished(b, time.Now(), err)
 			continue
 		}
 		before := inf.PhaseStats()
-		preds, err := inf.Predict(lease.Cluster(), b.images)
-		lease.Release()
+		preds, err := inf.Predict(grant, b.images)
+		if culprits := inf.Culprits(); len(culprits) > 0 {
+			grant.ReportFaults(culprits)
+		} else if err != nil {
+			var ie *sched.IntegrityError
+			switch {
+			case errors.As(err, &ie) && len(ie.Culprits) > 0:
+				grant.ReportFaults(ie.Culprits)
+			case IsIntegrityError(err):
+				grant.ReportSuspect()
+			}
+		}
+		grant.Release()
 		s.metrics.phases(inf.PhaseStats().Sub(before))
 		now := time.Now()
 		if err != nil {

@@ -5,18 +5,27 @@ import (
 	"time"
 
 	"darknight/internal/enclave"
+	"darknight/internal/fleet"
 	"darknight/internal/gpu"
 	"darknight/internal/nn"
 	"darknight/internal/sched"
 	"darknight/internal/serve"
 )
 
+// Tenant names a traffic source and its fair-share weight.
+type Tenant = fleet.TenantConfig
+
+// FleetStats is a snapshot of device health, quarantine events and
+// per-tenant share accounting.
+type FleetStats = fleet.Stats
+
 // ServerConfig selects the operating point of an inference server: the
-// privacy/integrity knobs of Config plus the serving-layer shape.
+// privacy/integrity knobs of Config plus the serving-layer and
+// fleet-management shape.
 type ServerConfig struct {
 	// Config carries K, M, E, cluster size, malicious markings, enclave
 	// budget and seed. GPUs = 0 sizes the cluster for full worker
-	// parallelism (Workers gangs of K+M+E devices each).
+	// parallelism (Workers gangs of K+M+E devices each) plus SpareGPUs.
 	Config
 	// Workers is the number of concurrent inference pipelines, each with a
 	// private model replica (default 2).
@@ -28,16 +37,42 @@ type ServerConfig struct {
 	// default of 2ms; negative flushes immediately (every batch carries
 	// one real row — the unbatched baseline).
 	MaxWait time.Duration
+	// Tenants pre-registers named tenants with fair-share weights; unknown
+	// tenants are auto-registered at weight 1. Use Server.InferAs to tag
+	// requests.
+	Tenants []Tenant
+	// SpareGPUs adds devices beyond the Workers×gang sizing — headroom for
+	// quarantine survival and speculative straggler re-dispatch.
+	SpareGPUs int
+	// Recover enables audit-and-recover: a tampered batch is decoded from
+	// the clean equations instead of failing, and the attributed culprit
+	// device is quarantined. Requires Redundancy >= 2.
+	Recover bool
+	// StragglerSlack lets a dispatch decode after all but this many coded
+	// responses arrive (needs Redundancy >= 2; one redundant equation is
+	// always kept for verification).
+	StragglerSlack int
+	// SpeculateAfter re-dispatches a coded share that has not answered
+	// within this window to a spare device. 0 disables. Speculation rides
+	// the straggler quorum path, so it only engages when StragglerSlack
+	// >= 1 and Redundancy >= 2 (and a spare device is free).
+	SpeculateAfter time.Duration
+	// Fleet tunes quarantine thresholds and probation; zero values pick
+	// the fleet defaults. Tenants/SpeculateAfter/Seed above take
+	// precedence over their Fleet counterparts.
+	Fleet fleet.Config
 }
 
 // ServerMetrics is a snapshot of the serving counters.
 type ServerMetrics = serve.Snapshot
 
 // Server is a concurrent private-inference service: independent clients'
-// single-image requests are coalesced into virtual batches of exactly K,
-// coded in the TEE, and gang-dispatched onto K+M+E leased GPUs per batch.
+// single-image requests are coalesced into per-tenant virtual batches of
+// exactly K, coded in the TEE, and gang-dispatched onto K+M+E devices
+// granted by a self-healing fair-share fleet manager.
 type Server struct {
 	inner   *serve.Server
+	fleet   *fleet.Manager
 	cluster *gpu.Cluster
 	encl    *enclave.Enclave
 }
@@ -61,7 +96,7 @@ func NewServer(newModel func() *Model, cfg ServerConfig) (*Server, error) {
 	}
 	gang := cfg.VirtualBatch + cfg.Collusion + cfg.Redundancy
 	if cfg.GPUs == 0 {
-		cfg.GPUs = cfg.Workers * gang
+		cfg.GPUs = cfg.Workers*gang + cfg.SpareGPUs
 	}
 	cluster, err := buildCluster(cfg.Config)
 	if err != nil {
@@ -75,32 +110,53 @@ func NewServer(newModel func() *Model, cfg ServerConfig) (*Server, error) {
 	for i := range replicas {
 		replicas[i] = newModel().m
 	}
+	fcfg := cfg.Fleet
+	fcfg.Tenants = cfg.Tenants
+	fcfg.SpeculateAfter = cfg.SpeculateAfter
+	fcfg.Seed = cfg.Seed
+	fm := fleet.NewManager(cluster, fcfg)
 	srv, err := serve.New(serve.Config{
 		Sched: sched.Config{
-			VirtualBatch: cfg.VirtualBatch,
-			Collusion:    cfg.Collusion,
-			Redundancy:   cfg.Redundancy,
-			Seed:         cfg.Seed,
+			VirtualBatch:   cfg.VirtualBatch,
+			Collusion:      cfg.Collusion,
+			Redundancy:     cfg.Redundancy,
+			StragglerSlack: cfg.StragglerSlack,
+			Seed:           cfg.Seed,
 		},
 		QueueDepth: cfg.QueueDepth,
 		MaxWait:    cfg.MaxWait,
-	}, replicas, gpu.NewLeaseManager(cluster), encl)
+		Recover:    cfg.Recover,
+	}, replicas, fm, encl)
 	if err != nil {
 		return nil, err
 	}
-	return &Server{inner: srv, cluster: cluster, encl: encl}, nil
+	return &Server{inner: srv, fleet: fm, cluster: cluster, encl: encl}, nil
 }
 
-// Infer privately classifies one image, blocking until its virtual batch
-// is dispatched and decoded (or ctx is done). Tampered GPU results on the
-// request's batch surface as an error satisfying IsIntegrityError.
+// Infer privately classifies one image for the default tenant, blocking
+// until its virtual batch is dispatched and decoded (or ctx is done).
+// Tampered GPU results on the request's batch surface as an error
+// satisfying IsIntegrityError.
 func (s *Server) Infer(ctx context.Context, image []float64) (int, error) {
 	return s.inner.Infer(ctx, image)
 }
 
+// InferAs privately classifies one image on behalf of a named tenant. The
+// request is only ever batched with rows of the same tenant and its device
+// time is charged to that tenant's fair-share account.
+func (s *Server) InferAs(ctx context.Context, tenant string, image []float64) (int, error) {
+	return s.inner.InferTenant(ctx, tenant, image)
+}
+
 // Metrics returns the serving counters: throughput, latency quantiles,
-// queue depth, batch occupancy and integrity failures.
+// queue depth, batch occupancy, integrity failures, per-tenant usage and
+// the fleet health snapshot.
 func (s *Server) Metrics() ServerMetrics { return s.inner.Metrics() }
+
+// FleetStats returns the fleet health snapshot: per-device health and
+// quarantine state, the quarantine event log, straggler/speculation
+// counters and per-tenant share accounting.
+func (s *Server) FleetStats() FleetStats { return s.fleet.Stats() }
 
 // GPUTraffic returns the fleet's total TEE<->GPU channel usage.
 func (s *Server) GPUTraffic() gpu.Traffic { return s.cluster.TotalTraffic() }
