@@ -106,6 +106,7 @@ func cmdServe(args []string) {
 	modelName := fs.String("model", "tiny", "model architecture")
 	k := fs.Int("k", 4, "virtual batch size K")
 	workers := fs.Int("workers", 2, "inference pipelines (model replicas)")
+	pipeline := fs.Int("pipeline", 0, "pipeline depth per worker: >= 2 overlaps encode/dispatch/decode across that many batches (0 = serial)")
 	clients := fs.Int("clients", 8, "closed-loop client goroutines")
 	duration := fs.Duration("duration", 2*time.Second, "load duration")
 	maxWait := fs.Duration("maxwait", 2*time.Millisecond, "batching deadline before dummy-row padding")
@@ -119,7 +120,8 @@ func cmdServe(args []string) {
 	slack := fs.Int("slack", 0, "straggler slack: decode after all but N coded responses (needs E >= 2)")
 	speculate := fs.Duration("speculate", 0, "speculative re-dispatch window for lagging shares (0 = off)")
 	slow := fs.Int("slow", -1, "index of a deterministically slow GPU (-1 = none)")
-	slowDelay := fs.Duration("slowdelay", 5*time.Millisecond, "added latency of the slow GPU")
+	slowAll := fs.Bool("slowall", false, "add -slowdelay latency to every GPU (the device-latency regime -pipeline hides)")
+	slowDelay := fs.Duration("slowdelay", 5*time.Millisecond, "added latency of the slow GPU(s)")
 	seed := fs.Int64("seed", 1, "random seed")
 	fs.Parse(args)
 
@@ -141,6 +143,7 @@ func cmdServe(args []string) {
 			Seed:         *seed,
 		},
 		Workers:        *workers,
+		PipelineDepth:  *pipeline,
 		MaxWait:        *maxWait,
 		Tenants:        tenants,
 		SpareGPUs:      *spares,
@@ -159,6 +162,10 @@ func cmdServe(args []string) {
 		cfg.SlowGPUs = []int{*slow}
 		cfg.SlowDelay = *slowDelay
 	}
+	if *slowAll {
+		cfg.SlowAll = true
+		cfg.SlowDelay = *slowDelay
+	}
 	if *speculate > 0 && *slack < 1 {
 		log.Println("note: -speculate rides the straggler quorum path; pass -slack >= 1 for it to engage")
 	}
@@ -175,8 +182,12 @@ func cmdServe(args []string) {
 	}
 
 	gang := *k + 1 + redundancy
-	fmt.Printf("serving %s privately: K=%d, gang=%d GPUs (+%d spares), %d workers, %d clients, maxwait=%v\n",
-		*modelName, *k, gang, *spares, *workers, *clients, *maxWait)
+	mode := "serial"
+	if *pipeline >= 2 {
+		mode = fmt.Sprintf("pipelined x%d", *pipeline)
+	}
+	fmt.Printf("serving %s privately: K=%d, gang=%d GPUs (+%d spares), %d workers (%s), %d clients, maxwait=%v\n",
+		*modelName, *k, gang, *spares, *workers, mode, *clients, *maxWait)
 	ok, integ, failed := runLoad(srv, images, *clients, *duration, tenants)
 
 	m := srv.Metrics()
@@ -191,6 +202,13 @@ func cmdServe(args []string) {
 			m.Phases.Encode, pct(m.Phases.Encode),
 			m.Phases.Dispatch, pct(m.Phases.Dispatch),
 			m.Phases.Decode, pct(m.Phases.Decode))
+	}
+	if m.Phases.Wall > 0 {
+		fmt.Printf("pipeline: wall %v, overlap ratio %.2f (phase-sum / wall)\n", m.Phases.Wall, m.Overlap)
+	}
+	if np := m.NoisePool; np.Hits+np.Misses > 0 {
+		fmt.Printf("noise pool: %.0f%% hit rate (%d precomputed, %d inline fallbacks)\n",
+			100*np.HitRate(), np.Hits, np.Misses)
 	}
 	if *malicious >= 0 {
 		if *recover {
@@ -211,6 +229,7 @@ func cmdLoadgen(args []string) {
 	modelName := fs.String("model", "tiny", "model architecture")
 	k := fs.Int("k", 4, "virtual batch size K")
 	workers := fs.Int("workers", 2, "inference pipelines")
+	pipeline := fs.Int("pipeline", 0, "pipeline depth per worker (0 = serial)")
 	maxClients := fs.Int("maxclients", 16, "largest client count in the sweep")
 	duration := fs.Duration("duration", time.Second, "load duration per step")
 	maxWait := fs.Duration("maxwait", 2*time.Millisecond, "batching deadline")
@@ -237,10 +256,11 @@ func cmdLoadgen(args []string) {
 	fmt.Printf("%8s %12s %12s %12s %10s %12s\n", "clients", "req/s", "p50", "p99", "occupancy", "quarantined")
 	for clients := 1; clients <= *maxClients; clients *= 2 {
 		cfg := darknight.ServerConfig{
-			Config:  darknight.Config{VirtualBatch: *k, Seed: *seed},
-			Workers: *workers,
-			MaxWait: *maxWait,
-			Tenants: tenants,
+			Config:        darknight.Config{VirtualBatch: *k, Seed: *seed},
+			Workers:       *workers,
+			PipelineDepth: *pipeline,
+			MaxWait:       *maxWait,
+			Tenants:       tenants,
 		}
 		if *malicious >= 0 {
 			// Fault injection in a sweep wants the service to survive:

@@ -171,6 +171,8 @@ type Manager struct {
 	readmissions     int64
 	stragglerEvents  int64
 	speculations     int64
+	asyncDispatches  int64
+	peakOverlap      int
 }
 
 // NewManager puts every device of the cluster under fleet management.
@@ -290,6 +292,47 @@ func (m *Manager) Acquire(ctx context.Context, tenantName string, n int) (*Grant
 // probationRetry is how often a blocked acquisition re-runs the admission
 // pass (and thus the probation draw) when no release wakes it.
 const probationRetry = 5 * time.Millisecond
+
+// TryAcquire is the non-blocking Acquire: it runs one admission pass and
+// returns the gang grant if it was satisfied immediately, or (nil, nil)
+// when granting would have to wait. Share order is respected — the attempt
+// queues behind earlier waiters and is withdrawn if not served, so
+// TryAcquire can never jump the fair-share line. Pipelined workers use it
+// to avoid deadlocking on a tight pool: rather than blocking for a second
+// gang while holding completed-but-unreleased grants, they retire a batch
+// and retry.
+func (m *Manager) TryAcquire(tenantName string, n int) (*Grant, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("fleet: gang size %d must be positive", n)
+	}
+	if n > m.cluster.Size() {
+		return nil, fmt.Errorf("fleet: gang of %d devices can never fit fleet of %d", n, m.cluster.Size())
+	}
+	m.mu.Lock()
+	t := m.tenantLocked(tenantName, 0)
+	m.seq++
+	w := &waiter{n: n, seq: m.seq, ready: make(chan grantResult, 1)}
+	t.queue = append(t.queue, w)
+	m.admitLocked()
+	var r grantResult
+	granted := false
+	select {
+	case r = <-w.ready:
+		granted = true
+	default:
+		for i, q := range t.queue {
+			if q == w {
+				t.queue = append(t.queue[:i], t.queue[i+1:]...)
+				break
+			}
+		}
+	}
+	m.mu.Unlock()
+	if !granted {
+		return nil, nil
+	}
+	return r.g, r.err
+}
 
 // admitLocked is the fair-share admission pass: it first gives quarantined
 // devices their probabilistic probation chance, then repeatedly grants the
@@ -425,6 +468,8 @@ func (m *Manager) release(g *Grant) {
 	latN := append([]int64(nil), g.latN...)
 	straggles := append([]int(nil), g.straggles...)
 	specs := g.specCount
+	asyncCount := g.asyncCount
+	outPeak := g.outPeak
 	g.mu.Unlock()
 
 	m.mu.Lock()
@@ -432,6 +477,10 @@ func (m *Manager) release(g *Grant) {
 	g.t.inFlight -= len(g.ids)
 	g.t.deviceSeconds += elapsed.Seconds() * float64(len(g.ids))
 	m.speculations += specs
+	m.asyncDispatches += asyncCount
+	if outPeak > m.peakOverlap {
+		m.peakOverlap = outPeak
+	}
 	for slot, idx := range g.ids {
 		rec := m.devs[idx]
 		rec.leased = false

@@ -501,3 +501,55 @@ func TestRegistryFingerprints(t *testing.T) {
 		t.Fatalf("size = %d", r.Size())
 	}
 }
+
+// TestTryAcquireNonBlocking pins the non-blocking grant path: an immediate
+// grant when capacity is free, (nil, nil) — never a wait — when it is not,
+// and no line-jumping past an already blocked waiter.
+func TestTryAcquireNonBlocking(t *testing.T) {
+	m := NewManager(gpu.NewHonestCluster(6), Config{})
+	g1, err := m.TryAcquire("a", 4)
+	if err != nil || g1 == nil {
+		t.Fatalf("free pool TryAcquire: grant %v err %v", g1, err)
+	}
+	start := time.Now()
+	g2, err := m.TryAcquire("a", 4)
+	if err != nil || g2 != nil {
+		t.Fatalf("tight pool TryAcquire: grant %v err %v, want nil/nil", g2, err)
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatalf("TryAcquire blocked for %v", time.Since(start))
+	}
+
+	// A blocked Acquire of tenant b is first in share order once g1 frees;
+	// a subsequent TryAcquire by tenant a must not jump it.
+	got := make(chan *Grant, 1)
+	go func() {
+		g, err := m.Acquire(context.Background(), "b", 4)
+		if err != nil {
+			t.Errorf("blocked acquire: %v", err)
+		}
+		got <- g
+	}()
+	for queued := false; !queued; { // wait until b is queued
+		for _, tu := range m.Stats().Tenants {
+			if tu.Name == "b" && tu.Queued > 0 {
+				queued = true
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	g1.Release()
+	gb := <-got
+	if gb == nil {
+		t.Fatal("blocked waiter never granted after release")
+	}
+	if g, _ := m.TryAcquire("a", 4); g != nil {
+		t.Fatalf("TryAcquire succeeded while tenant b holds the gang")
+	}
+	gb.Release()
+	g3, err := m.TryAcquire("a", 4)
+	if err != nil || g3 == nil {
+		t.Fatalf("post-release TryAcquire: grant %v err %v", g3, err)
+	}
+	g3.Release()
+}

@@ -31,6 +31,15 @@ type Grant struct {
 	suspect   bool
 	specCount int64
 
+	// Overlapping-dispatch tracking for the async API: a pipelined engine
+	// holds several coded batches in flight on one gang at once, so the
+	// grant counts outstanding completion handles (and waits them out on
+	// Release before the devices go back to the pool).
+	inflight   sync.WaitGroup
+	outNow     int   // currently outstanding async dispatches
+	outPeak    int   // high-water mark of outNow over the grant's life
+	asyncCount int64 // lifetime async dispatches issued
+
 	// results is the reusable wait-all gather buffer; valid between
 	// dispatches of the single engine driving this grant.
 	results []field.Vec
@@ -102,6 +111,84 @@ func (g *Grant) ForwardAll(key string, kernel gpu.LinearKernel, coded []field.Ve
 	}
 	wg.Wait()
 	return results, nil
+}
+
+// beginAsync registers one outstanding async dispatch.
+func (g *Grant) beginAsync() {
+	g.inflight.Add(1)
+	g.mu.Lock()
+	g.outNow++
+	if g.outNow > g.outPeak {
+		g.outPeak = g.outNow
+	}
+	g.asyncCount++
+	g.mu.Unlock()
+}
+
+// endAsync retires one outstanding async dispatch (its handle completed;
+// quorum laggards may still be running on their own time, exactly as on
+// the synchronous quorum path).
+func (g *Grant) endAsync() {
+	g.mu.Lock()
+	g.outNow--
+	g.mu.Unlock()
+	g.inflight.Done()
+}
+
+// Outstanding returns the number of async dispatches currently in flight
+// on this gang.
+func (g *Grant) Outstanding() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.outNow
+}
+
+// ForwardAllAsync is ForwardAll returning immediately with a completion
+// handle. Unlike the synchronous path it gathers into a per-dispatch
+// buffer, so a pipelined caller may hold any number of dispatches
+// outstanding on the same gang; Release waits for all of them.
+func (g *Grant) ForwardAllAsync(key string, kernel gpu.LinearKernel, coded []field.Vec) *gpu.Pending {
+	p := gpu.NewPending()
+	n := len(coded)
+	if n > len(g.devs) {
+		p.Complete(nil, nil, fmt.Errorf("fleet: %d coded inputs for gang of %d", n, len(g.devs)))
+		return p
+	}
+	g.beginAsync()
+	results := make([]field.Vec, n)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for i := range coded {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = g.devs[i].LinearForward(key, kernel, coded[i])
+			g.record(i, time.Since(t0))
+		}(i)
+	}
+	go func() {
+		wg.Wait()
+		g.endAsync()
+		p.Complete(results, nil, nil)
+	}()
+	return p
+}
+
+// ForwardQuorumAsync is ForwardQuorum returning immediately with a
+// completion handle; the handle completes as soon as the quorum is met
+// (laggards and speculative retries keep running past it, as on the
+// synchronous path). The caller-side lifetime rules of ForwardQuorum apply
+// unchanged: coded inputs and the kernel's captured state must outlive the
+// dispatch unboundedly.
+func (g *Grant) ForwardQuorumAsync(key string, kernel gpu.LinearKernel, coded []field.Vec, quorum int) *gpu.Pending {
+	p := gpu.NewPending()
+	g.beginAsync()
+	go func() {
+		results, present, err := g.ForwardQuorum(key, kernel, coded, quorum)
+		g.endAsync()
+		p.Complete(results, present, err)
+	}()
+	return p
 }
 
 // quorumState collects responses for one early-return dispatch. Laggards
@@ -255,8 +342,13 @@ func (g *Grant) ReportSuspect() {
 }
 
 // Release returns the gang to the pool, folding the recorded outcomes into
-// the health tracker and the tenant's share account. Safe to call more
-// than once.
+// the health tracker and the tenant's share account. It first waits for
+// every outstanding async dispatch handle to complete, so devices never
+// re-enter the free pool with a gathering dispatch still aimed at them.
+// Safe to call more than once.
 func (g *Grant) Release() {
-	g.once.Do(func() { g.m.release(g) })
+	g.once.Do(func() {
+		g.inflight.Wait()
+		g.m.release(g)
+	})
 }

@@ -48,6 +48,13 @@ type Stats struct {
 	// StragglerEvents counts device responses that missed their dispatch
 	// quorum; Speculations counts coded shares re-dispatched to spares.
 	StragglerEvents, Speculations int64
+	// AsyncDispatches counts completion-handle dispatches issued across all
+	// released grants; PeakOverlap is the largest number of overlapping
+	// outstanding dispatches any single grant carried — > 1 means a
+	// pipelined engine genuinely kept multiple coded batches in flight on
+	// one gang.
+	AsyncDispatches int64
+	PeakOverlap     int
 	// Devices holds per-device health, ordered by device ID.
 	Devices []DeviceHealth
 	// Tenants holds per-tenant usage, ordered by name.
@@ -67,6 +74,8 @@ func (m *Manager) Stats() Stats {
 		Readmissions:     m.readmissions,
 		StragglerEvents:  m.stragglerEvents,
 		Speculations:     m.speculations,
+		AsyncDispatches:  m.asyncDispatches,
+		PeakOverlap:      m.peakOverlap,
 		Devices:          make([]DeviceHealth, 0, len(m.devs)),
 		Tenants:          make([]TenantUsage, 0, len(m.tenants)),
 		Events:           append([]Event(nil), m.events...),

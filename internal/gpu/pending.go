@@ -1,0 +1,73 @@
+package gpu
+
+import (
+	"fmt"
+	"sync"
+
+	"darknight/internal/field"
+)
+
+// Pending is the completion handle of an asynchronous gang dispatch: the
+// dispatching layer returns it immediately, the caller parks on Wait (or
+// selects on Done) when it actually needs the results. It is what lets a
+// pipelined TEE keep encoding and decoding other virtual batches while a
+// dispatch is in flight on the devices.
+type Pending struct {
+	done    chan struct{}
+	results []field.Vec
+	present []bool
+	err     error
+}
+
+// NewPending creates an incomplete handle. The dispatching layer completes
+// it exactly once with Complete.
+func NewPending() *Pending { return &Pending{done: make(chan struct{})} }
+
+// Complete publishes the dispatch outcome and releases every waiter. It
+// must be called exactly once, by the dispatching layer only. present is
+// nil for wait-for-all dispatches (every slot answered) and a presence mask
+// for quorum dispatches; either way the published slices are immutable
+// snapshots.
+func (p *Pending) Complete(results []field.Vec, present []bool, err error) {
+	p.results, p.present, p.err = results, present, err
+	close(p.done)
+}
+
+// Done returns a channel closed once the results are ready — for callers
+// multiplexing several outstanding dispatches in a select.
+func (p *Pending) Done() <-chan struct{} { return p.done }
+
+// Wait blocks until the dispatch completes and returns its results, the
+// presence mask (nil means every slot answered) and the dispatch error.
+// Safe to call from multiple goroutines and more than once.
+func (p *Pending) Wait() ([]field.Vec, []bool, error) {
+	<-p.done
+	return p.results, p.present, p.err
+}
+
+// ForwardAllAsync is ForwardAll returning immediately with a completion
+// handle: the fan-out runs in the background and the handle completes once
+// every device has answered. Concurrent outstanding dispatches are safe —
+// each call gathers into its own buffer — which is what a pipelined caller
+// relies on to hold several coded batches in flight at once.
+func (c *Cluster) ForwardAllAsync(key string, kernel LinearKernel, coded []field.Vec) *Pending {
+	p := NewPending()
+	if len(coded) > len(c.devices) {
+		p.Complete(nil, nil, fmt.Errorf("gpu: %d coded inputs for %d devices", len(coded), len(c.devices)))
+		return p
+	}
+	results := make([]field.Vec, len(coded))
+	var wg sync.WaitGroup
+	for i := range coded {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = c.devices[i].LinearForward(key, kernel, coded[i])
+		}(i)
+	}
+	go func() {
+		wg.Wait()
+		p.Complete(results, nil, nil)
+	}()
+	return p
+}

@@ -141,3 +141,42 @@ func TestSteadyStateAllocationRegression(t *testing.T) {
 		t.Fatalf("reference kernels allocate only %.2f times per op; regression baseline is broken", ref)
 	}
 }
+
+// TestEncodeAllocationRegression pins the convenience Encode path (the
+// non-With entry that draws its own noise): only the escaping coded vectors
+// and their header may allocate. The M internally drawn noise rows never
+// escape, so they ride the Code's reusable scratch exactly like the gather
+// scratch under EncodeWith — previously they were M fresh vector
+// allocations of garbage per call.
+func TestEncodeAllocationRegression(t *testing.T) {
+	if raceEnabled {
+		t.Skip("the race detector inflates allocation counts")
+	}
+	defer par.SetMaxWorkers(par.SetMaxWorkers(1))
+	rng := rand.New(rand.NewSource(43))
+	code, err := New(Params{K: 3, M: 2, Redundancy: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 4096
+	inputs := make([]field.Vec, code.K)
+	for i := range inputs {
+		inputs[i] = field.RandVec(rng, n)
+	}
+	if _, err := code.Encode(inputs, rng); err != nil {
+		t.Fatal(err) // warm the gather and noise scratch
+	}
+	got := testing.AllocsPerRun(50, func() {
+		if _, err := code.Encode(inputs, rng); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One header slice + NumCoded escaping vectors; anything beyond that is
+	// the noise-scratch regression coming back.
+	limit := float64(code.NumCoded() + 1)
+	t.Logf("Encode allocs/op: %.2f (escape budget %.0f)", got, limit)
+	if got > limit {
+		t.Fatalf("Encode allocates %.2f per call, want <= %.0f (the %d noise rows must reuse scratch)",
+			got, limit, code.M)
+	}
+}

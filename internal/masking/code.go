@@ -98,6 +98,10 @@ type Code struct {
 	// TEE execution context and is not safe for concurrent use.
 	srcs []field.Vec
 	col  field.Vec
+	// noiseScratch holds Encode's M internally drawn noise rows. The rows
+	// never escape (only the coded combinations do), so like srcs/col they
+	// are drawn into reusable scratch rather than allocated per call.
+	noiseScratch []field.Vec
 }
 
 // gatherScratch returns the (lazily grown) reusable scratch slices sized
@@ -242,9 +246,15 @@ func (c *Code) Encode(inputs []field.Vec, rng *rand.Rand) ([]field.Vec, error) {
 	if err != nil {
 		return nil, err
 	}
-	noise := make([]field.Vec, c.M)
+	if cap(c.noiseScratch) < c.M {
+		c.noiseScratch = make([]field.Vec, c.M)
+	}
+	noise := c.noiseScratch[:c.M]
 	for m := range noise {
-		noise[m] = field.RandVec(rng, n)
+		if cap(noise[m]) < n {
+			noise[m] = field.NewVec(n)
+		}
+		noise[m] = field.RandVecInto(rng, noise[m][:n])
 	}
 	coded := make([]field.Vec, c.NumCoded())
 	for j := range coded {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"darknight/internal/enclave"
@@ -25,6 +26,14 @@ type PhaseStats struct {
 	Encode   time.Duration
 	Dispatch time.Duration
 	Decode   time.Duration
+	// Wall is the pipeline's busy wall-clock: the elapsed time during which
+	// at least one virtual batch was somewhere between submission and
+	// completion. On the serial engine it is simply the summed per-batch
+	// forward time, so Encode+Dispatch+Decode ≈ Wall; on the pipelined
+	// engine overlapped batches accumulate phase time faster than the clock
+	// moves, and (Encode+Dispatch+Decode)/Wall is the overlap ratio —
+	// 1.0 means no overlap, 2.0 means two stages were kept busy throughout.
+	Wall     time.Duration
 	Offloads int64 // bilinear layer dispatches timed
 }
 
@@ -34,8 +43,18 @@ func (s PhaseStats) Sub(o PhaseStats) PhaseStats {
 		Encode:   s.Encode - o.Encode,
 		Dispatch: s.Dispatch - o.Dispatch,
 		Decode:   s.Decode - o.Decode,
+		Wall:     s.Wall - o.Wall,
 		Offloads: s.Offloads - o.Offloads,
 	}
+}
+
+// Overlap returns the overlap ratio (Encode+Dispatch+Decode)/Wall, or 0
+// when no wall time has been recorded.
+func (s PhaseStats) Overlap() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Encode+s.Dispatch+s.Decode) / float64(s.Wall)
 }
 
 // Fleet is the accelerator surface the runtime dispatches coded jobs to.
@@ -61,6 +80,25 @@ type Fleet interface {
 type QuorumFleet interface {
 	Fleet
 	ForwardQuorum(key string, kernel gpu.LinearKernel, coded []field.Vec, quorum int) ([]field.Vec, []bool, error)
+}
+
+// AsyncFleet is an optional Fleet extension for pipelined execution:
+// ForwardAllAsync returns a completion handle immediately, so the TEE can
+// encode and decode other virtual batches while this dispatch is in
+// flight. Implementations must tolerate multiple outstanding dispatches on
+// the same fleet (per-dispatch gather buffers). *gpu.Cluster and
+// *fleet.Grant both implement it.
+type AsyncFleet interface {
+	Fleet
+	ForwardAllAsync(key string, kernel gpu.LinearKernel, coded []field.Vec) *gpu.Pending
+}
+
+// AsyncQuorumFleet combines straggler tolerance with pipelining: the
+// handle completes once the quorum is met, while laggards (and speculative
+// retries) keep running past it.
+type AsyncQuorumFleet interface {
+	QuorumFleet
+	ForwardQuorumAsync(key string, kernel gpu.LinearKernel, coded []field.Vec, quorum int) *gpu.Pending
 }
 
 // IntegrityError is an integrity violation with (when the redundancy
@@ -117,6 +155,17 @@ type engine struct {
 	stepSeq int
 	// linSeq numbers linear layers within a step.
 	linSeq int
+
+	// tee, when non-nil, is the shared TEE execution token of a pipelined
+	// runtime: the engine holds it for all enclave-side work and releases
+	// it only while a dispatch is in GPU flight, which is exactly the
+	// window another lane's engine uses to decode its previous batch or
+	// encode its next one. nil on the serial path (no token juggling).
+	tee *sync.Mutex
+	// pool, when non-nil, supplies pre-drawn noise sets so the encode
+	// consumes precomputed material with zero online RNG; exhaustion falls
+	// back to inline draws from rng (counted by the pool).
+	pool *masking.NoisePool
 
 	// recover enables audit-and-recover on integrity violations
 	// (EnableRecovery; needs Redundancy >= 2).
@@ -277,18 +326,34 @@ func (e *engine) offloadForward(code *masking.Code, key string, lin nn.Linear, x
 	}
 	defer e.freeEnclave(workset)
 
-	// Noise rows are drawn serially here — the engine's RNG belongs to this
-	// single TEE context — so EncodeWith's combine can fan out freely.
+	// Noise rows: the offline path consumes a pre-drawn set from the noise
+	// pool (zero online RNG — pure pointer traffic); exhaustion falls back
+	// to inline draws from the engine's RNG, which belongs to this single
+	// TEE context, so EncodeWith's combine can fan out freely either way.
 	noise := slots(&e.noise, code.M)
-	for m := range noise {
-		noise[m] = field.RandVecInto(e.rng, e.arena.RawVec(n))
+	var pset *masking.NoiseSet
+	if e.pool != nil {
+		pset = e.pool.Get(n)
+	}
+	if pset != nil {
+		copy(noise, pset.Rows)
+	} else {
+		for m := range noise {
+			noise[m] = field.RandVecInto(e.rng, e.arena.RawVec(n))
+		}
 	}
 	coded := slots(&e.coded, code.NumCoded())
 	for j := range coded {
 		coded[j] = e.arena.RawVec(n)
 	}
-	if err := code.EncodeWith(coded, quantIn, noise); err != nil {
-		return nil, err
+	encErr := code.EncodeWith(coded, quantIn, noise)
+	// The noise is folded into the coded vectors now; hand the set straight
+	// back so the background generator can overwrite it.
+	if pset != nil {
+		e.pool.Recycle(pset)
+	}
+	if encErr != nil {
+		return nil, encErr
 	}
 
 	// Straggler-tolerant dispatch (QuorumFleet + slack) returns before the
@@ -312,6 +377,12 @@ func (e *engine) offloadForward(code *masking.Code, key string, lin nn.Linear, x
 
 	// Gang dispatch: the fleet fans the S+E coded inputs out to its devices
 	// concurrently (one goroutine per device) and gathers in device order.
+	// A pipelined engine (e.tee != nil) releases the TEE token for the
+	// flight so sibling lanes can encode/decode their batches meanwhile;
+	// the arena stays untouched until this lane's next offload, so the
+	// coded inputs and wq the kernel references outlive the flight exactly
+	// as on the serial path. The token-reacquisition wait after the flight
+	// is deliberately untimed — it is overlap, not work.
 	t1 := time.Now()
 	kernel := func(x field.Vec) field.Vec { return lin.LinearForwardField(wq, x) }
 	var (
@@ -319,15 +390,48 @@ func (e *engine) offloadForward(code *masking.Code, key string, lin nn.Linear, x
 		present []bool
 		err     error
 	)
-	if useQuorum {
+	switch {
+	case useQuorum && e.tee != nil:
+		var pend *gpu.Pending
+		if aq, ok := e.fleet.(AsyncQuorumFleet); ok {
+			pend = aq.ForwardQuorumAsync(key, kernel, coded, code.NumCoded()-slack)
+		}
+		e.tee.Unlock()
+		if pend != nil {
+			results, present, err = pend.Wait()
+		} else {
+			results, present, err = qf.ForwardQuorum(key, kernel, coded, code.NumCoded()-slack)
+		}
+		flight := time.Since(t1)
+		e.tee.Lock()
+		e.phases.Dispatch += flight
+	case useQuorum:
 		results, present, err = qf.ForwardQuorum(key, kernel, coded, code.NumCoded()-slack)
-	} else {
+		e.phases.Dispatch += time.Since(t1)
+	case e.tee != nil:
+		var pend *gpu.Pending
+		if af, ok := e.fleet.(AsyncFleet); ok {
+			pend = af.ForwardAllAsync(key, kernel, coded)
+		}
+		e.tee.Unlock()
+		if pend != nil {
+			results, _, err = pend.Wait()
+		} else {
+			// Fleet without an async surface: the blocking call itself runs
+			// token-free. Such fleets must tolerate concurrent ForwardAll
+			// calls (per-call gather buffers) — *gpu.Cluster does.
+			results, err = e.fleet.ForwardAll(key, kernel, coded)
+		}
+		flight := time.Since(t1)
+		e.tee.Lock()
+		e.phases.Dispatch += flight
+	default:
 		results, err = e.fleet.ForwardAll(key, kernel, coded)
+		e.phases.Dispatch += time.Since(t1)
 	}
 	if err != nil {
 		return nil, err
 	}
-	e.phases.Dispatch += time.Since(t1)
 
 	t2 := time.Now()
 	missing := 0

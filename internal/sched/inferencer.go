@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"time"
 
 	"darknight/internal/enclave"
 	"darknight/internal/masking"
@@ -21,6 +22,9 @@ import (
 // layers cache forward state; see package nn).
 type Inferencer struct {
 	eng engine
+	// lens caches the offloaded layers' input lengths in offload order —
+	// the noise-pool sizing information.
+	lens []int
 }
 
 // NewInferencer wires a forward-only pipeline around a model replica. The
@@ -37,7 +41,35 @@ func NewInferencer(cfg Config, model *nn.Model, encl *enclave.Enclave, keyspace 
 	// Forward-only: nothing reads the device-side coded-input cache back,
 	// so successive dispatches reuse keys (bounded device storage).
 	eng.reuseKeys = true
-	return &Inferencer{eng: eng}, nil
+	return &Inferencer{eng: eng, lens: offloadLens(model.Stack)}, nil
+}
+
+// offloadLens walks a layer tree in forward order and returns the input
+// length of every offloaded (bilinear) layer — the per-layer noise-vector
+// lengths a NoisePool pre-draws, in exactly the order the engine consumes
+// them.
+func offloadLens(layer nn.Layer) []int {
+	var lens []int
+	var walk func(nn.Layer)
+	walk = func(l nn.Layer) {
+		switch v := l.(type) {
+		case *nn.Sequential:
+			for _, child := range v.Layers() {
+				walk(child)
+			}
+		case *nn.Residual:
+			walk(v.Body())
+			if v.Skip() != nil {
+				walk(v.Skip())
+			}
+		default:
+			if lin, ok := l.(nn.Linear); ok {
+				lens = append(lens, lin.InLen())
+			}
+		}
+	}
+	walk(layer)
+	return lens
 }
 
 // Config returns the effective configuration.
@@ -68,8 +100,41 @@ func (inf *Inferencer) Culprits() []int { return inf.eng.stepCulprits }
 func (inf *Inferencer) Gang() int { return inf.eng.cfg.maskParams().GPUs() }
 
 // PhaseStats returns the pipeline's cumulative encode/dispatch/decode
-// latency breakdown. Callers window measurements with PhaseStats.Sub.
+// latency breakdown (plus Wall, the summed per-batch forward wall-clock).
+// Callers window measurements with PhaseStats.Sub.
 func (inf *Inferencer) PhaseStats() PhaseStats { return inf.eng.phases }
+
+// EnableNoisePool attaches a seeded background noise generator sized for
+// the model's offloaded layers: encodes consume pre-drawn material instead
+// of paying an inline RNG pass per layer, falling back (counted) when the
+// generator is behind. sets <= 0 picks two full layer cycles. Call Close
+// to stop the generator.
+func (inf *Inferencer) EnableNoisePool(sets int) {
+	if inf.eng.pool != nil || len(inf.lens) == 0 {
+		return
+	}
+	// The pool seed is offset from the engine seed so the offline stream is
+	// not a replay of the inline one.
+	inf.eng.pool = masking.NewNoisePool(inf.eng.cfg.Seed+0x0ff1e, inf.eng.cfg.Collusion, inf.lens, sets)
+}
+
+// PoolStats returns the noise pool's hit/miss counters (zero value when no
+// pool is attached).
+func (inf *Inferencer) PoolStats() masking.NoisePoolStats {
+	if inf.eng.pool == nil {
+		return masking.NoisePoolStats{}
+	}
+	return inf.eng.pool.Stats()
+}
+
+// Close stops the background noise generator, if one was enabled. The
+// Inferencer remains usable (encodes draw inline).
+func (inf *Inferencer) Close() {
+	if inf.eng.pool != nil {
+		inf.eng.pool.Close()
+		inf.eng.pool = nil
+	}
+}
 
 // Forward runs the masked forward pass for exactly K images on the given
 // fleet and returns the per-image logits. The fleet must offer at least
@@ -85,6 +150,8 @@ func (inf *Inferencer) Forward(fleet Fleet, images [][]float64) ([]*tensor.Tenso
 	}
 	e.fleet = fleet
 	defer func() { e.fleet = nil }()
+	t0 := time.Now()
+	defer func() { e.phases.Wall += time.Since(t0) }()
 	e.beginStep()
 	code, err := masking.New(e.cfg.maskParams(), e.rng)
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"darknight/internal/fleet"
+	"darknight/internal/masking"
 	"darknight/internal/sched"
 )
 
@@ -74,6 +75,7 @@ func (m *Metrics) phases(d sched.PhaseStats) {
 	m.phase.Encode += d.Encode
 	m.phase.Dispatch += d.Dispatch
 	m.phase.Decode += d.Decode
+	m.phase.Wall += d.Wall
 	m.phase.Offloads += d.Offloads
 	m.mu.Unlock()
 }
@@ -129,8 +131,17 @@ type Snapshot struct {
 
 	// Phases is the cumulative TEE-side encode/dispatch/decode latency
 	// breakdown across all workers — where the coded hot path spends its
-	// time. Phases.Offloads counts the bilinear-layer dispatches measured.
+	// time. Phases.Offloads counts the bilinear-layer dispatches measured;
+	// Phases.Wall is the workers' busy wall-clock.
 	Phases sched.PhaseStats
+	// Overlap is (Encode+Dispatch+Decode)/Wall — 1.0 means the stages ran
+	// strictly in sequence, values above 1 mean the pipelined engine kept
+	// the TEE and the devices busy simultaneously.
+	Overlap float64
+	// NoisePool aggregates the workers' offline noise generators: Hits are
+	// encodes served from precomputed material, Misses fell back to inline
+	// draws. Zero when serving runs the serial engine.
+	NoisePool masking.NoisePoolStats
 
 	// Tenants is the per-tenant request accounting, ordered by name.
 	Tenants []TenantSnapshot
@@ -164,6 +175,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		PaddedRows: m.padRows,
 		QueueDepth: m.depth,
 		Phases:     m.phase,
+		Overlap:    m.phase.Overlap(),
 	}
 	if m.batches > 0 {
 		s.Occupancy = float64(m.realRows) / float64(m.batches*int64(m.k))

@@ -73,6 +73,13 @@ type Config struct {
 	// batches are decoded from the clean equations instead of failing, and
 	// the attributed culprit is quarantined. Requires Sched.Redundancy >= 2.
 	Recover bool
+	// PipelineDepth >= 2 switches every worker to the overlapped execution
+	// engine: up to that many virtual batches ride the
+	// encode→dispatch→decode stages at once (each under its own gang
+	// grant), with noise pre-drawn by a background pool, so the TEE and the
+	// GPUs stay busy simultaneously. <= 1 keeps the serial engine. Outputs
+	// are bit-identical either way (exact decoding over F_p).
+	PipelineDepth int
 }
 
 // result is what a worker delivers back to one waiting request.
@@ -93,11 +100,14 @@ type request struct {
 // Server is a concurrent private-inference service over one managed GPU
 // fleet.
 type Server struct {
-	cfg     Config
-	k       int
-	imgLen  int
-	fleet   *fleet.Manager
+	cfg    Config
+	k      int
+	imgLen int
+	fleet  *fleet.Manager
+	// Exactly one of workers/pipes is populated: serial engines below
+	// PipelineDepth 2, overlapped pipelines at and above it.
 	workers []*sched.Inferencer
+	pipes   []*sched.Pipeline
 
 	admit   chan *request
 	batches chan *vbatch
@@ -120,14 +130,34 @@ func New(cfg Config, models []*nn.Model, fm *fleet.Manager, encl *enclave.Enclav
 	if cfg.Recover && cfg.Sched.Redundancy < 2 {
 		return nil, fmt.Errorf("serve: Recover needs Redundancy >= 2, have %d", cfg.Sched.Redundancy)
 	}
-	workers := make([]*sched.Inferencer, len(models))
+	var (
+		workers []*sched.Inferencer
+		pipes   []*sched.Pipeline
+		gang, k int
+	)
 	for i, m := range models {
 		// Each worker draws its own coding randomness: reusing one RNG
 		// stream across workers would emit identical noise vectors and
 		// coefficients for different clients' batches at the same step,
 		// letting an observer of two gangs cancel the masking noise.
+		// (Pipeline lanes stride further apart internally.)
 		wcfg := cfg.Sched
 		wcfg.Seed += int64(i)
+		if cfg.PipelineDepth >= 2 {
+			p, err := sched.NewPipeline(wcfg, m, encl, fmt.Sprintf("w%d/", i), cfg.PipelineDepth)
+			if err != nil {
+				return nil, err
+			}
+			if cfg.Recover {
+				if err := p.EnableRecovery(); err != nil {
+					p.Close()
+					return nil, err
+				}
+			}
+			pipes = append(pipes, p)
+			gang, k = p.Gang(), p.Config().VirtualBatch
+			continue
+		}
 		inf, err := sched.NewInferencer(wcfg, m, encl, fmt.Sprintf("w%d/", i))
 		if err != nil {
 			return nil, err
@@ -137,10 +167,11 @@ func New(cfg Config, models []*nn.Model, fm *fleet.Manager, encl *enclave.Enclav
 				return nil, err
 			}
 		}
-		workers[i] = inf
+		workers = append(workers, inf)
+		gang, k = inf.Gang(), inf.Config().VirtualBatch
 	}
-	gang := workers[0].Gang()
 	if gang > fm.Cluster().Size() {
+		closePipes(pipes)
 		return nil, fmt.Errorf("serve: gang of K+M+E = %d devices exceeds fleet of %d",
 			gang, fm.Cluster().Size())
 	}
@@ -151,10 +182,10 @@ func New(cfg Config, models []*nn.Model, fm *fleet.Manager, encl *enclave.Enclav
 	}
 	for _, m := range models[1:] {
 		if fmt.Sprint(m.InShape) != fmt.Sprint(shape) {
+			closePipes(pipes)
 			return nil, fmt.Errorf("serve: worker models disagree on input shape")
 		}
 	}
-	k := workers[0].Config().VirtualBatch
 	depth := cfg.QueueDepth
 	if depth <= 0 {
 		depth = 4 * k
@@ -165,6 +196,7 @@ func New(cfg Config, models []*nn.Model, fm *fleet.Manager, encl *enclave.Enclav
 		imgLen:  imgLen,
 		fleet:   fm,
 		workers: workers,
+		pipes:   pipes,
 		admit:   make(chan *request, depth),
 		batches: make(chan *vbatch, len(models)),
 		metrics: newMetrics(k),
@@ -175,7 +207,19 @@ func New(cfg Config, models []*nn.Model, fm *fleet.Manager, encl *enclave.Enclav
 		s.wg.Add(1)
 		go s.workLoop(inf)
 	}
+	for _, p := range pipes {
+		s.wg.Add(1)
+		go s.pipeLoop(p)
+	}
 	return s, nil
+}
+
+// closePipes stops the background noise generators of partially built
+// pipelines on a construction error path.
+func closePipes(pipes []*sched.Pipeline) {
+	for _, p := range pipes {
+		p.Close()
+	}
 }
 
 // K returns the virtual batch size requests are coalesced into.
@@ -185,10 +229,17 @@ func (s *Server) K() int { return s.k }
 func (s *Server) Fleet() *fleet.Manager { return s.fleet }
 
 // Metrics returns a consistent snapshot of the serving counters, including
-// the fleet health snapshot.
+// the fleet health snapshot and (in pipeline mode) the noise-pool
+// counters.
 func (s *Server) Metrics() Snapshot {
 	snap := s.metrics.Snapshot()
 	snap.Fleet = s.fleet.Stats()
+	for _, p := range s.pipes {
+		st := p.PoolStats()
+		snap.NoisePool.Hits += st.Hits
+		snap.NoisePool.Misses += st.Misses
+		snap.NoisePool.Refills += st.Refills
+	}
 	return snap
 }
 
@@ -245,14 +296,19 @@ func (s *Server) InferTenant(ctx context.Context, tenant string, image []float64
 }
 
 // Close drains the service: admitted requests are still dispatched (final
-// partial batches are padded and flushed), then workers exit. Infer calls
-// after Close fail with ErrClosed. Close blocks until the drain completes.
+// partial batches are padded and flushed), then workers exit and the
+// background noise generators stop. Infer calls after Close fail with
+// ErrClosed. Close blocks until the drain completes.
 func (s *Server) Close() {
 	if !s.gate.close() {
 		return // already closed
 	}
 	close(s.admit)
 	s.wg.Wait()
+	closePipes(s.pipes)
+	for _, inf := range s.workers {
+		inf.Close()
+	}
 }
 
 // closeGate lets Close wait out in-flight admissions before closing the

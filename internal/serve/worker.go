@@ -5,6 +5,7 @@ import (
 	"errors"
 	"time"
 
+	"darknight/internal/fleet"
 	"darknight/internal/masking"
 	"darknight/internal/sched"
 )
@@ -33,17 +34,7 @@ func (s *Server) workLoop(inf *sched.Inferencer) {
 		}
 		before := inf.PhaseStats()
 		preds, err := inf.Predict(grant, b.images)
-		if culprits := inf.Culprits(); len(culprits) > 0 {
-			grant.ReportFaults(culprits)
-		} else if err != nil {
-			var ie *sched.IntegrityError
-			switch {
-			case errors.As(err, &ie) && len(ie.Culprits) > 0:
-				grant.ReportFaults(ie.Culprits)
-			case IsIntegrityError(err):
-				grant.ReportSuspect()
-			}
-		}
+		reportOutcome(grant, inf.Culprits(), err)
 		grant.Release()
 		s.metrics.phases(inf.PhaseStats().Sub(before))
 		now := time.Now()
@@ -64,3 +55,174 @@ func (s *Server) workLoop(inf *sched.Inferencer) {
 // IsIntegrityError reports whether a per-request serving error was caused
 // by tampered GPU results on the request's batch.
 func IsIntegrityError(err error) bool { return errors.Is(err, masking.ErrIntegrity) }
+
+// reportOutcome folds one batch's integrity verdict into its grant: exact
+// culprits quarantine the offending devices; an unattributable violation
+// casts suspicion over the whole gang.
+func reportOutcome(grant *fleet.Grant, culprits []int, err error) {
+	if len(culprits) > 0 {
+		grant.ReportFaults(culprits)
+		return
+	}
+	if err == nil {
+		return
+	}
+	var ie *sched.IntegrityError
+	switch {
+	case errors.As(err, &ie) && len(ie.Culprits) > 0:
+		grant.ReportFaults(ie.Culprits)
+	case IsIntegrityError(err):
+		grant.ReportSuspect()
+	}
+}
+
+// pipeFlight is one virtual batch in flight through a worker's pipeline:
+// its gang grant and the completion ticket.
+type pipeFlight struct {
+	b     *vbatch
+	grant *fleet.Grant
+	tk    *sched.Ticket
+}
+
+// pipeLoop is the overlapped serving worker: it owns a sched.Pipeline over
+// a private model replica and keeps up to Depth virtual batches in flight
+// at once, each under its own gang grant — while one batch's coded shares
+// are on the devices, the TEE encodes the next batch and decodes the
+// previous one. The fault-reporting duties are identical to workLoop's;
+// they act on each batch's ticket as it completes.
+func (s *Server) pipeLoop(p *sched.Pipeline) {
+	defer s.wg.Done()
+	gang := p.Gang()
+	var q []pipeFlight
+	var last sched.PhaseStats
+
+	// completions carries one token per flight whose ticket has completed
+	// — a single channel the loop can select on regardless of which of the
+	// in-flight batches finishes first, so a fast batch is never parked
+	// behind a slow older one (finished clients answered, and the finished
+	// gang released, in completion order, not submission order). Capacity
+	// Depth bounds the outstanding tokens: one per lane.
+	completions := make(chan struct{}, p.Depth())
+	watch := func(tk *sched.Ticket) {
+		go func() {
+			<-tk.Done()
+			completions <- struct{}{}
+		}()
+	}
+
+	finish := func(f pipeFlight) {
+		err := f.tk.Wait()
+		reportOutcome(f.grant, f.tk.Culprits(), err)
+		f.grant.Release()
+		// Windowed phase accounting: the pipeline's aggregate counters are
+		// monotone, so per-completion deltas sum to the true totals even
+		// while other batches are mid-flight.
+		cur := p.PhaseStats()
+		s.metrics.phases(cur.Sub(last))
+		last = cur
+		now := time.Now()
+		if err != nil {
+			f.b.fail(err)
+			s.metrics.finished(f.b, now, err)
+			return
+		}
+		preds := f.tk.Classes()
+		for i, r := range f.b.reqs {
+			r.done <- result{class: preds[i]}
+		}
+		s.metrics.finished(f.b, now, nil)
+	}
+
+	// retireCompleted consumes one already-received completion token:
+	// it finds a flight whose ticket is done — one must exist, tokens are
+	// only minted for flights in q — and retires it without blocking.
+	retireCompleted := func() {
+		for i, f := range q {
+			select {
+			case <-f.tk.Done():
+				finish(f)
+				q = append(q[:i], q[i+1:]...)
+				return
+			default:
+			}
+		}
+	}
+
+	// retire blocks for the next completion (whichever flight it is) and
+	// retires that flight.
+	retire := func() {
+		<-completions
+		retireCompleted()
+	}
+
+	// acquire gets a gang for the next batch without deadlocking on a
+	// tight pool: blocking for devices while this worker still holds the
+	// gangs of completed-but-unretired batches would wait forever (only
+	// this goroutine releases them). So the blocking path is reserved for
+	// an empty pipeline; otherwise a failed non-blocking attempt retires
+	// the next batch to complete — freeing its gang — and retries,
+	// degrading gracefully toward serial execution exactly when the fleet
+	// cannot support the overlap.
+	acquire := func(tenant string) (*fleet.Grant, error) {
+		for {
+			if len(q) == 0 {
+				return s.fleet.Acquire(context.Background(), tenant, gang)
+			}
+			grant, err := s.fleet.TryAcquire(tenant, gang)
+			if grant != nil || err != nil {
+				return grant, err
+			}
+			retire()
+		}
+	}
+
+	submit := func(b *vbatch) {
+		grant, err := acquire(b.tenant)
+		if err != nil {
+			b.fail(err)
+			s.metrics.finished(b, time.Now(), err)
+			return
+		}
+		tk, err := p.Submit(grant, b.images)
+		if err != nil {
+			grant.Release()
+			b.fail(err)
+			s.metrics.finished(b, time.Now(), err)
+			return
+		}
+		q = append(q, pipeFlight{b: b, grant: grant, tk: tk})
+		watch(tk)
+	}
+
+	for {
+		if len(q) == 0 {
+			// Nothing in flight: block for traffic.
+			b, ok := <-s.batches
+			if !ok {
+				return
+			}
+			submit(b)
+			continue
+		}
+		if len(q) >= p.Depth() {
+			// Pipeline full: retire the next completion before admitting
+			// more.
+			retire()
+			continue
+		}
+		// Room in the pipeline: take whichever happens first — another
+		// batch to overlap, or any flight's completion.
+		select {
+		case b, ok := <-s.batches:
+			if !ok {
+				for len(q) > 0 {
+					retire()
+				}
+				return
+			}
+			submit(b)
+		case <-completions:
+			retireCompleted()
+		}
+	}
+}

@@ -30,6 +30,14 @@ type ServerConfig struct {
 	// Workers is the number of concurrent inference pipelines, each with a
 	// private model replica (default 2).
 	Workers int
+	// PipelineDepth >= 2 switches every worker to overlapped execution:
+	// up to that many virtual batches in flight per worker — while batch i
+	// is on the GPUs, the TEE decodes batch i−1 and encodes batch i+1, with
+	// noise pre-drawn offline by a background pool. Each in-flight batch
+	// holds its own gang, so full overlap wants GPUs ≈ Workers ×
+	// PipelineDepth × gang (0 sizes the cluster that way automatically).
+	// <= 1 keeps the serial engine. Outputs are bit-identical either way.
+	PipelineDepth int
 	// QueueDepth bounds the admission queue (0 = 4·K).
 	QueueDepth int
 	// MaxWait bounds how long a request waits for K-1 peers before its
@@ -44,6 +52,11 @@ type ServerConfig struct {
 	// SpareGPUs adds devices beyond the Workers×gang sizing — headroom for
 	// quarantine survival and speculative straggler re-dispatch.
 	SpareGPUs int
+	// SlowAll marks every device in the cluster slow by SlowDelay — the
+	// uniform per-dispatch device-latency regime that pipelined execution
+	// hides. Resolved after the cluster is sized, so it always covers the
+	// whole fleet (unlike a hand-built SlowGPUs list).
+	SlowAll bool
 	// Recover enables audit-and-recover: a tampered batch is decoded from
 	// the clean equations instead of failing, and the attributed culprit
 	// device is quarantined. Requires Redundancy >= 2.
@@ -96,7 +109,19 @@ func NewServer(newModel func() *Model, cfg ServerConfig) (*Server, error) {
 	}
 	gang := cfg.VirtualBatch + cfg.Collusion + cfg.Redundancy
 	if cfg.GPUs == 0 {
-		cfg.GPUs = cfg.Workers*gang + cfg.SpareGPUs
+		// Pipelined workers hold one gang per in-flight batch; size the
+		// default cluster so the overlap is not starved of devices.
+		gangsPerWorker := 1
+		if cfg.PipelineDepth >= 2 {
+			gangsPerWorker = cfg.PipelineDepth
+		}
+		cfg.GPUs = cfg.Workers*gangsPerWorker*gang + cfg.SpareGPUs
+	}
+	if cfg.SlowAll {
+		cfg.SlowGPUs = make([]int, cfg.GPUs)
+		for i := range cfg.SlowGPUs {
+			cfg.SlowGPUs[i] = i
+		}
 	}
 	cluster, err := buildCluster(cfg.Config)
 	if err != nil {
@@ -123,9 +148,10 @@ func NewServer(newModel func() *Model, cfg ServerConfig) (*Server, error) {
 			StragglerSlack: cfg.StragglerSlack,
 			Seed:           cfg.Seed,
 		},
-		QueueDepth: cfg.QueueDepth,
-		MaxWait:    cfg.MaxWait,
-		Recover:    cfg.Recover,
+		QueueDepth:    cfg.QueueDepth,
+		MaxWait:       cfg.MaxWait,
+		Recover:       cfg.Recover,
+		PipelineDepth: cfg.PipelineDepth,
 	}, replicas, fm, encl)
 	if err != nil {
 		return nil, err
