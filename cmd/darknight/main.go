@@ -1,7 +1,8 @@
 // Command darknight is a CLI for the DarKnight reproduction. It trains and
 // serves small models on synthetic data through the full masked pipeline:
 //
-//	darknight train   [-model tiny|vgg|resnet|mobilenet] [-epochs N] [-k K]
+//	darknight train   [-model tiny|vgg|resnet|mobilenet] [-epochs N] [-k K] [-batch N]
+//	                  [-pipeline D] [-fleet] [-spares N] [-slack N] [-slowall] [-slowdelay D]
 //	darknight infer   [-model ...] [-k K] [-integrity]
 //	darknight verify  [-malicious GPUIDX]
 //	darknight serve   [-model ...] [-k K] [-workers N] [-clients N] [-duration D]
@@ -10,6 +11,10 @@
 //	darknight loadgen [-model ...] [-k K] [-workers N] [-maxclients N] [-duration D]
 //	                  [-tenants ...] [-malicious I] [-faultprob P] [-slow I]
 //
+// `train -pipeline D` overlaps D virtual batches across the TEE and the
+// GPU gangs (forward and backward), bit-identical weights to serial;
+// `-fleet` adds self-healing fleet management (per-batch gang grants,
+// quarantine of attributed tamperers, straggler-tolerant quorum decode).
 // `verify` demonstrates integrity detection: it runs a training step
 // against a cluster containing a tampering GPU and reports the violation.
 // `serve` stands up the concurrent inference service under closed-loop
@@ -26,6 +31,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"darknight"
 	"darknight/internal/masking"
@@ -77,38 +83,92 @@ func cmdTrain(args []string) {
 	modelName := fs.String("model", "tiny", "model architecture")
 	epochs := fs.Int("epochs", 4, "training epochs")
 	k := fs.Int("k", 2, "virtual batch size K")
+	batchSize := fs.Int("batch", 8, "large-batch size (multiples of K avoid dropped tail examples)")
 	integrity := fs.Bool("integrity", false, "enable integrity verification (one extra GPU)")
+	pipeline := fs.Int("pipeline", 0, "train pipeline depth: >= 2 overlaps that many virtual batches (TEE/GPU pipelining), <= 1 serial")
+	fleetFlag := fs.Bool("fleet", false, "route dispatch through the self-healing fleet manager (per-batch gang grants, quarantine); needs -pipeline >= 2")
+	spares := fs.Int("spares", 0, "spare GPUs beyond the gang sizing (quarantine headroom)")
+	slack := fs.Int("slack", 0, "straggler slack: decode after all but N coded responses (forward needs -integrity redundancy >= 2)")
+	slowall := fs.Bool("slowall", false, "make every device slow by -slowdelay (shows what pipelining hides)")
+	slowdelay := fs.Duration("slowdelay", 0, "per-dispatch latency of slow devices (default 5ms)")
 	seed := fs.Int64("seed", 1, "random seed")
 	fs.Parse(args)
 
 	model := buildModel(*modelName, *seed)
+	if *batchSize < *k {
+		log.Fatalf("-batch %d is smaller than the virtual batch K=%d", *batchSize, *k)
+	}
+	if *slack > 0 && !*fleetFlag {
+		log.Fatal("-slack needs -fleet: straggler quorum dispatch is a fleet-grant capability (a raw cluster always waits for every device)")
+	}
 	redundancy := 0
 	if *integrity {
 		redundancy = 1
 	}
+	if *slack > 0 && redundancy < 2 {
+		redundancy = 2 // forward quorum retains one check; backward dual-window needs the secondary decoding
+	}
 	sys, err := darknight.NewSystem(model, darknight.Config{
-		VirtualBatch: *k, Redundancy: redundancy, Seed: *seed,
+		VirtualBatch:       *k,
+		Redundancy:         redundancy,
+		Seed:               *seed,
+		TrainPipelineDepth: *pipeline,
+		ManagedFleet:       *fleetFlag,
+		SpareGPUs:          *spares,
+		StragglerSlack:     *slack,
+		SlowAll:            *slowall,
+		SlowDelay:          *slowdelay,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sys.Close()
 	data := darknight.SyntheticDataset(240, 4, 1, 8, 8, *seed+1)
 	train, test := data[:192], data[192:]
-	fmt.Printf("training %s privately: K=%d, integrity=%v, %d examples\n",
-		model.Name(), *k, *integrity, len(train))
+	if *batchSize > len(train) {
+		log.Fatalf("-batch %d exceeds the %d-example training set", *batchSize, len(train))
+	}
+	mode := "serial"
+	if *pipeline >= 2 {
+		mode = fmt.Sprintf("pipelined depth %d", *pipeline)
+		if *fleetFlag {
+			mode += ", fleet-managed gangs"
+		}
+	}
+	fmt.Printf("training %s privately: K=%d, integrity=%v, %d examples, %s\n",
+		model.Name(), *k, *integrity, len(train), mode)
+	warnedDrop := false
+	start := time.Now()
 	for epoch := 1; epoch <= *epochs; epoch++ {
 		var loss float64
 		batches := 0
-		for i := 0; i+8 <= len(train); i += 8 {
-			l, err := sys.TrainBatch(train[i : i+8])
+		for i := 0; i+*batchSize <= len(train); i += *batchSize {
+			l, stats, err := sys.TrainBatchStats(train[i : i+*batchSize])
 			if err != nil {
 				log.Fatalf("epoch %d: %v", epoch, err)
+			}
+			if stats.DroppedExamples > 0 && !warnedDrop {
+				log.Printf("warning: %d tail example(s) per batch dropped — DarKnight codes exactly K=%d inputs per "+
+					"dispatch (the paper's K-granularity constraint); use -batch sizes that are multiples of K",
+					stats.DroppedExamples, *k)
+				warnedDrop = true
 			}
 			loss += l
 			batches++
 		}
 		fmt.Printf("epoch %d: loss %.4f, test accuracy %.3f\n",
 			epoch, loss/float64(batches), sys.Evaluate(test))
+	}
+	elapsed := time.Since(start)
+	ph := sys.TrainPhases()
+	fmt.Printf("trained in %v; offloads %d, overlap ratio %.2f\n", elapsed.Round(time.Millisecond), ph.Offloads, ph.Overlap())
+	if refills := sys.CacheRefills(); refills > 0 {
+		fmt.Printf("backward cache refills: %d (devices replaced between forward and backward)\n", refills)
+	}
+	if *fleetFlag {
+		fst := sys.FleetStats()
+		fmt.Printf("fleet: %d quarantine events, %d straggler events, %d devices\n",
+			fst.QuarantineEvents, fst.StragglerEvents, len(fst.Devices))
 	}
 	st := sys.EnclaveStats()
 	tr := sys.GPUTraffic()

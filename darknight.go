@@ -20,13 +20,17 @@
 package darknight
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
 
 	"darknight/internal/dataset"
 	"darknight/internal/enclave"
+	"darknight/internal/fleet"
 	"darknight/internal/gpu"
+	"darknight/internal/masking"
 	"darknight/internal/nn"
 	"darknight/internal/sched"
 )
@@ -61,6 +65,34 @@ type Config struct {
 	EnclaveBytes int64
 	// LearningRate and Momentum drive the SGD optimizer.
 	LearningRate, Momentum float64
+	// TrainPipelineDepth >= 2 switches TrainBatch to overlapped
+	// data-parallel execution: up to that many virtual batches ride the
+	// encode→dispatch→decode stages of both passes at once, each on its
+	// own device gang, with per-lane gradient isolation and
+	// virtual-batch-order Algorithm-2 aggregation — weights bit-identical
+	// to the serial trainer. <= 1 keeps the serial trainer. With GPUs = 0
+	// the cluster is sized depth × (K+M+E) + SpareGPUs so the overlap is
+	// not starved of devices.
+	TrainPipelineDepth int
+	// ManagedFleet routes training dispatch through a self-healing
+	// fleet.Manager — per-batch gang grants, health tracking, quarantine of
+	// attributed tamperers, straggler accounting — instead of the raw
+	// cluster. Requires TrainPipelineDepth >= 2.
+	ManagedFleet bool
+	// SpareGPUs adds devices beyond the gang sizing — headroom for
+	// quarantine survival under a managed fleet.
+	SpareGPUs int
+	// StragglerSlack lets a forward dispatch decode after all but this many
+	// coded responses arrive, and arms the backward dual-window quorum
+	// (decode from the primary or the redundant equation set, whichever
+	// completes first). Needs Redundancy >= 2 for the forward path and
+	// >= 1 for the backward window — and ManagedFleet: quorum dispatch is
+	// a fleet-grant capability, so on a raw cluster this knob is inert
+	// (every dispatch waits for all devices).
+	StragglerSlack int
+	// SlowAll marks every device slow by SlowDelay — the uniform
+	// per-dispatch device-latency regime pipelined training hides.
+	SlowAll bool
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -68,11 +100,15 @@ type Config struct {
 // Example is one labelled image (CHW layout).
 type Example = dataset.Example
 
-// System owns a model, a masked trainer, a software enclave and a
-// simulated GPU cluster.
+// System owns a model, a masked trainer (serial and optionally pipelined),
+// a software enclave and a simulated GPU cluster — optionally under
+// self-healing fleet management.
 type System struct {
 	model   *nn.Model
 	trainer *sched.Trainer
+	pipe    *sched.TrainPipeline
+	src     sched.GangSource
+	fm      *fleet.Manager
 	encl    *enclave.Enclave
 	cluster *gpu.Cluster
 	opt     *nn.SGD
@@ -87,11 +123,27 @@ func NewSystem(model *Model, cfg Config) (*System, error) {
 	if cfg.Collusion == 0 {
 		cfg.Collusion = 1
 	}
+	gang := cfg.VirtualBatch + cfg.Collusion + cfg.Redundancy
 	if cfg.GPUs == 0 {
-		cfg.GPUs = cfg.VirtualBatch + cfg.Collusion + cfg.Redundancy
+		// Pipelined lanes each hold a gang in flight; size the default
+		// cluster so the overlap is not starved of devices.
+		lanes := 1
+		if cfg.TrainPipelineDepth >= 2 {
+			lanes = cfg.TrainPipelineDepth
+		}
+		cfg.GPUs = gang*lanes + cfg.SpareGPUs
 	}
 	if cfg.LearningRate == 0 {
 		cfg.LearningRate = 0.05
+	}
+	if cfg.ManagedFleet && cfg.TrainPipelineDepth < 2 {
+		return nil, fmt.Errorf("darknight: ManagedFleet training requires TrainPipelineDepth >= 2")
+	}
+	if cfg.SlowAll {
+		cfg.SlowGPUs = make([]int, cfg.GPUs)
+		for i := range cfg.SlowGPUs {
+			cfg.SlowGPUs[i] = i
+		}
 	}
 
 	cluster, err := buildCluster(cfg)
@@ -103,23 +155,66 @@ func NewSystem(model *Model, cfg Config) (*System, error) {
 		return nil, err
 	}
 
-	trainer, err := sched.NewTrainer(sched.Config{
-		VirtualBatch: cfg.VirtualBatch,
-		Collusion:    cfg.Collusion,
-		Redundancy:   cfg.Redundancy,
-		Seed:         cfg.Seed,
-	}, model.m, cluster, encl)
+	scfg := sched.Config{
+		VirtualBatch:   cfg.VirtualBatch,
+		Collusion:      cfg.Collusion,
+		Redundancy:     cfg.Redundancy,
+		StragglerSlack: cfg.StragglerSlack,
+		Seed:           cfg.Seed,
+	}
+	trainer, err := sched.NewTrainer(scfg, model.m, cluster, encl)
 	if err != nil {
 		return nil, err
 	}
-	return &System{
+	s := &System{
 		model:   model.m,
 		trainer: trainer,
 		encl:    encl,
 		cluster: cluster,
 		opt:     nn.NewSGD(cfg.LearningRate, cfg.Momentum),
 		cfg:     cfg,
-	}, nil
+	}
+	if cfg.TrainPipelineDepth >= 2 {
+		s.pipe, err = sched.NewTrainPipeline(scfg, model.m, encl, "sys/", cfg.TrainPipelineDepth)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.ManagedFleet {
+			s.fm = fleet.NewManager(cluster, fleet.Config{Seed: cfg.Seed})
+			s.src = &trainGangSource{m: s.fm, gang: gang}
+		} else {
+			s.src = sched.SingleFleetSource{F: cluster}
+		}
+	}
+	return s, nil
+}
+
+// trainGangSource adapts a fleet.Manager into the training pipeline's
+// per-batch gang supply: every in-flight virtual batch runs on its own
+// granted gang, and each batch's integrity verdict feeds device health on
+// release (attributed culprits quarantine; unattributable violations cast
+// gang-wide suspicion).
+type trainGangSource struct {
+	m    *fleet.Manager
+	gang int
+}
+
+func (s *trainGangSource) Acquire() (sched.Fleet, error) {
+	return s.m.Acquire(context.Background(), "train", s.gang)
+}
+
+func (s *trainGangSource) Release(f sched.Fleet, culprits []int, err error) {
+	g := f.(*fleet.Grant)
+	var ie *sched.IntegrityError
+	switch {
+	case len(culprits) > 0:
+		g.ReportFaults(culprits)
+	case errors.As(err, &ie) && len(ie.Culprits) > 0:
+		g.ReportFaults(ie.Culprits)
+	case err != nil && errors.Is(err, masking.ErrIntegrity):
+		g.ReportSuspect()
+	}
+	g.Release()
 }
 
 // buildCluster assembles the simulated device fleet a Config describes,
@@ -165,13 +260,70 @@ func buildEnclave(cfg Config) (*enclave.Enclave, error) {
 	return enclave.New(cap)
 }
 
+// AggregationStats reports what Algorithm 2 did for one large batch,
+// including the tail examples dropped by the K-granularity constraint.
+type AggregationStats = sched.AggregationStats
+
+// TrainPhaseStats is the cumulative encode/dispatch/decode/wall breakdown
+// of the training hot path; Overlap() on it is the pipelining win.
+type TrainPhaseStats = sched.PhaseStats
+
 // TrainBatch runs one private training step over a batch (processed as
 // virtual batches of K with Algorithm 2 aggregation) and returns the mean
-// loss. It fails with an integrity error if GPU results were tampered with
-// and Redundancy >= 1.
+// loss. With TrainPipelineDepth >= 2 the virtual batches are pipelined
+// data-parallel across device gangs — same weights, bit for bit. It fails
+// with an integrity error if GPU results were tampered with and
+// Redundancy >= 1.
 func (s *System) TrainBatch(batch []Example) (float64, error) {
-	loss, _, err := s.trainer.TrainLargeBatch(batch, s.opt, 0)
+	loss, _, err := s.TrainBatchStats(batch)
 	return loss, err
+}
+
+// TrainBatchStats is TrainBatch surfacing the Algorithm-2 aggregation
+// stats — most notably DroppedExamples, the tail examples beyond the last
+// full virtual batch that the coded path cannot process (size batches as
+// multiples of K to avoid dropping data).
+func (s *System) TrainBatchStats(batch []Example) (float64, AggregationStats, error) {
+	if s.pipe != nil {
+		return s.pipe.TrainLargeBatch(s.src, batch, s.opt, 0)
+	}
+	return s.trainer.TrainLargeBatch(batch, s.opt, 0)
+}
+
+// TrainPhases returns the training path's phase breakdown: the pipeline's
+// aggregate when pipelining is on, the serial trainer's otherwise.
+func (s *System) TrainPhases() TrainPhaseStats {
+	if s.pipe != nil {
+		return s.pipe.PhaseStats()
+	}
+	return s.trainer.PhaseStats()
+}
+
+// CacheRefills counts backward dispatches that had to re-create the
+// device-side coded-input cache (devices replaced or reshuffled between a
+// batch's forward and backward passes — quarantines, probation swaps).
+func (s *System) CacheRefills() int64 {
+	if s.pipe != nil {
+		return s.pipe.CacheRefills()
+	}
+	return s.trainer.CacheRefills()
+}
+
+// FleetStats returns the training fleet's health snapshot (zero value when
+// ManagedFleet is off).
+func (s *System) FleetStats() FleetStats {
+	if s.fm == nil {
+		return FleetStats{}
+	}
+	return s.fm.Stats()
+}
+
+// Close stops the training pipeline's background noise generator, if one
+// is running. The System remains usable for serial work.
+func (s *System) Close() {
+	if s.pipe != nil {
+		s.pipe.Close()
+	}
 }
 
 // Predict privately classifies a virtual batch of exactly K images.
@@ -214,6 +366,17 @@ func (m *Model) Name() string { return m.m.Name }
 
 // ParamCount returns the learnable element count.
 func (m *Model) ParamCount() int64 { return m.m.ParamCount() }
+
+// Weights returns a flat copy of the model's learnable parameters in
+// declaration order — for checkpoint comparison (the pipelined trainer's
+// bit-identity guarantee is checked against it).
+func (m *Model) Weights() []float64 {
+	var out []float64
+	for _, p := range m.m.Params() {
+		out = append(out, p.W.Data...)
+	}
+	return out
+}
 
 // CopyWeightsFrom copies the learned parameters of src into m. The two
 // models must share an architecture (same constructor and scale). It is how

@@ -96,3 +96,38 @@ func TestModelBuilders(t *testing.T) {
 		}
 	}
 }
+
+// TestPipelinedTrainingFleetQuarantine exercises the facade's training
+// gang source end to end: a corrupt-every-result GPU fails the first
+// pipelined TrainBatch with an attributable integrity error, the fleet
+// quarantines it on release, and the next batch trains cleanly on the
+// surviving devices plus spares — private training survives a malicious
+// device without operator action.
+func TestPipelinedTrainingFleetQuarantine(t *testing.T) {
+	model := TinyCNN(1, 8, 8, 4, 1)
+	sys, err := NewSystem(model, Config{
+		VirtualBatch:       2,
+		Redundancy:         2, // attribution needs two redundant equations
+		TrainPipelineDepth: 2,
+		ManagedFleet:       true,
+		SpareGPUs:          2,
+		MaliciousGPUs:      []int{1},
+		Seed:               3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	batch := SyntheticDataset(8, 4, 1, 8, 8, 5)
+	if _, err := sys.TrainBatch(batch); !errors.Is(err, masking.ErrIntegrity) {
+		t.Fatalf("tampered first batch returned %v, want integrity error", err)
+	}
+	if fst := sys.FleetStats(); fst.QuarantineEvents == 0 {
+		t.Fatalf("tamperer not quarantined: %+v", fst)
+	}
+	// Probation backoff (>= 100ms) keeps the offender out for the rest of
+	// this test, so retraining must succeed on the surviving pool.
+	if _, err := sys.TrainBatch(batch); err != nil {
+		t.Fatalf("retrain after quarantine failed: %v", err)
+	}
+}

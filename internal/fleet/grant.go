@@ -19,7 +19,6 @@ type Grant struct {
 	t     *tenant
 	ids   []int // cluster indices, slot i serves coded input i
 	devs  []gpu.Device
-	gang  *gpu.Cluster
 	start time.Time
 	once  sync.Once
 
@@ -55,7 +54,6 @@ func newGrant(m *Manager, t *tenant, ids []int) *Grant {
 		t:         t,
 		ids:       ids,
 		devs:      devs,
-		gang:      gpu.NewCluster(devs...),
 		start:     time.Now(),
 		latSum:    make([]time.Duration, len(ids)),
 		latN:      make([]int64, len(ids)),
@@ -105,7 +103,7 @@ func (g *Grant) ForwardAll(key string, kernel gpu.LinearKernel, coded []field.Ve
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = g.devs[i].LinearForward(key, kernel, coded[i])
+			results[i] = g.devs[i].LinearForward(gpu.SlotKey(key, i), kernel, coded[i])
 			g.record(i, time.Since(t0))
 		}(i)
 	}
@@ -162,7 +160,7 @@ func (g *Grant) ForwardAllAsync(key string, kernel gpu.LinearKernel, coded []fie
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = g.devs[i].LinearForward(key, kernel, coded[i])
+			results[i] = g.devs[i].LinearForward(gpu.SlotKey(key, i), kernel, coded[i])
 			g.record(i, time.Since(t0))
 		}(i)
 	}
@@ -257,7 +255,7 @@ func (g *Grant) ForwardQuorum(key string, kernel gpu.LinearKernel, coded []field
 	t0 := time.Now()
 	for i := range coded {
 		go func(i int) {
-			y := g.devs[i].LinearForward(key, kernel, coded[i])
+			y := g.devs[i].LinearForward(gpu.SlotKey(key, i), kernel, coded[i])
 			g.record(i, time.Since(t0))
 			st.deliver(i, y, arrived)
 		}(i)
@@ -304,7 +302,7 @@ func (g *Grant) speculate(key string, kernel gpu.LinearKernel, coded []field.Vec
 		g.mu.Unlock()
 		go func(slot int, rec *deviceRec, dev gpu.Device) {
 			ts := time.Now()
-			y := dev.LinearForward(key+"#spec", kernel, coded[slot])
+			y := dev.LinearForward(gpu.SlotKey(key, slot)+"#spec", kernel, coded[slot])
 			g.m.returnSpare(rec, time.Since(ts))
 			st.deliver(slot, y, arrived)
 		}(slot, rec, dev)
@@ -312,10 +310,172 @@ func (g *Grant) speculate(key string, kernel gpu.LinearKernel, coded []field.Vec
 }
 
 // BackwardAll dispatches the per-device gradient equations against the
-// coded inputs stored during forward (wait-for-all: the backward decode
-// has no redundant-subset path yet).
+// coded inputs the devices stored during forward (wait-for-all). Storage is
+// slot-scoped (gpu.SlotKey), so a device that joined the gang after the
+// forward pass — or re-entered at a different slot — misses cleanly; all
+// such misses fold into one gpu.MissingStoreError the trainer's cache
+// refill can act on.
 func (g *Grant) BackwardAll(key string, kernel gpu.BilinearKernel, deltas []field.Vec) ([]field.Vec, error) {
-	return g.gang.BackwardAll(key, kernel, deltas)
+	n := len(deltas)
+	if n > len(g.devs) {
+		return nil, fmt.Errorf("fleet: %d deltas for gang of %d", n, len(g.devs))
+	}
+	// Per-dispatch gather buffers: backward dispatches overlap across lanes.
+	results := make([]field.Vec, n)
+	errs := make([]error, n)
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for i := range deltas {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = g.devs[i].GradWeights(gpu.SlotKey(key, i), kernel, deltas[i])
+			g.record(i, time.Since(t0))
+		}(i)
+	}
+	wg.Wait()
+	if err := gpu.FoldSlotErrors(errs); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// BackwardAllAsync is BackwardAll returning immediately with a completion
+// handle, registered against the grant's outstanding-dispatch accounting so
+// Release waits it out.
+func (g *Grant) BackwardAllAsync(key string, kernel gpu.BilinearKernel, deltas []field.Vec) *gpu.Pending {
+	p := gpu.NewPending()
+	g.beginAsync()
+	go func() {
+		results, err := g.BackwardAll(key, kernel, deltas)
+		g.endAsync()
+		p.Complete(results, nil, err)
+	}()
+	return p
+}
+
+// bwJob tracks one backward equation dispatch of a dual-window quorum.
+type bwJob struct {
+	slot int // gang slot (and stored-input column)
+	sec  bool
+	idx  int // index within its window
+}
+
+// BackwardQuorum dispatches both backward equation windows — the S primary
+// equations onto slots [0, S) and the S secondary (redundant-decoding)
+// equations onto slots [e, S+e) — and returns as soon as either window has
+// fully answered, leaving laggards to finish on their own time exactly as
+// ForwardQuorum does. The outcome's masks tell the decoder
+// (masking.DecodeBackwardSubsetInto) which window completed; when both did,
+// the spare one is its verification. Slots whose jobs had not answered at
+// the snapshot are recorded as stragglers. The caller must guarantee the
+// deltas and the kernel's captured state outlive the call unboundedly.
+//
+// If every still-running window dies on errors instead, the per-slot errors
+// fold like BackwardAll's: all-miss failures become a
+// gpu.MissingStoreError so the trainer can refill the device-side cache and
+// retry.
+func (g *Grant) BackwardQuorum(key string, kernel gpu.BilinearKernel, prim, sec []field.Vec, e int) (gpu.BackwardOutcome, error) {
+	nP, nS := len(prim), len(sec)
+	if nP > len(g.devs) || e+nS > len(g.devs) {
+		return gpu.BackwardOutcome{}, fmt.Errorf("fleet: backward windows (%d primary, %d secondary at offset %d) exceed gang of %d",
+			nP, nS, e, len(g.devs))
+	}
+	var jobs []bwJob
+	for j := 0; j < nP; j++ {
+		jobs = append(jobs, bwJob{slot: j, idx: j})
+	}
+	for j := 0; j < nS; j++ {
+		jobs = append(jobs, bwJob{slot: e + j, sec: true, idx: j})
+	}
+	var (
+		mu       sync.Mutex
+		primRes  = make([]field.Vec, nP)
+		primOK   = make([]bool, nP)
+		secRes   = make([]field.Vec, nS)
+		secOK    = make([]bool, nS)
+		slotErrs = make([]error, len(g.devs))
+		okP, okS int
+	)
+	arrived := make(chan struct{}, len(jobs))
+	t0 := time.Now()
+	for _, jb := range jobs {
+		go func(jb bwJob) {
+			delta := prim[jb.idx]
+			if jb.sec {
+				delta = sec[jb.idx]
+			}
+			y, err := g.devs[jb.slot].GradWeights(gpu.SlotKey(key, jb.slot), kernel, delta)
+			g.record(jb.slot, time.Since(t0))
+			mu.Lock()
+			switch {
+			case err != nil:
+				slotErrs[jb.slot] = err
+			case jb.sec:
+				secRes[jb.idx], secOK[jb.idx] = y, true
+				okS++
+			default:
+				primRes[jb.idx], primOK[jb.idx] = y, true
+				okP++
+			}
+			mu.Unlock()
+			arrived <- struct{}{}
+		}(jb)
+	}
+	for answered := 0; ; {
+		<-arrived
+		answered++
+		mu.Lock()
+		windowDone := okP == nP || (nS > 0 && okS == nS)
+		if !windowDone && answered < len(jobs) {
+			mu.Unlock()
+			continue
+		}
+		// Snapshot under the lock; laggards delivering later mutate only the
+		// live arrays, never these.
+		out := gpu.BackwardOutcome{
+			Prim:        append([]field.Vec(nil), primRes...),
+			PrimPresent: append([]bool(nil), primOK...),
+			Sec:         append([]field.Vec(nil), secRes...),
+			SecPresent:  append([]bool(nil), secOK...),
+		}
+		errsCopy := append([]error(nil), slotErrs...)
+		mu.Unlock()
+		if !windowDone {
+			// Every job answered and neither window completed: surface the
+			// per-slot failures.
+			if err := gpu.FoldSlotErrors(errsCopy); err != nil {
+				return gpu.BackwardOutcome{}, err
+			}
+			return gpu.BackwardOutcome{}, fmt.Errorf("fleet: backward quorum incomplete with no device errors (bug)")
+		}
+		g.mu.Lock()
+		for _, jb := range jobs {
+			done := out.PrimPresent[jb.idx]
+			if jb.sec {
+				done = out.SecPresent[jb.idx]
+			}
+			if !done && errsCopy[jb.slot] == nil {
+				g.straggles[jb.slot]++
+			}
+		}
+		g.mu.Unlock()
+		return out, nil
+	}
+}
+
+// BackwardQuorumAsync is BackwardQuorum returning immediately with a
+// completion handle, registered with the grant's outstanding-dispatch
+// accounting.
+func (g *Grant) BackwardQuorumAsync(key string, kernel gpu.BilinearKernel, prim, sec []field.Vec, e int) *gpu.PendingBackward {
+	p := gpu.NewPendingBackward()
+	g.beginAsync()
+	go func() {
+		out, err := g.BackwardQuorum(key, kernel, prim, sec, e)
+		g.endAsync()
+		p.Complete(out, err)
+	}()
+	return p
 }
 
 // ReportFaults marks gang slots attributed as tampering by the redundant

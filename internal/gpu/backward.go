@@ -1,0 +1,50 @@
+package gpu
+
+import (
+	"darknight/internal/field"
+)
+
+// BackwardOutcome is the result of a dual-window backward quorum dispatch:
+// the primary equation window (gang slots [0, S), published-B delta
+// combinations) and the secondary window (gang slots [E, S+E), SecondaryB
+// combinations), each with a presence mask. The decoder
+// (masking.DecodeBackwardSubsetInto) proceeds from whichever window is
+// complete. All four slices are immutable snapshots — laggard equations
+// completing after the quorum may not mutate them.
+type BackwardOutcome struct {
+	Prim        []field.Vec
+	Sec         []field.Vec
+	PrimPresent []bool
+	SecPresent  []bool
+}
+
+// PendingBackward is the completion handle of an asynchronous backward
+// quorum dispatch, mirroring Pending for the dual-window result shape.
+type PendingBackward struct {
+	done    chan struct{}
+	outcome BackwardOutcome
+	err     error
+}
+
+// NewPendingBackward creates an incomplete handle. The dispatching layer
+// completes it exactly once with Complete.
+func NewPendingBackward() *PendingBackward {
+	return &PendingBackward{done: make(chan struct{})}
+}
+
+// Complete publishes the dispatch outcome and releases every waiter. It
+// must be called exactly once, by the dispatching layer only.
+func (p *PendingBackward) Complete(o BackwardOutcome, err error) {
+	p.outcome, p.err = o, err
+	close(p.done)
+}
+
+// Done returns a channel closed once the outcome is ready.
+func (p *PendingBackward) Done() <-chan struct{} { return p.done }
+
+// Wait blocks until the dispatch completes and returns its outcome. Safe to
+// call from multiple goroutines and more than once.
+func (p *PendingBackward) Wait() (BackwardOutcome, error) {
+	<-p.done
+	return p.outcome, p.err
+}

@@ -71,12 +71,41 @@ func (c *Cluster) BackwardAll(key string, kernel BilinearKernel, deltas []field.
 		}(i)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := FoldSlotErrors(errs); err != nil {
+		return nil, err
 	}
 	return results, nil
+}
+
+// BackwardAllAsync is BackwardAll returning immediately with a completion
+// handle, gathering into per-dispatch buffers so a pipelined trainer can
+// hold several backward dispatches in flight at once. Cache misses surface
+// as a MissingStoreError on the handle.
+func (c *Cluster) BackwardAllAsync(key string, kernel BilinearKernel, deltas []field.Vec) *Pending {
+	p := NewPending()
+	if len(deltas) > len(c.devices) {
+		p.Complete(nil, nil, fmt.Errorf("gpu: %d deltas for %d devices", len(deltas), len(c.devices)))
+		return p
+	}
+	results := make([]field.Vec, len(deltas))
+	errs := make([]error, len(deltas))
+	var wg sync.WaitGroup
+	for i := range deltas {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = c.devices[i].GradWeights(key, kernel, deltas[i])
+		}(i)
+	}
+	go func() {
+		wg.Wait()
+		if err := FoldSlotErrors(errs); err != nil {
+			p.Complete(nil, nil, err)
+			return
+		}
+		p.Complete(results, nil, nil)
+	}()
+	return p
 }
 
 // TotalTraffic sums channel counters across devices.

@@ -87,7 +87,7 @@ func (d *honest) GradWeights(key string, kernel BilinearKernel, delta field.Vec)
 	d.traffic.Jobs++
 	d.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("gpu %d: no stored coded input %q", d.id, key)
+		return nil, fmt.Errorf("gpu %d: %w %q", d.id, ErrNoStored, key)
 	}
 	y := kernel(delta, x)
 	d.mu.Lock()

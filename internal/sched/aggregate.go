@@ -2,8 +2,10 @@ package sched
 
 import (
 	"fmt"
+	"sync"
 
 	"darknight/internal/dataset"
+	"darknight/internal/enclave"
 	"darknight/internal/nn"
 )
 
@@ -12,27 +14,149 @@ import (
 // it to untrusted memory (real SGX cannot hold all of them in the EPC),
 // then reloads, decrypts and aggregates them shard-wise before a single
 // weight update. Exposing only the large-batch aggregate also shrinks the
-// gradient-leakage side channel the paper cites (§6).
+// gradient-leakage side channel the paper cites (§6). The sealing store
+// and the aggregation loop are shared by the serial Trainer and the
+// pipelined TrainPipeline — the bit-identity guarantee between the two
+// depends on them summing in exactly the same order.
 
 // AggregationStats reports what Algorithm 2 did for one large batch.
 type AggregationStats struct {
 	VirtualBatches int
 	SealedBytes    int64
 	Shards         int
+	// DroppedExamples counts the tail examples beyond the last full virtual
+	// batch, which the coded path cannot process: DarKnight codes exactly K
+	// inputs per dispatch (the paper's K-granularity constraint — a partial
+	// batch would need padding rows, which training gradients cannot
+	// silently carry the way inference dummy rows do). Callers that care
+	// should size batches as multiples of K, or surface this count.
+	DroppedExamples int
+}
+
+// gradStore seals virtual-batch gradient shards to untrusted memory —
+// enclave-backed, with an in-memory fallback when no enclave is attached
+// (tests). Handles are consume-on-unseal; discard drains abandoned shards
+// so a failed large batch does not strand sealed ciphertexts forever.
+// Safe for concurrent use (pipelined lanes seal concurrently).
+type gradStore struct {
+	encl  *enclave.Enclave
+	mu    sync.Mutex
+	plain map[uint64][]float64
+	next  uint64
+}
+
+func newGradStore(encl *enclave.Enclave) *gradStore {
+	return &gradStore{encl: encl, plain: make(map[uint64][]float64)}
+}
+
+func (s *gradStore) seal(vals []float64) (uint64, error) {
+	if s.encl != nil {
+		return s.encl.SealFloats(vals)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.next++
+	s.plain[s.next] = append([]float64(nil), vals...)
+	return s.next, nil
+}
+
+func (s *gradStore) unseal(h uint64) ([]float64, error) {
+	if s.encl != nil {
+		return s.encl.UnsealFloats(h)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	vals, ok := s.plain[h]
+	if !ok {
+		return nil, fmt.Errorf("sched: unknown gradient shard handle %d", h)
+	}
+	delete(s.plain, h)
+	return vals, nil
+}
+
+// discard consumes and drops every handle — the error-path cleanup.
+func (s *gradStore) discard(handleSets [][]uint64) {
+	for _, hs := range handleSets {
+		for _, h := range hs {
+			_, _ = s.unseal(h)
+		}
+	}
+}
+
+// sealShards seals one virtual batch's flattened ▽W shard-wise (Algorithm
+// 2 lines 9–10), returning the handles and the sealed byte count.
+func (s *gradStore) sealShards(flat []float64, shardElems int) ([]uint64, int64, error) {
+	var handles []uint64
+	var sealed int64
+	for off := 0; off < len(flat); off += shardElems {
+		end := off + shardElems
+		if end > len(flat) {
+			end = len(flat)
+		}
+		h, err := s.seal(flat[off:end])
+		if err != nil {
+			s.discard([][]uint64{handles})
+			return nil, 0, err
+		}
+		handles = append(handles, h)
+		sealed += int64(end-off) * 8
+	}
+	return handles, sealed, nil
+}
+
+// aggregate is UpdateAggregation (Algorithm 2 lines 14–21): it reloads
+// every virtual batch's sealed shards and accumulates them into one flat
+// gradient — shard-outer, virtual-batch-inner, so the float summation
+// order is identical however the shards were produced. On error the
+// remaining handles are discarded.
+func (s *gradStore) aggregate(handles [][]uint64, shardElems, totalElems, shards int) ([]float64, error) {
+	agg := make([]float64, totalElems)
+	for shard := 0; shard < shards; shard++ {
+		off := shard * shardElems
+		for _, vbHandles := range handles {
+			vals, err := s.unseal(vbHandles[shard])
+			if err != nil {
+				// Drain everything: re-unsealing an already-consumed handle
+				// errors harmlessly, and the rest must not strand.
+				s.discard(handles)
+				return nil, err
+			}
+			for i, v := range vals {
+				agg[off+i] += v
+			}
+		}
+	}
+	return agg, nil
+}
+
+// applyAggregate writes the averaged flat gradient into the params'
+// accumulators and applies one optimizer step — the single weight update
+// closing Algorithm 2.
+func applyAggregate(params []*nn.Param, agg []float64, inv float64, opt *nn.SGD) {
+	cursor := 0
+	for _, p := range params {
+		n := p.W.Size()
+		copy(p.Grad.Data, agg[cursor:cursor+n])
+		p.Grad.Scale(inv)
+		cursor += n
+	}
+	opt.Step(params)
 }
 
 // TrainLargeBatch trains on len(batch) examples: it processes them as
-// ceil(N/K) virtual batches, sealing each virtual batch's summed ▽W to
+// floor(N/K) virtual batches, sealing each virtual batch's summed ▽W to
 // untrusted memory, then aggregates and applies one SGD step. Examples
-// beyond the last full virtual batch are dropped (as Batches() does).
-// shardElems is the aggregation shard granularity in elements (<=0 picks a
-// single shard); opt applies the final update.
+// beyond the last full virtual batch are dropped and reported in
+// AggregationStats.DroppedExamples. shardElems is the aggregation shard
+// granularity in elements (<=0 picks a single shard); opt applies the
+// final update.
 func (t *Trainer) TrainLargeBatch(batch []dataset.Example, opt *nn.SGD, shardElems int) (float64, AggregationStats, error) {
 	k := t.cfg.VirtualBatch
 	var stats AggregationStats
 	if len(batch) < k {
 		return 0, stats, fmt.Errorf("sched: large batch %d smaller than virtual batch %d", len(batch), k)
 	}
+	stats.DroppedExamples = len(batch) % k
 	params := t.model.Params()
 
 	// Flatten gradient layout once.
@@ -53,6 +177,7 @@ func (t *Trainer) TrainLargeBatch(batch []dataset.Example, opt *nn.SGD, shardEle
 		}
 		loss, err := t.TrainVirtualBatch(batch[start : start+k])
 		if err != nil {
+			t.store.discard(handles)
 			return 0, stats, err
 		}
 		totalLoss += loss
@@ -63,66 +188,23 @@ func (t *Trainer) TrainLargeBatch(batch []dataset.Example, opt *nn.SGD, shardEle
 		for _, p := range params {
 			flat = append(flat, p.Grad.Data...)
 		}
-		var vbHandles []uint64
-		for off := 0; off < len(flat); off += shardElems {
-			end := off + shardElems
-			if end > len(flat) {
-				end = len(flat)
-			}
-			h, err := t.sealShard(flat[off:end])
-			if err != nil {
-				return 0, stats, err
-			}
-			vbHandles = append(vbHandles, h)
-			stats.SealedBytes += int64(end-off) * 8
+		vbHandles, sealed, err := t.store.sealShards(flat, shardElems)
+		if err != nil {
+			t.store.discard(handles)
+			return 0, stats, err
 		}
 		handles = append(handles, vbHandles)
+		stats.SealedBytes += sealed
 		stats.Shards = len(vbHandles)
 	}
 	stats.VirtualBatches = numVB
 
-	// UpdateAggregation (Algorithm 2 lines 14–21): reload shard-wise,
-	// decrypt, accumulate.
-	agg := make([]float64, totalElems)
-	for shard := 0; shard < stats.Shards; shard++ {
-		off := shard * shardElems
-		for _, vbHandles := range handles {
-			vals, err := t.unsealShard(vbHandles[shard])
-			if err != nil {
-				return 0, stats, err
-			}
-			for i, v := range vals {
-				agg[off+i] += v
-			}
-		}
+	agg, err := t.store.aggregate(handles, shardElems, totalElems, stats.Shards)
+	if err != nil {
+		return 0, stats, err
 	}
 
 	// Average over the examples actually processed and apply.
-	inv := 1.0 / float64(numVB*k)
-	cursor := 0
-	for _, p := range params {
-		n := p.W.Size()
-		copy(p.Grad.Data, agg[cursor:cursor+n])
-		p.Grad.Scale(inv)
-		cursor += n
-	}
-	opt.Step(params)
+	applyAggregate(params, agg, 1.0/float64(numVB*k), opt)
 	return totalLoss / float64(numVB), stats, nil
-}
-
-// sealShard encrypts a gradient shard into untrusted memory; without an
-// enclave it falls back to in-memory pass-through (tests).
-func (t *Trainer) sealShard(vals []float64) (uint64, error) {
-	if t.encl == nil {
-		t.plainStore = append(t.plainStore, append([]float64(nil), vals...))
-		return uint64(len(t.plainStore) - 1), nil
-	}
-	return t.encl.SealFloats(vals)
-}
-
-func (t *Trainer) unsealShard(h uint64) ([]float64, error) {
-	if t.encl == nil {
-		return t.plainStore[h], nil
-	}
-	return t.encl.UnsealFloats(h)
 }

@@ -1,0 +1,259 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"darknight/internal/field"
+	"darknight/internal/gpu"
+	"darknight/internal/masking"
+	"darknight/internal/nn"
+	"darknight/internal/tensor"
+)
+
+// This file is the backward half of the TEE-side engine: the reverse model
+// walk, the Eq (4–6) gradient offload, and the resilience machinery around
+// it (straggler-tolerant dual-window dispatch, device-cache refill). It is
+// shared by the serial Trainer and the pipelined TrainPipeline lanes —
+// exactly as the forward walk in engine.go is shared by Inferencer,
+// Pipeline and the trainers.
+
+// backwardLayer reverses forwardLayer, returning per-example input grads.
+func (e *engine) backwardLayer(code *masking.Code, tr *trace, grads []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	switch v := tr.layer.(type) {
+	case *nn.Sequential:
+		cur := grads
+		var err error
+		for i := len(tr.children) - 1; i >= 0; i-- {
+			cur, err = e.backwardLayer(code, tr.children[i], cur)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return cur, nil
+	case *nn.Residual:
+		dBody, err := e.backwardLayer(code, tr.children[0], grads)
+		if err != nil {
+			return nil, err
+		}
+		dSkip := grads
+		if v.Skip() != nil {
+			dSkip, err = e.backwardLayer(code, tr.children[1], grads)
+			if err != nil {
+				return nil, err
+			}
+		}
+		out := make([]*tensor.Tensor, len(grads))
+		for i := range out {
+			o := dBody[i].Clone()
+			o.Add(dSkip[i])
+			out[i] = o
+		}
+		return out, nil
+	default:
+		if lin, ok := tr.layer.(nn.Linear); ok {
+			return e.offloadBackward(code, tr, lin, grads)
+		}
+		out := make([]*tensor.Tensor, len(grads))
+		for i := range grads {
+			// Re-prime the layer's single-forward cache for THIS example
+			// before its backward. The prime+backward pair runs without a
+			// token release in between, so pipelined lanes clobbering the
+			// shared layer's cache between offloads cannot corrupt it.
+			tr.layer.Forward(tr.inputs[i], true)
+			out[i] = tr.layer.Backward(grads[i])
+		}
+		return out, nil
+	}
+}
+
+// offloadBackward recovers the summed weight gradient of one bilinear
+// layer from the coded equations (Eq 4–6) and propagates input gradients.
+func (e *engine) offloadBackward(code *masking.Code, tr *trace, lin nn.Linear, grads []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	k := e.cfg.VirtualBatch
+	t0 := time.Now()
+
+	// Bias gradient: TEE-side, cheap, uses only the public δ.
+	for i := 0; i < k; i++ {
+		lin.AddGradB(grads[i], 1)
+	}
+
+	// Shared normalization so the decoded SUM can be unscaled exactly.
+	fd := sharedNormFactor(grads, e.cfg.NormLimit)
+	fx := sharedNormFactor(tr.inputs, e.cfg.NormLimit)
+
+	quantDeltas := make([]field.Vec, k)
+	scratch := make([]float64, lin.OutLen())
+	for i := 0; i < k; i++ {
+		for j, v := range grads[i].Data {
+			scratch[j] = v / fd
+		}
+		quantDeltas[i] = e.q.Quantize(scratch)
+	}
+
+	// Each GPU j computes Eq_j on (Σ_i β_ji·δ_i, x̄_j). The combination
+	// happens GPU-side in the paper; B and δ are public either way. Row j
+	// of B is exactly the K combination coefficients — one fused
+	// lazy-reduced combine per equation. These escape to laggard kernels on
+	// the quorum path, so they are deliberately fresh allocations.
+	deltaBars := make([]field.Vec, code.S)
+	for j := 0; j < code.S; j++ {
+		bar := make(field.Vec, lin.OutLen())
+		field.Combine(bar, code.B.Row(j), quantDeltas)
+		deltaBars[j] = bar
+	}
+	// Straggler tolerance dispatches the redundant decoding's window too
+	// (SecondaryB rows over coded inputs [E, S+E)), so the decode can
+	// proceed from whichever window completes first.
+	bqf, isQuorum := e.fleet.(BackwardQuorumFleet)
+	useQuorum := isQuorum && e.cfg.StragglerSlack > 0 && code.E >= 1
+	var secBars []field.Vec
+	if useQuorum {
+		bsec := code.SecondaryB()
+		secBars = make([]field.Vec, code.S)
+		for j := 0; j < code.S; j++ {
+			bar := make(field.Vec, lin.OutLen())
+			field.Combine(bar, bsec.Row(j), quantDeltas)
+			secBars[j] = bar
+		}
+	}
+	kernel := func(delta, x field.Vec) field.Vec { return lin.GradWeightsField(delta, x) }
+	e.phases.Encode += time.Since(t0)
+
+	sum, err := e.dispatchBackward(code, tr, kernel, deltaBars, secBars, bqf, useQuorum, lin.WLen(), fx)
+	if err != nil {
+		return nil, err
+	}
+
+	t2 := time.Now()
+	dw := e.q.UnquantizeProduct(sum)
+	// The coded inputs carried 1/fx, the deltas 1/fd: undo both. The
+	// quantization scales 2^(2l) are already removed by UnquantizeProduct.
+	rescale := fd * fx
+	for j := range dw {
+		dw[j] *= rescale
+	}
+	lin.AddGradW(dw, 1)
+
+	// Input gradient: input-independent linear op, offloadable without
+	// coding (paper §4.2, computation (2)); computed here functionally.
+	out := make([]*tensor.Tensor, k)
+	for i := 0; i < k; i++ {
+		out[i] = lin.BackwardInputOnly(grads[i])
+	}
+	e.phases.Decode += time.Since(t2)
+	e.phases.Offloads++
+	return out, nil
+}
+
+// dispatchBackward runs one layer's backward gang dispatch and decode,
+// mirroring offloadForward's token discipline: a pipelined engine releases
+// the TEE token for exactly the GPU flight. A cache miss — the fleet's
+// devices no longer hold this trace's coded forward inputs (quarantine
+// replacement, slot reshuffle, or a quorum laggard that never stored) —
+// triggers one refillStores pass and a retry.
+func (e *engine) dispatchBackward(code *masking.Code, tr *trace, kernel gpu.BilinearKernel, prim, sec []field.Vec,
+	bqf BackwardQuorumFleet, useQuorum bool, wlen int, fx float64) (field.Vec, error) {
+	refilled := false
+	for {
+		t1 := time.Now()
+		var (
+			eqs     []field.Vec
+			outcome gpu.BackwardOutcome
+			err     error
+		)
+		switch {
+		case useQuorum && e.tee != nil:
+			var pend *gpu.PendingBackward
+			if abq, ok := e.fleet.(AsyncBackwardQuorumFleet); ok {
+				pend = abq.BackwardQuorumAsync(tr.key, kernel, prim, sec, code.E)
+			}
+			e.tee.Unlock()
+			if pend != nil {
+				outcome, err = pend.Wait()
+			} else {
+				outcome, err = bqf.BackwardQuorum(tr.key, kernel, prim, sec, code.E)
+			}
+			flight := time.Since(t1)
+			e.lockTEE()
+			e.phases.Dispatch += flight
+		case useQuorum:
+			outcome, err = bqf.BackwardQuorum(tr.key, kernel, prim, sec, code.E)
+			e.phases.Dispatch += time.Since(t1)
+		case e.tee != nil:
+			var pend *gpu.Pending
+			if ab, ok := e.fleet.(AsyncBackwardFleet); ok {
+				pend = ab.BackwardAllAsync(tr.key, kernel, prim)
+			}
+			e.tee.Unlock()
+			if pend != nil {
+				eqs, _, err = pend.Wait()
+			} else {
+				eqs, err = e.fleet.BackwardAll(tr.key, kernel, prim)
+			}
+			flight := time.Since(t1)
+			e.lockTEE()
+			e.phases.Dispatch += flight
+		default:
+			eqs, err = e.fleet.BackwardAll(tr.key, kernel, prim)
+			e.phases.Dispatch += time.Since(t1)
+		}
+		if err != nil {
+			if errors.Is(err, gpu.ErrNoStored) && !refilled {
+				if rerr := e.refillStores(code, tr, fx); rerr != nil {
+					return nil, fmt.Errorf("sched: backward cache refill for %q: %w", tr.key, rerr)
+				}
+				refilled = true
+				continue
+			}
+			return nil, err
+		}
+
+		t2 := time.Now()
+		sum := field.NewVec(wlen)
+		if useQuorum {
+			err = code.DecodeBackwardSubsetInto(sum, outcome.Prim, outcome.Sec, outcome.PrimPresent, outcome.SecPresent)
+		} else {
+			err = code.DecodeBackwardInto(sum, eqs)
+		}
+		e.phases.Decode += time.Since(t2)
+		if err != nil {
+			return nil, err
+		}
+		return sum, nil
+	}
+}
+
+// refillStores re-creates the device-side coded-input cache for one
+// layer's backward pass: the trace's stored inputs are re-quantized with
+// the forward normalization and re-encoded with the noise rows captured
+// during forward — bit-identical coded vectors, so a quorum laggard's
+// original store racing the refill is benign — then re-stored on the
+// current fleet's slots with an identity-kernel dispatch (the store is the
+// point; the echoed results are discarded).
+func (e *engine) refillStores(code *masking.Code, tr *trace, fx float64) error {
+	if len(tr.noise) == 0 {
+		return fmt.Errorf("sched: trace %q carries no captured noise (forward ran in inference mode?)", tr.key)
+	}
+	n := tr.inputs[0].Size()
+	quantIn := make([]field.Vec, e.cfg.VirtualBatch)
+	scratch := make([]float64, n)
+	for i, x := range tr.inputs {
+		for j, v := range x.Data {
+			scratch[j] = v / fx
+		}
+		quantIn[i] = e.q.Quantize(scratch)
+	}
+	coded := make([]field.Vec, code.NumCoded())
+	for j := range coded {
+		coded[j] = field.NewVec(n)
+	}
+	if err := code.EncodeWith(coded, quantIn, tr.noise); err != nil {
+		return err
+	}
+	e.refills++
+	identity := func(x field.Vec) field.Vec { return x }
+	_, err := e.fleet.ForwardAll(tr.key, identity, coded)
+	return err
+}

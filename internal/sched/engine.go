@@ -101,6 +101,35 @@ type AsyncQuorumFleet interface {
 	ForwardQuorumAsync(key string, kernel gpu.LinearKernel, coded []field.Vec, quorum int) *gpu.Pending
 }
 
+// AsyncBackwardFleet is the backward counterpart of AsyncFleet: the handle
+// completes once every gradient equation has been gathered, so a pipelined
+// trainer can encode/decode other virtual batches during the backward GPU
+// flight. *gpu.Cluster and *fleet.Grant both implement it.
+type AsyncBackwardFleet interface {
+	Fleet
+	BackwardAllAsync(key string, kernel gpu.BilinearKernel, deltas []field.Vec) *gpu.Pending
+}
+
+// BackwardQuorumFleet is the straggler-tolerant backward extension: the
+// fleet dispatches both backward equation windows — the S primary equations
+// on slots [0, S) and the S redundant-decoding equations on slots [e, S+e)
+// — and returns as soon as either window has fully answered. Unlike the
+// forward code, the backward coding is not MDS over arbitrary column
+// subsets (each equation bakes its δ combination in), so tolerance is
+// window-granular: stragglers among either side's E window-exclusive slots
+// are absorbed, and a completed spare window doubles as verification.
+type BackwardQuorumFleet interface {
+	Fleet
+	BackwardQuorum(key string, kernel gpu.BilinearKernel, prim, sec []field.Vec, e int) (gpu.BackwardOutcome, error)
+}
+
+// AsyncBackwardQuorumFleet combines backward straggler tolerance with
+// pipelining.
+type AsyncBackwardQuorumFleet interface {
+	BackwardQuorumFleet
+	BackwardQuorumAsync(key string, kernel gpu.BilinearKernel, prim, sec []field.Vec, e int) *gpu.PendingBackward
+}
+
 // IntegrityError is an integrity violation with (when the redundancy
 // budget allows attribution) the coded columns — equivalently the gang
 // device slots — that returned tampered results. It wraps
@@ -162,6 +191,11 @@ type engine struct {
 	// window another lane's engine uses to decode its previous batch or
 	// encode its next one. nil on the serial path (no token juggling).
 	tee *sync.Mutex
+	// onToken, when non-nil, runs after every TEE token acquisition. A
+	// training lane uses it to re-install its private gradient sinks into
+	// the shared model — another lane may have swapped in its own while
+	// this engine's dispatch was in flight.
+	onToken func()
 	// pool, when non-nil, supplies pre-drawn noise sets so the encode
 	// consumes precomputed material with zero online RNG; exhaustion falls
 	// back to inline draws from rng (counted by the pool).
@@ -171,6 +205,10 @@ type engine struct {
 	// (EnableRecovery; needs Redundancy >= 2).
 	recover  bool
 	recovery RecoveryStats
+	// refills counts backward cache-miss recoveries: dispatches whose
+	// device-side coded-input cache had to be re-created from the trace
+	// (device replaced, reshuffled or still lagging since forward).
+	refills int64
 	// stepCulprits accumulates the gang slots attributed as tampering
 	// during the current step (reset by beginStep) — the fleet layer reads
 	// them after a dispatch to quarantine the physical devices behind the
@@ -214,11 +252,33 @@ func newEngine(cfg Config, model *nn.Model, fleet Fleet, encl *enclave.Enclave, 
 	}
 }
 
+// lockTEE acquires the shared TEE execution token and runs the engine's
+// reacquisition hook, so every enclave-side section starts with the lane's
+// state (gradient sinks) installed in the shared model.
+func (e *engine) lockTEE() {
+	e.tee.Lock()
+	if e.onToken != nil {
+		e.onToken()
+	}
+}
+
 // beginStep opens a fresh key namespace for one virtual batch.
 func (e *engine) beginStep() {
 	e.stepSeq++
 	e.linSeq = 0
 	e.stepCulprits = e.stepCulprits[:0]
+}
+
+// storesVolatile reports whether the fleet's device-side coded-input
+// stores can disappear or reshuffle between a batch's forward and backward
+// passes. A bare *gpu.Cluster binds slot i to device i for its lifetime,
+// so its stores are stable and a training forward can skip capturing the
+// refill noise (no per-offload clone on the serial hot path); every other
+// fleet — gang grants whose devices are re-picked per batch, wrappers that
+// swap delegates — is assumed volatile.
+func (e *engine) storesVolatile() bool {
+	_, stable := e.fleet.(*gpu.Cluster)
+	return !stable
 }
 
 // effectiveSlack bounds the configured straggler slack so at least one
@@ -279,7 +339,7 @@ func (e *engine) forwardLayer(code *masking.Code, layer nn.Layer, xs []*tensor.T
 			} else {
 				tr.key = fmt.Sprintf("%sstep%d/lin%d", e.keyspace, e.stepSeq, e.linSeq)
 			}
-			outs, err := e.offloadForward(code, tr.key, lin, xs)
+			outs, err := e.offloadForward(code, tr, lin, xs, train)
 			return outs, tr, err
 		}
 		// TEE-resident non-linear layer: per-example forward.
@@ -294,8 +354,12 @@ func (e *engine) forwardLayer(code *masking.Code, layer nn.Layer, xs []*tensor.T
 // offloadForward quantizes, encodes, fans out, verifies, decodes and
 // restores one bilinear layer's outputs for the K current activations. All
 // TEE-side intermediates live in the engine's arena (reset per offload), so
-// the steady-state loop allocates only the escaping output tensors.
-func (e *engine) offloadForward(code *masking.Code, key string, lin nn.Linear, xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+// the steady-state loop allocates only the escaping output tensors. In
+// training mode the noise rows are additionally captured into the trace so
+// a backward cache miss can re-create the device-side coded inputs
+// bit-identically (see refillStores).
+func (e *engine) offloadForward(code *masking.Code, tr *trace, lin nn.Linear, xs []*tensor.Tensor, train bool) ([]*tensor.Tensor, error) {
+	key := tr.key
 	k := e.cfg.VirtualBatch
 	t0 := time.Now()
 	// Shared dynamic normalization factor across the virtual batch so the
@@ -347,6 +411,16 @@ func (e *engine) offloadForward(code *masking.Code, key string, lin nn.Linear, x
 		coded[j] = e.arena.RawVec(n)
 	}
 	encErr := code.EncodeWith(coded, quantIn, noise)
+	if train && e.storesVolatile() {
+		// The backward pass may need to re-create the device-side coded
+		// inputs (cache refill after a fleet reshuffle): capture the noise
+		// rows — the only non-recomputable encode ingredient — before the
+		// pool or the arena reclaims them.
+		tr.noise = make([]field.Vec, len(noise))
+		for m := range noise {
+			tr.noise[m] = noise[m].Clone()
+		}
+	}
 	// The noise is folded into the coded vectors now; hand the set straight
 	// back so the background generator can overwrite it.
 	if pset != nil {
@@ -403,7 +477,7 @@ func (e *engine) offloadForward(code *masking.Code, key string, lin nn.Linear, x
 			results, present, err = qf.ForwardQuorum(key, kernel, coded, code.NumCoded()-slack)
 		}
 		flight := time.Since(t1)
-		e.tee.Lock()
+		e.lockTEE()
 		e.phases.Dispatch += flight
 	case useQuorum:
 		results, present, err = qf.ForwardQuorum(key, kernel, coded, code.NumCoded()-slack)
@@ -423,7 +497,7 @@ func (e *engine) offloadForward(code *masking.Code, key string, lin nn.Linear, x
 			results, err = e.fleet.ForwardAll(key, kernel, coded)
 		}
 		flight := time.Since(t1)
-		e.tee.Lock()
+		e.lockTEE()
 		e.phases.Dispatch += flight
 	default:
 		results, err = e.fleet.ForwardAll(key, kernel, coded)

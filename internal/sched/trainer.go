@@ -21,6 +21,7 @@ package sched
 
 import (
 	"fmt"
+	"time"
 
 	"darknight/internal/dataset"
 	"darknight/internal/enclave"
@@ -100,8 +101,8 @@ var ErrIntegrity = masking.ErrIntegrity
 // gradient offload and Algorithm 2 aggregation.
 type Trainer struct {
 	engine
-	// plainStore backs sealShard when no enclave is attached (tests).
-	plainStore [][]float64
+	// store seals per-virtual-batch gradient shards (Algorithm 2).
+	store *gradStore
 }
 
 // NewTrainer wires a trainer. The enclave may be nil, in which case memory
@@ -111,7 +112,7 @@ func NewTrainer(cfg Config, model *nn.Model, cluster *gpu.Cluster, encl *enclave
 	if err := cfg.Validate(cluster.Size()); err != nil {
 		return nil, err
 	}
-	return &Trainer{engine: newEngine(cfg, model, cluster, encl, "")}, nil
+	return &Trainer{engine: newEngine(cfg, model, cluster, encl, ""), store: newGradStore(encl)}, nil
 }
 
 // Config returns the effective configuration.
@@ -121,8 +122,15 @@ func (t *Trainer) Config() Config { return t.cfg }
 func (t *Trainer) Model() *nn.Model { return t.model }
 
 // PhaseStats returns the trainer's cumulative encode/dispatch/decode
-// latency breakdown for forward offloads.
+// latency breakdown across forward AND backward offloads, plus Wall — the
+// summed per-virtual-batch wall-clock, so Overlap() is meaningful on the
+// training path (≈1.0 on this serial trainer).
 func (t *Trainer) PhaseStats() PhaseStats { return t.phases }
+
+// CacheRefills counts backward dispatches whose device-side coded-input
+// cache had to be re-created from the trace (a device was replaced or
+// reshuffled between the forward and backward passes).
+func (t *Trainer) CacheRefills() int64 { return t.refills }
 
 // trace records one layer's forward pass for the backward walk.
 type trace struct {
@@ -130,113 +138,11 @@ type trace struct {
 	inputs   []*tensor.Tensor // per-example inputs to this layer
 	children []*trace         // Sequential children, or Residual {body, skip}
 	key      string           // GPU storage key (linear layers only)
-}
-
-// backwardLayer reverses forwardLayer, returning per-example input grads.
-func (t *Trainer) backwardLayer(code *masking.Code, tr *trace, grads []*tensor.Tensor) ([]*tensor.Tensor, error) {
-	switch v := tr.layer.(type) {
-	case *nn.Sequential:
-		cur := grads
-		var err error
-		for i := len(tr.children) - 1; i >= 0; i-- {
-			cur, err = t.backwardLayer(code, tr.children[i], cur)
-			if err != nil {
-				return nil, err
-			}
-		}
-		return cur, nil
-	case *nn.Residual:
-		dBody, err := t.backwardLayer(code, tr.children[0], grads)
-		if err != nil {
-			return nil, err
-		}
-		dSkip := grads
-		if v.Skip() != nil {
-			dSkip, err = t.backwardLayer(code, tr.children[1], grads)
-			if err != nil {
-				return nil, err
-			}
-		}
-		out := make([]*tensor.Tensor, len(grads))
-		for i := range out {
-			o := dBody[i].Clone()
-			o.Add(dSkip[i])
-			out[i] = o
-		}
-		return out, nil
-	default:
-		if lin, ok := tr.layer.(nn.Linear); ok {
-			return t.offloadBackward(code, tr, lin, grads)
-		}
-		out := make([]*tensor.Tensor, len(grads))
-		for i := range grads {
-			// Re-prime the layer's single-forward cache for THIS example
-			// before its backward.
-			tr.layer.Forward(tr.inputs[i], true)
-			out[i] = tr.layer.Backward(grads[i])
-		}
-		return out, nil
-	}
-}
-
-// offloadBackward recovers the summed weight gradient of one bilinear
-// layer from the coded equations (Eq 4–6) and propagates input gradients.
-func (t *Trainer) offloadBackward(code *masking.Code, tr *trace, lin nn.Linear, grads []*tensor.Tensor) ([]*tensor.Tensor, error) {
-	k := t.cfg.VirtualBatch
-
-	// Bias gradient: TEE-side, cheap, uses only the public δ.
-	for i := 0; i < k; i++ {
-		lin.AddGradB(grads[i], 1)
-	}
-
-	// Shared normalization so the decoded SUM can be unscaled exactly.
-	fd := sharedNormFactor(grads, t.cfg.NormLimit)
-	fx := sharedNormFactor(tr.inputs, t.cfg.NormLimit)
-
-	quantDeltas := make([]field.Vec, k)
-	scratch := make([]float64, lin.OutLen())
-	for i := 0; i < k; i++ {
-		for j, v := range grads[i].Data {
-			scratch[j] = v / fd
-		}
-		quantDeltas[i] = t.q.Quantize(scratch)
-	}
-
-	// Each GPU j computes Eq_j on (Σ_i β_ji·δ_i, x̄_j). The combination
-	// happens GPU-side in the paper; B and δ are public either way. Row j
-	// of B is exactly the K combination coefficients — one fused
-	// lazy-reduced combine per equation.
-	deltaBars := make([]field.Vec, code.S)
-	for j := 0; j < code.S; j++ {
-		bar := make(field.Vec, lin.OutLen())
-		field.Combine(bar, code.B.Row(j), quantDeltas)
-		deltaBars[j] = bar
-	}
-	kernel := func(delta, x field.Vec) field.Vec { return lin.GradWeightsField(delta, x) }
-	eqs, err := t.fleet.BackwardAll(tr.key, kernel, deltaBars)
-	if err != nil {
-		return nil, err
-	}
-	sum, err := code.DecodeBackward(eqs)
-	if err != nil {
-		return nil, err
-	}
-	dw := t.q.UnquantizeProduct(sum)
-	// The coded inputs carried 1/fx, the deltas 1/fd: undo both. The
-	// quantization scales 2^(2l) are already removed by UnquantizeProduct.
-	rescale := fd * fx
-	for j := range dw {
-		dw[j] *= rescale
-	}
-	lin.AddGradW(dw, 1)
-
-	// Input gradient: input-independent linear op, offloadable without
-	// coding (paper §4.2, computation (2)); computed here functionally.
-	out := make([]*tensor.Tensor, k)
-	for i := 0; i < k; i++ {
-		out[i] = lin.BackwardInputOnly(grads[i])
-	}
-	return out, nil
+	// noise holds the masking noise rows of this layer's forward encode
+	// (training mode only): the one encode ingredient that cannot be
+	// recomputed, kept so a backward cache miss can re-create the coded
+	// inputs bit-identically (engine.refillStores).
+	noise []field.Vec
 }
 
 // TrainVirtualBatch runs one masked forward+backward over exactly K
@@ -248,6 +154,8 @@ func (t *Trainer) TrainVirtualBatch(examples []dataset.Example) (float64, error)
 	if len(examples) != k {
 		return 0, fmt.Errorf("sched: virtual batch needs exactly %d examples, got %d", k, len(examples))
 	}
+	t0 := time.Now()
+	defer func() { t.phases.Wall += time.Since(t0) }()
 	t.beginStep()
 	code, err := masking.New(t.cfg.maskParams(), t.rng)
 	if err != nil {
@@ -282,6 +190,8 @@ func (t *Trainer) Predict(images [][]float64) ([]int, error) {
 	if len(images) != k {
 		return nil, fmt.Errorf("sched: predict needs exactly %d images, got %d", k, len(images))
 	}
+	t0 := time.Now()
+	defer func() { t.phases.Wall += time.Since(t0) }()
 	t.beginStep()
 	code, err := masking.New(t.cfg.maskParams(), t.rng)
 	if err != nil {

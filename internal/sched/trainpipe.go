@@ -1,0 +1,434 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"darknight/internal/dataset"
+	"darknight/internal/enclave"
+	"darknight/internal/masking"
+	"darknight/internal/nn"
+	"darknight/internal/tensor"
+)
+
+// GangSource supplies one device gang per in-flight virtual batch of a
+// pipelined training run. The trivial SingleFleetSource reuses one shared
+// fleet; fleet-managed deployments (the darknight facade) back it with
+// per-batch fleet.Manager grants so each flight owns its own healthy gang
+// and integrity verdicts feed quarantine.
+type GangSource interface {
+	// Acquire blocks until a gang-sized Fleet is available. It must be safe
+	// for concurrent use with Release (releases happen on lane goroutines).
+	Acquire() (Fleet, error)
+	// Release returns a gang after its batch completed. culprits are the
+	// gang slots attributed as tampering while the batch ran and err is the
+	// batch's terminal error (nil on success) — fleet-managed sources fold
+	// both into device health before recycling the devices.
+	Release(f Fleet, culprits []int, err error)
+}
+
+// SingleFleetSource is the trivial GangSource: every virtual batch
+// dispatches on the same shared fleet — typically a whole *gpu.Cluster,
+// which tolerates overlapping dispatches via per-call gather buffers.
+type SingleFleetSource struct{ F Fleet }
+
+// Acquire implements GangSource.
+func (s SingleFleetSource) Acquire() (Fleet, error) { return s.F, nil }
+
+// Release implements GangSource.
+func (s SingleFleetSource) Release(Fleet, []int, error) {}
+
+// trainTicket is the completion handle of one virtual batch riding the
+// training pipeline: its mean loss, the sealed Algorithm-2 gradient shard
+// handles, and the integrity verdict.
+type trainTicket struct {
+	done        chan struct{}
+	loss        float64
+	handles     []uint64
+	sealedBytes int64
+	culprits    []int
+	err         error
+}
+
+// TrainPipeline is the overlapped-execution mode of the training runtime:
+// up to Depth virtual batches ride the encode→dispatch→decode stages of
+// BOTH passes at once, so while batch i's coded shares (forward or
+// backward) are on the devices, the TEE decodes batch i−1 and encodes
+// batch i+1. It mirrors Pipeline's lane design — each in-flight batch owns
+// a lane (a full engine with private arena, scratch and RNG), all lanes
+// sharing one model replica and one TEE execution token — and adds the
+// training-specific machinery on top:
+//
+//   - data-parallel gradient isolation: every lane owns a private set of
+//     gradient accumulators and re-installs them into the shared model's
+//     params at every token acquisition (engine.onToken), so concurrent
+//     lanes never interleave writes into one ▽W. TEE work remains strictly
+//     serialized under the token — one enclave context, bit-for-bit the
+//     serial schedule per batch;
+//   - Algorithm-2 aggregation: each lane seals its finished ▽W_v shard-wise
+//     to untrusted memory, and TrainLargeBatch aggregates the sealed shards
+//     in virtual-batch order — fixing the float summation order — so the
+//     final weights are bit-identical to the serial Trainer's (pinned by
+//     TestTrainPipelineMatchesSerial);
+//   - fleet-backed dispatch: each in-flight batch runs on its own gang from
+//     a GangSource, with integrity culprits reported back on release, and
+//     the backward pass inherits the engine's straggler-tolerant
+//     dual-window quorum and cache-refill fallback.
+//
+// Noise is pre-drawn offline by a shared masking.NoisePool, exactly as on
+// the inference pipeline.
+type TrainPipeline struct {
+	cfg   Config
+	model *nn.Model
+	depth int
+
+	tee   sync.Mutex      // the single TEE execution token
+	lanes chan *trainLane // free lanes; capacity == depth bounds the pipeline
+	all   []*trainLane
+	pool  *masking.NoisePool
+
+	params     []*nn.Param
+	origGrads  []*tensor.Tensor // the model's own accumulators, restored after aggregation
+	totalElems int
+
+	runMu sync.Mutex // one TrainLargeBatch at a time
+	store *gradStore // seals per-virtual-batch gradient shards (Algorithm 2)
+
+	mu        sync.Mutex
+	phases    PhaseStats
+	active    int
+	busySince time.Time
+	closed    bool
+}
+
+// trainLane is one in-flight batch's execution context: a full engine plus
+// the lane-private gradient accumulators it installs while holding the TEE
+// token.
+type trainLane struct {
+	engine
+	grads []*tensor.Tensor // one per model param, params order
+}
+
+// NewTrainPipeline wires a pipelined training runtime of the given depth
+// (>= 2) around one shared model replica. The enclave may be nil or shared;
+// each in-flight batch accounts its own working set and seals its own
+// gradient shards, so peak enclave usage grows with depth. keyspace must be
+// unique among runtimes sharing physical devices.
+//
+// The model must not be trained or evaluated through any other path while
+// a TrainLargeBatch is running — the lanes temporarily redirect its
+// gradient accumulators.
+func NewTrainPipeline(cfg Config, model *nn.Model, encl *enclave.Enclave, keyspace string, depth int) (*TrainPipeline, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.maskParams().Validate(); err != nil {
+		return nil, err
+	}
+	if depth < 2 {
+		return nil, fmt.Errorf("sched: train pipeline depth %d, need >= 2 (use Trainer for serial execution)", depth)
+	}
+	p := &TrainPipeline{
+		cfg:    cfg,
+		model:  model,
+		depth:  depth,
+		lanes:  make(chan *trainLane, depth),
+		all:    make([]*trainLane, 0, depth),
+		params: model.Params(),
+		store:  newGradStore(encl),
+	}
+	for _, prm := range p.params {
+		p.origGrads = append(p.origGrads, prm.Grad)
+		p.totalElems += prm.W.Size()
+	}
+	lens := offloadLens(model.Stack)
+	if len(lens) > 0 {
+		// Forward and backward both consume no pool sets beyond the forward
+		// encode, so the inference pipeline's sizing rule carries over: one
+		// cycle per lane plus one of prefetch.
+		p.pool = masking.NewNoisePool(cfg.Seed+0x0ff1e, cfg.Collusion, lens, (depth+1)*len(lens))
+	}
+	for i := 0; i < depth; i++ {
+		lcfg := cfg
+		// Distinct RNG streams per lane: coding coefficients and fallback
+		// noise draws must differ across lanes (decode exactness makes the
+		// outputs independent of them, but privacy demands fresh draws).
+		lcfg.Seed = cfg.Seed + int64(i)*0x9e37
+		eng := newEngine(lcfg, model, nil, encl, fmt.Sprintf("%st%d/", keyspace, i))
+		eng.tee = &p.tee
+		eng.pool = p.pool
+		lane := &trainLane{engine: eng}
+		for _, prm := range p.params {
+			g := prm.Grad.Clone()
+			g.Zero()
+			lane.grads = append(lane.grads, g)
+		}
+		// Every token acquisition re-installs this lane's gradient sinks:
+		// another lane may have swapped in its own during this lane's GPU
+		// flight.
+		lane.onToken = func() {
+			for i, prm := range p.params {
+				prm.Grad = lane.grads[i]
+			}
+		}
+		p.all = append(p.all, lane)
+		p.lanes <- lane
+	}
+	return p, nil
+}
+
+// Config returns the effective configuration.
+func (p *TrainPipeline) Config() Config { return p.cfg }
+
+// Depth returns the number of batches the pipeline can hold in flight.
+func (p *TrainPipeline) Depth() int { return p.depth }
+
+// Gang returns the number of devices one dispatch occupies: K+M+E.
+func (p *TrainPipeline) Gang() int { return p.cfg.maskParams().GPUs() }
+
+// EnableRecovery turns on audit-and-recover on every lane (see
+// Trainer.EnableRecovery). Requires Redundancy >= 2.
+func (p *TrainPipeline) EnableRecovery() error {
+	if p.cfg.Redundancy < 2 {
+		return fmt.Errorf("sched: recovery needs Redundancy >= 2, have %d", p.cfg.Redundancy)
+	}
+	for _, lane := range p.all {
+		lane.recover = true
+	}
+	return nil
+}
+
+// PhaseStats returns the aggregated encode/dispatch/decode breakdown
+// across all lanes (forward and backward offloads) plus the pipeline's
+// busy wall-clock; Overlap() on the result is the training overlap ratio.
+func (p *TrainPipeline) PhaseStats() PhaseStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.phases
+	if p.active > 0 {
+		s.Wall += time.Since(p.busySince)
+	}
+	return s
+}
+
+// PoolStats returns the shared noise pool's hit/miss counters.
+func (p *TrainPipeline) PoolStats() masking.NoisePoolStats {
+	if p.pool == nil {
+		return masking.NoisePoolStats{}
+	}
+	return p.pool.Stats()
+}
+
+// CacheRefills sums the lanes' backward cache-miss recoveries.
+func (p *TrainPipeline) CacheRefills() int64 {
+	var n int64
+	for _, lane := range p.all {
+		n += lane.refills
+	}
+	return n
+}
+
+// Close stops the background noise generator. Safe to call more than once.
+func (p *TrainPipeline) Close() {
+	p.mu.Lock()
+	already := p.closed
+	p.closed = true
+	p.mu.Unlock()
+	if !already && p.pool != nil {
+		p.pool.Close()
+	}
+}
+
+// TrainLargeBatch trains on len(batch) examples exactly as
+// Trainer.TrainLargeBatch does — floor(N/K) virtual batches, per-batch ▽W
+// sealed shard-wise, one aggregated SGD step — but data-parallel: up to
+// Depth virtual batches are in flight at once, each on its own gang from
+// the GangSource. Aggregation runs in virtual-batch order regardless of
+// completion order, so the updated weights are bit-identical to the serial
+// trainer's. Tail examples beyond the last full virtual batch are dropped
+// and counted in AggregationStats.DroppedExamples.
+func (p *TrainPipeline) TrainLargeBatch(src GangSource, batch []dataset.Example, opt *nn.SGD, shardElems int) (float64, AggregationStats, error) {
+	k := p.cfg.VirtualBatch
+	var stats AggregationStats
+	if len(batch) < k {
+		return 0, stats, fmt.Errorf("sched: large batch %d smaller than virtual batch %d", len(batch), k)
+	}
+	p.runMu.Lock()
+	defer p.runMu.Unlock()
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return 0, stats, fmt.Errorf("sched: train pipeline closed")
+	}
+	if shardElems <= 0 {
+		shardElems = p.totalElems
+	}
+	numVB := len(batch) / k
+	stats.DroppedExamples = len(batch) - numVB*k
+
+	tickets := make([]*trainTicket, 0, numVB)
+	var submitErr error
+	for v := 0; v < numVB; v++ {
+		f, err := src.Acquire()
+		if err != nil {
+			submitErr = err
+			break
+		}
+		tickets = append(tickets, p.submit(f, src, batch[v*k:(v+1)*k], shardElems))
+	}
+
+	// Gather in virtual-batch order: summing losses and (below) gradients
+	// in submission order fixes the float accumulation order, making the
+	// result independent of which lane finished first.
+	var totalLoss float64
+	var firstErr error
+	allHandles := make([][]uint64, 0, numVB)
+	for _, tk := range tickets {
+		<-tk.done
+		if tk.err != nil && firstErr == nil {
+			firstErr = tk.err
+		}
+		totalLoss += tk.loss
+		allHandles = append(allHandles, tk.handles)
+		stats.SealedBytes += tk.sealedBytes
+		stats.Shards = len(tk.handles)
+	}
+	if firstErr == nil {
+		firstErr = submitErr
+	}
+	if firstErr != nil {
+		// Drain the successful batches' sealed shards — handles are
+		// consume-on-unseal, so abandoning them would strand ciphertexts in
+		// untrusted memory for the process lifetime.
+		p.store.discard(allHandles)
+		return 0, stats, firstErr
+	}
+	stats.VirtualBatches = numVB
+
+	// UpdateAggregation (Algorithm 2 lines 14–21), shared with the serial
+	// trainer: virtual-batch-order summation, so the aggregate is
+	// bit-identical however the lanes interleaved.
+	agg, err := p.store.aggregate(allHandles, shardElems, p.totalElems, stats.Shards)
+	if err != nil {
+		return 0, stats, err
+	}
+
+	// All lanes are idle now: restore the model's own gradient accumulators
+	// and apply the averaged aggregate exactly as the serial path does.
+	for i, prm := range p.params {
+		prm.Grad = p.origGrads[i]
+	}
+	applyAggregate(p.params, agg, 1.0/float64(numVB*k), opt)
+	return totalLoss / float64(numVB), stats, nil
+}
+
+// submit enters one virtual batch into the pipeline on the given gang,
+// blocking only while all Depth lanes are busy.
+func (p *TrainPipeline) submit(f Fleet, src GangSource, examples []dataset.Example, shardElems int) *trainTicket {
+	t := &trainTicket{done: make(chan struct{})}
+	if need := p.Gang(); f.Size() < need {
+		t.err = fmt.Errorf("sched: gang of %d devices required, fleet has %d", need, f.Size())
+		src.Release(f, nil, t.err)
+		close(t.done)
+		return t
+	}
+	lane := <-p.lanes
+	p.noteStart()
+	go p.run(lane, f, src, examples, shardElems, t)
+	return t
+}
+
+// run drives one virtual batch down a lane: the full masked
+// forward+backward under the TEE token (released by the engine during every
+// GPU flight), then shard-wise sealing of the lane's ▽W before the lane is
+// recycled.
+func (p *TrainPipeline) run(lane *trainLane, f Fleet, src GangSource, examples []dataset.Example, shardElems int, t *trainTicket) {
+	lane.fleet = f
+	lane.beginStep()
+	code, err := masking.New(lane.cfg.maskParams(), lane.rng)
+	if err == nil {
+		k := lane.cfg.VirtualBatch
+		xs := make([]*tensor.Tensor, k)
+		for i := range examples {
+			xs[i] = tensor.FromSlice(examples[i].Image, p.model.InShape...)
+		}
+		// The lane's accumulators are touched only while it holds the token,
+		// except here: no other goroutine references them while the lane is
+		// off-duty.
+		for _, g := range lane.grads {
+			g.Zero()
+		}
+		ph0 := lane.phases
+		lane.lockTEE()
+		var logits []*tensor.Tensor
+		var tr *trace
+		logits, tr, err = lane.forwardLayer(code, p.model.Stack, xs, true)
+		if err == nil {
+			grads := make([]*tensor.Tensor, k)
+			var total float64
+			for i := range logits {
+				loss, g := nn.SoftmaxCrossEntropy(logits[i], examples[i].Label)
+				total += loss
+				grads[i] = g
+			}
+			t.loss = total / float64(k)
+			_, err = lane.backwardLayer(code, tr, grads)
+		}
+		t.culprits = append([]int(nil), lane.stepCulprits...)
+		p.tee.Unlock()
+		p.addPhases(lane.phases.Sub(ph0))
+	}
+	lane.fleet = nil
+	if err == nil {
+		// Seal this virtual batch's ▽W shard-wise (Algorithm 2 lines 9–10)
+		// before the lane — and with it these accumulators — is recycled.
+		t.handles, t.sealedBytes, err = p.sealGrads(lane, shardElems)
+	}
+	t.err = err
+	src.Release(f, t.culprits, err)
+	p.lanes <- lane
+	p.noteEnd()
+	close(t.done)
+}
+
+// sealGrads flattens a lane's accumulators (params order) and seals them
+// shard-wise to untrusted memory (Algorithm 2 lines 9–10, shared store
+// with the serial trainer).
+func (p *TrainPipeline) sealGrads(lane *trainLane, shardElems int) ([]uint64, int64, error) {
+	flat := make([]float64, 0, p.totalElems)
+	for _, g := range lane.grads {
+		flat = append(flat, g.Data...)
+	}
+	return p.store.sealShards(flat, shardElems)
+}
+
+// noteStart/noteEnd maintain the busy wall-clock: the union of intervals
+// during which at least one batch is in flight.
+func (p *TrainPipeline) noteStart() {
+	p.mu.Lock()
+	if p.active == 0 {
+		p.busySince = time.Now()
+	}
+	p.active++
+	p.mu.Unlock()
+}
+
+func (p *TrainPipeline) noteEnd() {
+	p.mu.Lock()
+	p.active--
+	if p.active == 0 {
+		p.phases.Wall += time.Since(p.busySince)
+	}
+	p.mu.Unlock()
+}
+
+// addPhases folds one completed batch's lane-side phase delta into the
+// aggregate (Wall excluded — busy-interval accounting owns it).
+func (p *TrainPipeline) addPhases(d PhaseStats) {
+	p.mu.Lock()
+	p.phases.Encode += d.Encode
+	p.phases.Dispatch += d.Dispatch
+	p.phases.Decode += d.Decode
+	p.phases.Offloads += d.Offloads
+	p.mu.Unlock()
+}
