@@ -8,6 +8,8 @@
 //	darknight serve   [-model ...] [-k K] [-workers N] [-clients N] [-duration D]
 //	                  [-tenants gold:3,bronze:1] [-malicious I] [-faultprob P] [-recover]
 //	                  [-spares N] [-slack N] [-speculate D] [-slow I] [-slowdelay D]
+//	                  [-metrics-addr :9090] [-trace-sample F] [-flight-recorder N]
+//	                  [-obs-dump DIR]
 //	darknight loadgen [-model ...] [-k K] [-workers N] [-maxclients N] [-duration D]
 //	                  [-tenants ...] [-malicious I] [-faultprob P] [-slow I]
 //
@@ -23,6 +25,12 @@
 // `loadgen` sweeps the client count to chart how dynamic K-batching
 // converts concurrency into throughput, optionally with fault injection
 // and fair-share tenants.
+//
+// `serve -metrics-addr :9090` exports the run live (Prometheus text at
+// /metrics, plus /metrics.json, /traces, /flightrecorder);
+// `-trace-sample 1` traces every request and prints the last span tree
+// with its critical-path breakdown; `-obs-dump DIR` writes the metrics,
+// trace and flight-recorder artifacts after the run (the CI artifact set).
 package main
 
 import (

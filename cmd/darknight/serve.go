@@ -1,10 +1,14 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -122,6 +126,10 @@ func cmdServe(args []string) {
 	slow := fs.Int("slow", -1, "index of a deterministically slow GPU (-1 = none)")
 	slowAll := fs.Bool("slowall", false, "add -slowdelay latency to every GPU (the device-latency regime -pipeline hides)")
 	slowDelay := fs.Duration("slowdelay", 5*time.Millisecond, "added latency of the slow GPU(s)")
+	metricsAddr := fs.String("metrics-addr", "", "HTTP listener exporting /metrics, /metrics.json, /traces, /flightrecorder (e.g. :9090; empty = off)")
+	traceSample := fs.Float64("trace-sample", 0, "fraction of requests traced (0 = off, 1 = all); the last trace is printed after the run")
+	flightRec := fs.Int("flight-recorder", 0, "flight-recorder event-ring capacity (0 = default 1024 when other obs flags are set)")
+	obsDump := fs.String("obs-dump", "", "directory for observability artifacts after the run (metrics.prom, metrics.json, trace.txt, flightrecorder.json)")
 	seed := fs.Int64("seed", 1, "random seed")
 	fs.Parse(args)
 
@@ -150,6 +158,12 @@ func cmdServe(args []string) {
 		Recover:        *recover,
 		StragglerSlack: *slack,
 		SpeculateAfter: *speculate,
+		Observability: darknight.ObservabilityConfig{
+			Enabled:            *obsDump != "",
+			MetricsAddr:        *metricsAddr,
+			TraceSample:        *traceSample,
+			FlightRecorderSize: *flightRec,
+		},
 	}
 	if *malicious >= 0 {
 		cfg.MaliciousGPUs = []int{*malicious}
@@ -188,6 +202,9 @@ func cmdServe(args []string) {
 	}
 	fmt.Printf("serving %s privately: K=%d, gang=%d GPUs (+%d spares), %d workers (%s), %d clients, maxwait=%v\n",
 		*modelName, *k, gang, *spares, *workers, mode, *clients, *maxWait)
+	if a := srv.MetricsAddr(); a != "" {
+		fmt.Printf("metrics: http://%s/metrics (also /metrics.json, /traces, /flightrecorder)\n", a)
+	}
 	ok, integ, failed := runLoad(srv, images, *clients, *duration, tenants)
 
 	m := srv.Metrics()
@@ -222,6 +239,56 @@ func cmdServe(args []string) {
 	printFleet(srv.FleetStats())
 	tr := srv.GPUTraffic()
 	fmt.Printf("GPUs: %d jobs, %d bytes in, %d bytes out\n", tr.Jobs, tr.BytesIn, tr.BytesOut)
+	if traces := srv.RecentTraces(); len(traces) > 0 {
+		fmt.Println("\nsample trace (most recent completed request):")
+		last := traces[len(traces)-1]
+		last.Render(os.Stdout)
+		last.RenderBreakdown(os.Stdout)
+	}
+	if *obsDump != "" {
+		if err := dumpObsArtifacts(*obsDump, srv); err != nil {
+			log.Fatalf("obs-dump: %v", err)
+		}
+		fmt.Printf("observability artifacts written to %s\n", *obsDump)
+	}
+}
+
+// dumpObsArtifacts writes the run's observability surfaces to dir:
+// metrics.prom (Prometheus text), metrics.json (registry dump), trace.txt
+// (every retained span tree + breakdown) and flightrecorder.json (the
+// event ring) — the CI artifact set.
+func dumpObsArtifacts(dir string, srv *darknight.Server) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var prom bytes.Buffer
+	if err := srv.WriteMetrics(&prom); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "metrics.prom"), prom.Bytes(), 0o644); err != nil {
+		return err
+	}
+	reg, err := srv.Observability().Registry.DumpJSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "metrics.json"), reg, 0o644); err != nil {
+		return err
+	}
+	var traces bytes.Buffer
+	for _, sp := range srv.RecentTraces() {
+		sp.Render(&traces)
+		sp.RenderBreakdown(&traces)
+		fmt.Fprintln(&traces)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "trace.txt"), traces.Bytes(), 0o644); err != nil {
+		return err
+	}
+	events, err := json.MarshalIndent(srv.FlightRecorderDump(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "flightrecorder.json"), events, 0o644)
 }
 
 func cmdLoadgen(args []string) {

@@ -32,6 +32,7 @@ import (
 	"darknight/internal/gpu"
 	"darknight/internal/masking"
 	"darknight/internal/nn"
+	"darknight/internal/obs"
 	"darknight/internal/sched"
 )
 
@@ -93,6 +94,10 @@ type Config struct {
 	// SlowAll marks every device slow by SlowDelay — the uniform
 	// per-dispatch device-latency regime pipelined training hides.
 	SlowAll bool
+	// Observability switches on training-path tracing, the exportable
+	// metrics registry, and the chaos flight recorder. Zero value = off,
+	// and the hot path stays at its untraced cost.
+	Observability ObservabilityConfig
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -112,6 +117,8 @@ type System struct {
 	encl    *enclave.Enclave
 	cluster *gpu.Cluster
 	opt     *nn.SGD
+	obs     *obs.Observability
+	msrv    *obs.MetricsServer
 	cfg     Config
 }
 
@@ -186,7 +193,69 @@ func NewSystem(model *Model, cfg Config) (*System, error) {
 			s.src = sched.SingleFleetSource{F: cluster}
 		}
 	}
+	if ob := cfg.Observability.build(cfg.Seed); ob != nil {
+		s.obs = ob
+		s.trainer.SetTracer(ob.Tracer)
+		s.trainer.SetObserver(ob.Recorder)
+		if s.pipe != nil {
+			s.pipe.SetTracer(ob.Tracer)
+			s.pipe.SetObserver(ob.Recorder)
+		}
+		if s.fm != nil {
+			s.fm.SetObserver(ob.Recorder)
+			s.fm.RegisterMetrics(ob.Registry)
+		}
+		s.registerMetrics(ob.Registry)
+		if addr := cfg.Observability.MetricsAddr; addr != "" {
+			s.msrv, err = ob.Serve(addr)
+			if err != nil {
+				s.Close()
+				return nil, err
+			}
+		}
+	}
 	return s, nil
+}
+
+// registerMetrics exports the training-path counters as scrape-time
+// closures: phase breakdown, offload count, cache refills, noise-pool
+// hit/miss accounting.
+func (s *System) registerMetrics(r *obs.Registry) {
+	r.SampleFunc("darknight_train_phase_seconds_total",
+		"Cumulative TEE-side time by phase across training offloads.", "counter",
+		func() []obs.Sample {
+			ph := s.TrainPhases()
+			return []obs.Sample{
+				{Labels: map[string]string{"phase": "encode"}, Value: ph.Encode.Seconds()},
+				{Labels: map[string]string{"phase": "dispatch"}, Value: ph.Dispatch.Seconds()},
+				{Labels: map[string]string{"phase": "decode"}, Value: ph.Decode.Seconds()},
+				{Labels: map[string]string{"phase": "wall"}, Value: ph.Wall.Seconds()},
+			}
+		})
+	r.CounterFunc("darknight_train_offloads_total",
+		"Bilinear-layer offload dispatches on the training path.",
+		func() float64 { return float64(s.TrainPhases().Offloads) })
+	r.CounterFunc("darknight_train_cache_refills_total",
+		"Backward dispatches that re-created the device-side coded-input cache.",
+		func() float64 { return float64(s.CacheRefills()) })
+	r.CounterFunc("darknight_noisepool_hits_total",
+		"Encodes served from precomputed noise material.",
+		func() float64 { return float64(s.poolStats().Hits) })
+	r.CounterFunc("darknight_noisepool_misses_total",
+		"Encodes that found the noise ring empty and drew inline.",
+		func() float64 { return float64(s.poolStats().Misses) })
+	r.GaugeFunc("darknight_noisepool_fallbacks",
+		"Current count of inline-RNG fallbacks — nonzero and growing means the pool is undersized.",
+		func() float64 { return float64(s.poolStats().Misses) })
+}
+
+// poolStats returns the training pipeline's noise-pool counters (zero when
+// the serial trainer runs without a pool).
+func (s *System) poolStats() masking.NoisePoolStats {
+	if s.pipe == nil {
+		return masking.NoisePoolStats{}
+	}
+	return s.pipe.PoolStats()
 }
 
 // trainGangSource adapts a fleet.Manager into the training pipeline's
@@ -319,8 +388,10 @@ func (s *System) FleetStats() FleetStats {
 }
 
 // Close stops the training pipeline's background noise generator, if one
-// is running. The System remains usable for serial work.
+// is running, and the metrics listener, if one is serving. The System
+// remains usable for serial work.
 func (s *System) Close() {
+	s.msrv.Close()
 	if s.pipe != nil {
 		s.pipe.Close()
 	}

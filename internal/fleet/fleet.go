@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"darknight/internal/gpu"
+	"darknight/internal/obs"
 )
 
 // TenantConfig pre-registers a named tenant with a fair-share weight.
@@ -173,6 +174,10 @@ type Manager struct {
 	speculations     int64
 	asyncDispatches  int64
 	peakOverlap      int
+
+	// rec, when non-nil, receives grant/release/quarantine/speculation
+	// events (see SetObserver in obs.go).
+	rec *obs.FlightRecorder
 }
 
 // NewManager puts every device of the cluster under fleet management.
@@ -375,6 +380,10 @@ func (m *Manager) admitLocked() {
 		ids := m.pickLocked(w.n)
 		best.inFlight += w.n
 		best.grants++
+		if m.rec != nil {
+			m.rec.Record(obs.Event{Kind: obs.KindGrant, Subsystem: "fleet", Device: -1, Slot: -1,
+				Tenant: best.name, Detail: fmt.Sprintf("gang of %d, cluster slots %v", w.n, ids)})
+		}
 		w.ready <- grantResult{g: newGrant(m, best, ids)}
 	}
 }
@@ -476,6 +485,23 @@ func (m *Manager) release(g *Grant) {
 	defer m.mu.Unlock()
 	g.t.inFlight -= len(g.ids)
 	g.t.deviceSeconds += elapsed.Seconds() * float64(len(g.ids))
+	if m.rec != nil {
+		nf := 0
+		for _, f := range faulted {
+			if f {
+				nf++
+			}
+		}
+		detail := fmt.Sprintf("held %s, %d async dispatches", elapsed.Round(time.Microsecond), asyncCount)
+		if nf > 0 {
+			detail += fmt.Sprintf(", %d attributed faults", nf)
+		}
+		if suspect {
+			detail += ", gang-wide suspicion"
+		}
+		m.rec.Record(obs.Event{Kind: obs.KindRelease, Subsystem: "fleet", Device: -1, Slot: -1,
+			Tenant: g.t.name, Detail: detail})
+	}
 	m.speculations += specs
 	m.asyncDispatches += asyncCount
 	if outPeak > m.peakOverlap {

@@ -7,6 +7,7 @@ import (
 
 	"darknight/internal/field"
 	"darknight/internal/gpu"
+	"darknight/internal/obs"
 )
 
 // Grant is temporary exclusive ownership of a device gang plus the
@@ -300,6 +301,8 @@ func (g *Grant) speculate(key string, kernel gpu.LinearKernel, coded []field.Vec
 		g.mu.Lock()
 		g.specCount++
 		g.mu.Unlock()
+		g.m.recordEvent(obs.Event{Kind: obs.KindSpeculate, Subsystem: "fleet", Device: dev.ID(), Slot: slot,
+			Tenant: g.t.name, Detail: fmt.Sprintf("lagging share re-dispatched to spare after %s", g.m.cfg.SpeculateAfter)})
 		go func(slot int, rec *deviceRec, dev gpu.Device) {
 			ts := time.Now()
 			y := dev.LinearForward(gpu.SlotKey(key, slot)+"#spec", kernel, coded[slot])

@@ -1,6 +1,11 @@
 package fleet
 
-import "time"
+import (
+	"fmt"
+	"time"
+
+	"darknight/internal/obs"
+)
 
 // State is a device's position in the quarantine state machine:
 //
@@ -159,6 +164,17 @@ func (m *Manager) transitionLocked(rec *deviceRec, to State, reason string) {
 		m.events[len(m.events)-1] = ev
 	} else {
 		m.events = append(m.events, ev)
+	}
+	if m.rec != nil {
+		kind := obs.KindQuarantine
+		switch to {
+		case Probation:
+			kind = obs.KindProbation
+		case Healthy:
+			kind = obs.KindReadmit
+		}
+		m.rec.Record(obs.Event{Kind: kind, Subsystem: "fleet", Device: rec.id, Slot: -1,
+			Detail: fmt.Sprintf("%s→%s: %s (fp %016x)", from, to, reason, rec.fp)})
 	}
 }
 

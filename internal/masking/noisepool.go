@@ -1,6 +1,7 @@
 package masking
 
 import (
+	"log"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -75,8 +76,16 @@ type NoisePool struct {
 	misses  atomic.Int64
 	refills atomic.Int64
 
+	// warnOnce fires the undersized-pool warning on the first miss only:
+	// steady-state misses mean the ring cannot keep up with its consumers
+	// and every affected encode silently pays an inline RNG pass.
+	warnOnce sync.Once
+
 	wg sync.WaitGroup
 }
+
+// noisePoolWarn is the warning sink, a variable so tests can intercept it.
+var noisePoolWarn = log.Printf
 
 // NewNoisePool starts a background generator pre-drawing sets of m uniform
 // rows for the given cycle of row lengths (one entry per offloaded layer,
@@ -180,6 +189,10 @@ func (p *NoisePool) Get(n int) *NoiseSet {
 	}
 	p.mu.Unlock()
 	p.misses.Add(1)
+	p.warnOnce.Do(func() {
+		noisePoolWarn("masking: noise pool miss (row length %d): generator behind its consumers — "+
+			"encode falls back to inline draws; persistent misses mean the pool is undersized (raise sets)", n)
+	})
 	return nil
 }
 

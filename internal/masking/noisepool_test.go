@@ -1,7 +1,9 @@
 package masking
 
 import (
+	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -221,4 +223,61 @@ func BenchmarkNoisePool(b *testing.B) {
 			p.mu.Unlock()
 		}
 	})
+}
+
+// TestNoisePoolMissWarnsOnce: the first exhaustion miss fires the
+// undersized-pool warning exactly once per pool, regardless of how many
+// misses follow, and carries the row length that missed.
+func TestNoisePoolMissWarnsOnce(t *testing.T) {
+	var mu sync.Mutex
+	var warnings []string
+	orig := noisePoolWarn
+	noisePoolWarn = func(format string, args ...any) {
+		mu.Lock()
+		warnings = append(warnings, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	defer func() { noisePoolWarn = orig }()
+
+	lengths := []int{64}
+	p := NewNoisePool(1, 1, lengths, 1)
+	defer p.Close()
+	waitReady(t, p, 1)
+
+	held := p.Get(64)
+	if held == nil {
+		t.Fatal("warm ring did not yield a set")
+	}
+	for i := 0; i < 5; i++ {
+		if s := p.Get(64); s != nil {
+			t.Fatal("drained ring returned a set")
+		}
+	}
+	if st := p.Stats(); st.Misses != 5 {
+		t.Fatalf("misses = %d, want 5", st.Misses)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(warnings) != 1 {
+		t.Fatalf("warning fired %d times, want exactly once: %q", len(warnings), warnings)
+	}
+	if !strings.Contains(warnings[0], "row length 64") || !strings.Contains(warnings[0], "undersized") {
+		t.Fatalf("warning text: %q", warnings[0])
+	}
+
+	// A second pool warns independently.
+	warnings = warnings[:0]
+	mu.Unlock()
+	p2 := NewNoisePool(2, 1, lengths, 1)
+	defer p2.Close()
+	waitReady(t, p2, 1)
+	h2 := p2.Get(64)
+	if h2 == nil {
+		t.Fatal("second pool's warm ring did not yield a set")
+	}
+	p2.Get(64)
+	mu.Lock()
+	if len(warnings) != 1 {
+		t.Fatalf("second pool fired %d warnings, want 1", len(warnings))
+	}
 }

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// MetricsServer is the HTTP listener exporting an Observability bundle:
+//
+//	/metrics           Prometheus text exposition
+//	/metrics.json      the same registry as JSON (BENCH artifact shape)
+//	/traces            recent completed span trees, rendered as text
+//	/flightrecorder    the event ring as JSON
+type MetricsServer struct {
+	lis net.Listener
+	srv *http.Server
+}
+
+// Serve starts the metrics listener on addr (e.g. ":9090" or
+// "127.0.0.1:0"). It returns once the listener is bound; serving runs in
+// a background goroutine until Close.
+func (o *Observability) Serve(addr string) (*MetricsServer, error) {
+	if o == nil || o.Registry == nil {
+		return nil, fmt.Errorf("obs: cannot serve metrics without a registry")
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = o.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		b, err := o.Registry.DumpJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		_, _ = w.Write(b)
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		traces := o.Tracer.Recent()
+		if len(traces) == 0 {
+			fmt.Fprintln(w, "no completed traces (is -trace-sample > 0?)")
+			return
+		}
+		for _, sp := range traces {
+			sp.Render(w)
+			sp.RenderBreakdown(w)
+			fmt.Fprintln(w)
+		}
+	})
+	mux.HandleFunc("/flightrecorder", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = o.Recorder.WriteJSON(w)
+	})
+	ms := &MetricsServer{lis: lis, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = ms.srv.Serve(lis) }()
+	return ms, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *MetricsServer) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.lis.Addr().String()
+}
+
+// Close stops the listener. Nil-safe.
+func (s *MetricsServer) Close() {
+	if s == nil {
+		return
+	}
+	_ = s.srv.Close()
+}

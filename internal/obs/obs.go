@@ -1,0 +1,104 @@
+// Package obs is the unified observability layer of the stack: request
+// tracing, an exportable metrics registry, and a chaos flight recorder,
+// shared by serve, sched, fleet, gpu and masking.
+//
+// The three pillars:
+//
+//   - Tracing (span.go): allocation-frugal spans threaded through the
+//     serving path — batcher admit→seal, the scheduler's
+//     encode/dispatch/decode lanes (serial, Pipeline and TrainPipeline),
+//     fleet grant acquisition and GPU flights — so every request yields a
+//     span tree with batch/lane/gang/device annotations and a critical-path
+//     breakdown. Disabled tracing costs nil checks only: every method is a
+//     no-op on a nil receiver, and an unsampled request carries a nil span
+//     through the whole stack.
+//
+//   - Metrics (registry.go): typed counters/gauges/histograms plus
+//     registration-time closures over the subsystems' existing counters
+//     (serve.Metrics, fleet.Manager, sched phase stats, masking.NoisePool),
+//     exported as Prometheus text via the /metrics listener (http.go) and
+//     dumpable as JSON for bench artifacts. Export reads the subsystems at
+//     scrape time — the hot paths are untouched.
+//
+//   - Flight recorder (recorder.go): a bounded ring of structured events
+//     (grant granted/released, quarantine transitions, straggler
+//     re-dispatch, cache-miss refill, integrity verdicts) with
+//     Dump/DumpSince for post-mortem inspection; chaos tests dump it on
+//     failure.
+//
+// An Observability bundles the three so subsystems take one optional
+// handle. All of it is nil-tolerant: a nil *Observability (or any nil
+// pillar) disables that surface with zero overhead.
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// Options configures an Observability bundle.
+type Options struct {
+	// TraceSample is the fraction of requests traced: 0 disables tracing
+	// (Start returns nil spans), 1 traces everything.
+	TraceSample float64
+	// TraceKeep bounds the ring of completed root spans kept for dumps
+	// (default 16).
+	TraceKeep int
+	// RecorderSize bounds the flight-recorder event ring; <= 0 picks the
+	// default of 1024.
+	RecorderSize int
+	// Seed drives the sampling draws, making traced runs reproducible.
+	Seed int64
+}
+
+// Observability bundles the three pillars. Subsystems accept a
+// *Observability and use whichever pillars are non-nil; a nil bundle
+// disables everything.
+type Observability struct {
+	Tracer   *Tracer
+	Registry *Registry
+	Recorder *FlightRecorder
+}
+
+// New assembles a bundle: a registry always, a tracer at the configured
+// sampling rate, and a flight recorder of the configured capacity.
+func New(o Options) *Observability {
+	return &Observability{
+		Tracer:   NewTracer(o.TraceSample, o.TraceKeep, o.Seed),
+		Registry: NewRegistry(),
+		Recorder: NewFlightRecorder(o.RecorderSize),
+	}
+}
+
+// StartTrace begins a sampled root span, or returns nil when the bundle,
+// its tracer, or the sampling draw says no.
+func (o *Observability) StartTrace(name string) *Span {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer.Start(name)
+}
+
+// Record appends one event to the flight recorder, if one is attached.
+func (o *Observability) Record(ev Event) {
+	if o == nil {
+		return
+	}
+	o.Recorder.Record(ev)
+}
+
+// Reg returns the registry, or nil.
+func (o *Observability) Reg() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Registry
+}
+
+// WriteMetrics writes the Prometheus text exposition of the registry.
+func (o *Observability) WriteMetrics(w io.Writer) error {
+	if o == nil || o.Registry == nil {
+		return fmt.Errorf("obs: no registry attached")
+	}
+	return o.Registry.WritePrometheus(w)
+}

@@ -1,0 +1,410 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named metric series and renders them as Prometheus text
+// exposition or JSON. Subsystems register either live instruments
+// (Counter/Gauge/Histogram) or — the preferred pattern for code with
+// existing in-process counters — closures (CounterFunc/GaugeFunc/
+// SampleFunc) that read those counters at scrape time, leaving the hot
+// paths untouched.
+type Registry struct {
+	mu      sync.Mutex
+	order   []string
+	metrics map[string]*series
+}
+
+// series is one registered metric family.
+type series struct {
+	name, help, typ string // typ: counter | gauge | histogram
+	value           func() float64
+	hist            *Histogram
+	samples         func() []Sample // labeled families
+}
+
+// Sample is one labeled observation emitted by a SampleFunc.
+type Sample struct {
+	Labels map[string]string
+	Value  float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*series)}
+}
+
+func (r *Registry) register(s *series) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.metrics[s.name]; dup {
+		panic("obs: duplicate metric registration: " + s.name)
+	}
+	r.metrics[s.name] = s
+	r.order = append(r.order, s.name)
+}
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one. Nil-safe.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (must be >= 0). Nil-safe.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Counter registers and returns a new counter. A nil registry returns
+// nil; the nil counter's methods are no-ops.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := &Counter{}
+	r.register(&series{name: name, help: help, typ: "counter", value: func() float64 { return float64(c.Value()) }})
+	return c
+}
+
+// CounterFunc registers a monotone series computed at scrape time.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(&series{name: name, help: help, typ: "counter", value: fn})
+}
+
+// Gauge is a metric that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v. Nil-safe.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add increments by d. Nil-safe.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Gauge registers and returns a new gauge. Nil registry returns nil.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := &Gauge{}
+	r.register(&series{name: name, help: help, typ: "gauge", value: g.Value})
+	return g
+}
+
+// GaugeFunc registers a gauge computed at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(&series{name: name, help: help, typ: "gauge", value: fn})
+}
+
+// SampleFunc registers a labeled family (e.g. per-tenant, per-device
+// series) whose samples are produced at scrape time. typ is "counter" or
+// "gauge".
+func (r *Registry) SampleFunc(name, help, typ string, fn func() []Sample) {
+	if r == nil {
+		return
+	}
+	r.register(&series{name: name, help: help, typ: typ, samples: fn})
+}
+
+// Histogram is a fixed-bucket cumulative histogram.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf implicit
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one value. Nil-safe.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Histogram registers and returns a histogram with the given ascending
+// bucket upper bounds (a +Inf bucket is implicit). Nil registry returns
+// nil.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	h.counts = make([]atomic.Int64, len(h.bounds))
+	r.register(&series{name: name, help: help, typ: "histogram", hist: h})
+	return h
+}
+
+// formatLabels renders {k="v",...} with sorted keys ("" when empty).
+func formatLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders every registered series in the Prometheus text
+// exposition format (HELP/TYPE comments, one sample per line).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return fmt.Errorf("obs: nil registry")
+	}
+	r.mu.Lock()
+	order := append([]string(nil), r.order...)
+	metrics := make(map[string]*series, len(r.metrics))
+	for k, v := range r.metrics {
+		metrics[k] = v
+	}
+	r.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	for _, name := range order {
+		s := metrics[name]
+		fmt.Fprintf(bw, "# HELP %s %s\n", s.name, s.help)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", s.name, s.typ)
+		switch {
+		case s.hist != nil:
+			cum := int64(0)
+			for i, b := range s.hist.bounds {
+				cum += s.hist.counts[i].Load()
+				fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", s.name, formatFloat(b), cum)
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", s.name, s.hist.Count())
+			fmt.Fprintf(bw, "%s_sum %s\n", s.name, formatFloat(s.hist.Sum()))
+			fmt.Fprintf(bw, "%s_count %d\n", s.name, s.hist.Count())
+		case s.samples != nil:
+			for _, smp := range s.samples() {
+				fmt.Fprintf(bw, "%s%s %s\n", s.name, formatLabels(smp.Labels), formatFloat(smp.Value))
+			}
+		default:
+			fmt.Fprintf(bw, "%s %s\n", s.name, formatFloat(s.value()))
+		}
+	}
+	return bw.Flush()
+}
+
+// formatFloat renders a float the way Prometheus clients do: integers
+// without a decimal point, everything else in shortest form.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// jsonMetric is one series in the JSON dump.
+type jsonMetric struct {
+	Name    string             `json:"name"`
+	Type    string             `json:"type"`
+	Help    string             `json:"help,omitempty"`
+	Value   *float64           `json:"value,omitempty"`
+	Samples []jsonSample       `json:"samples,omitempty"`
+	Buckets map[string]int64   `json:"buckets,omitempty"`
+	Sum     *float64           `json:"sum,omitempty"`
+	Count   *int64             `json:"count,omitempty"`
+	Labels  map[string]float64 `json:"-"`
+}
+
+type jsonSample struct {
+	Labels map[string]string `json:"labels"`
+	Value  float64           `json:"value"`
+}
+
+// DumpJSON renders the registry as a JSON array of series — the format
+// BENCH artifacts embed.
+func (r *Registry) DumpJSON() ([]byte, error) {
+	if r == nil {
+		return nil, fmt.Errorf("obs: nil registry")
+	}
+	r.mu.Lock()
+	order := append([]string(nil), r.order...)
+	metrics := make(map[string]*series, len(r.metrics))
+	for k, v := range r.metrics {
+		metrics[k] = v
+	}
+	r.mu.Unlock()
+	out := make([]jsonMetric, 0, len(order))
+	for _, name := range order {
+		s := metrics[name]
+		jm := jsonMetric{Name: s.name, Type: s.typ, Help: s.help}
+		switch {
+		case s.hist != nil:
+			jm.Buckets = make(map[string]int64, len(s.hist.bounds))
+			for i, b := range s.hist.bounds {
+				jm.Buckets[formatFloat(b)] = s.hist.counts[i].Load()
+			}
+			sum, cnt := s.hist.Sum(), s.hist.Count()
+			jm.Sum, jm.Count = &sum, &cnt
+		case s.samples != nil:
+			for _, smp := range s.samples() {
+				jm.Samples = append(jm.Samples, jsonSample{Labels: smp.Labels, Value: smp.Value})
+			}
+		default:
+			v := s.value()
+			jm.Value = &v
+		}
+		out = append(out, jm)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// ParsePrometheus parses text exposition output into a flat
+// name{labels}→value map, returning an error on any malformed line. It
+// exists so tests and the CI observability job can assert that a
+// /metrics scrape parses.
+func ParsePrometheus(rd io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		// Split on the last space: the metric name may contain a quoted
+		// label set with spaces inside values.
+		idx := strings.LastIndexByte(text, ' ')
+		if idx <= 0 {
+			return nil, fmt.Errorf("line %d: no value separator: %q", line, text)
+		}
+		name, val := text[:idx], text[idx+1:]
+		if !validSeriesName(name) {
+			return nil, fmt.Errorf("line %d: malformed series name: %q", line, name)
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: malformed value %q: %v", line, val, err)
+		}
+		out[name] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no samples found")
+	}
+	return out, nil
+}
+
+// validSeriesName checks `metric_name` or `metric_name{...}` shape.
+func validSeriesName(name string) bool {
+	base := name
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		if !strings.HasSuffix(name, "}") {
+			return false
+		}
+		base = name[:i]
+	}
+	if base == "" {
+		return false
+	}
+	for i, c := range base {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -9,6 +9,7 @@ import (
 	"darknight/internal/gpu"
 	"darknight/internal/masking"
 	"darknight/internal/nn"
+	"darknight/internal/obs"
 	"darknight/internal/tensor"
 )
 
@@ -72,6 +73,12 @@ func (e *engine) backwardLayer(code *masking.Code, tr *trace, grads []*tensor.Te
 // layer from the coded equations (Eq 4–6) and propagates input gradients.
 func (e *engine) offloadBackward(code *masking.Code, tr *trace, lin nn.Linear, grads []*tensor.Tensor) ([]*tensor.Tensor, error) {
 	k := e.cfg.VirtualBatch
+	osp := e.sp.Child("offload-backward")
+	if osp != nil {
+		osp.Annotate("key", tr.key)
+		defer osp.End()
+	}
+	esp := osp.Child("encode")
 	t0 := time.Now()
 
 	// Bias gradient: TEE-side, cheap, uses only the public δ.
@@ -120,8 +127,9 @@ func (e *engine) offloadBackward(code *masking.Code, tr *trace, lin nn.Linear, g
 	}
 	kernel := func(delta, x field.Vec) field.Vec { return lin.GradWeightsField(delta, x) }
 	e.phases.Encode += time.Since(t0)
+	esp.End()
 
-	sum, err := e.dispatchBackward(code, tr, kernel, deltaBars, secBars, bqf, useQuorum, lin.WLen(), fx)
+	sum, err := e.dispatchBackward(code, tr, osp, kernel, deltaBars, secBars, bqf, useQuorum, lin.WLen(), fx)
 	if err != nil {
 		return nil, err
 	}
@@ -153,10 +161,11 @@ func (e *engine) offloadBackward(code *masking.Code, tr *trace, lin nn.Linear, g
 // devices no longer hold this trace's coded forward inputs (quarantine
 // replacement, slot reshuffle, or a quorum laggard that never stored) —
 // triggers one refillStores pass and a retry.
-func (e *engine) dispatchBackward(code *masking.Code, tr *trace, kernel gpu.BilinearKernel, prim, sec []field.Vec,
+func (e *engine) dispatchBackward(code *masking.Code, tr *trace, osp *obs.Span, kernel gpu.BilinearKernel, prim, sec []field.Vec,
 	bqf BackwardQuorumFleet, useQuorum bool, wlen int, fx float64) (field.Vec, error) {
 	refilled := false
 	for {
+		dsp := osp.Child("dispatch")
 		t1 := time.Now()
 		var (
 			eqs     []field.Vec
@@ -199,8 +208,10 @@ func (e *engine) dispatchBackward(code *masking.Code, tr *trace, kernel gpu.Bili
 			eqs, err = e.fleet.BackwardAll(tr.key, kernel, prim)
 			e.phases.Dispatch += time.Since(t1)
 		}
+		dsp.End()
 		if err != nil {
 			if errors.Is(err, gpu.ErrNoStored) && !refilled {
+				osp.Annotate("refill", tr.key)
 				if rerr := e.refillStores(code, tr, fx); rerr != nil {
 					return nil, fmt.Errorf("sched: backward cache refill for %q: %w", tr.key, rerr)
 				}
@@ -210,6 +221,7 @@ func (e *engine) dispatchBackward(code *masking.Code, tr *trace, kernel gpu.Bili
 			return nil, err
 		}
 
+		csp := osp.Child("decode")
 		t2 := time.Now()
 		sum := field.NewVec(wlen)
 		if useQuorum {
@@ -218,6 +230,7 @@ func (e *engine) dispatchBackward(code *masking.Code, tr *trace, kernel gpu.Bili
 			err = code.DecodeBackwardInto(sum, eqs)
 		}
 		e.phases.Decode += time.Since(t2)
+		csp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -253,6 +266,10 @@ func (e *engine) refillStores(code *masking.Code, tr *trace, fx float64) error {
 		return err
 	}
 	e.refills++
+	e.rec.Record(obs.Event{
+		Kind: obs.KindRefill, Subsystem: "sched", Device: -1, Slot: -1,
+		Detail: fmt.Sprintf("re-created device stores for %q", tr.key),
+	})
 	identity := func(x field.Vec) field.Vec { return x }
 	_, err := e.fleet.ForwardAll(tr.key, identity, coded)
 	return err

@@ -12,6 +12,7 @@ import (
 	"darknight/internal/gpu"
 	"darknight/internal/masking"
 	"darknight/internal/nn"
+	"darknight/internal/obs"
 	"darknight/internal/quant"
 	"darknight/internal/tensor"
 )
@@ -201,6 +202,16 @@ type engine struct {
 	// back to inline draws from rng (counted by the pool).
 	pool *masking.NoisePool
 
+	// sp, when non-nil, is the trace span of the virtual batch currently
+	// executing on this engine: every offload hangs an
+	// encode/dispatch/decode child tree off it. Installed per batch by the
+	// owning Inferencer/Pipeline/TrainPipeline; the untraced case is a nil
+	// pointer, which the obs spans treat as a free no-op.
+	sp *obs.Span
+	// rec, when non-nil, receives flight-recorder events from the engine:
+	// backward cache-miss refills and integrity verdicts.
+	rec *obs.FlightRecorder
+
 	// recover enables audit-and-recover on integrity violations
 	// (EnableRecovery; needs Redundancy >= 2).
 	recover  bool
@@ -361,6 +372,14 @@ func (e *engine) forwardLayer(code *masking.Code, layer nn.Layer, xs []*tensor.T
 func (e *engine) offloadForward(code *masking.Code, tr *trace, lin nn.Linear, xs []*tensor.Tensor, train bool) ([]*tensor.Tensor, error) {
 	key := tr.key
 	k := e.cfg.VirtualBatch
+	osp := e.sp.Child("offload")
+	if osp != nil {
+		osp.Annotate("key", key)
+		// Ending the offload span also ends any phase child left open by an
+		// error return, so the trace stays well formed on failures.
+		defer osp.End()
+	}
+	esp := osp.Child("encode")
 	t0 := time.Now()
 	// Shared dynamic normalization factor across the virtual batch so the
 	// backward decode (a sum across inputs) can be unscaled exactly.
@@ -402,6 +421,10 @@ func (e *engine) offloadForward(code *masking.Code, tr *trace, lin nn.Linear, xs
 	if pset != nil {
 		copy(noise, pset.Rows)
 	} else {
+		if e.pool != nil && e.rec != nil {
+			e.rec.Record(obs.Event{Kind: obs.KindNoisePool, Subsystem: "sched", Device: -1, Slot: -1,
+				Detail: fmt.Sprintf("pool empty for row length %d, inline fallback", n)})
+		}
 		for m := range noise {
 			noise[m] = field.RandVecInto(e.rng, e.arena.RawVec(n))
 		}
@@ -448,6 +471,7 @@ func (e *engine) offloadForward(code *masking.Code, tr *trace, lin nn.Linear, xs
 		coded = cl // fresh header array too: e.coded is rewritten next offload
 	}
 	e.phases.Encode += time.Since(t0)
+	esp.End()
 
 	// Gang dispatch: the fleet fans the S+E coded inputs out to its devices
 	// concurrently (one goroutine per device) and gathers in device order.
@@ -457,6 +481,10 @@ func (e *engine) offloadForward(code *masking.Code, tr *trace, lin nn.Linear, xs
 	// coded inputs and wq the kernel references outlive the flight exactly
 	// as on the serial path. The token-reacquisition wait after the flight
 	// is deliberately untimed — it is overlap, not work.
+	dsp := osp.Child("dispatch")
+	if dsp != nil && useQuorum {
+		dsp.Annotatef("quorum", "%d/%d", code.NumCoded()-slack, code.NumCoded())
+	}
 	t1 := time.Now()
 	kernel := func(x field.Vec) field.Vec { return lin.LinearForwardField(wq, x) }
 	var (
@@ -503,16 +531,21 @@ func (e *engine) offloadForward(code *masking.Code, tr *trace, lin nn.Linear, xs
 		results, err = e.fleet.ForwardAll(key, kernel, coded)
 		e.phases.Dispatch += time.Since(t1)
 	}
+	dsp.End()
 	if err != nil {
 		return nil, err
 	}
 
+	csp := osp.Child("decode")
 	t2 := time.Now()
 	missing := 0
 	for _, p := range present {
 		if !p {
 			missing++
 		}
+	}
+	if csp != nil && missing > 0 {
+		csp.Annotatef("stragglers", "%d", missing)
 	}
 	var decoded []field.Vec
 	switch {
@@ -588,7 +621,28 @@ func (e *engine) offloadForward(code *masking.Code, tr *trace, lin nn.Linear, xs
 	}
 	e.phases.Decode += time.Since(t2)
 	e.phases.Offloads++
+	csp.End()
 	return outs, nil
+}
+
+// recordIntegrity files one integrity verdict into the flight recorder
+// and onto the current batch's span.
+func (e *engine) recordIntegrity(culprits []int, recovered bool) {
+	if e.rec == nil && e.sp == nil {
+		return
+	}
+	detail := "unattributed (whole gang suspect)"
+	if len(culprits) > 0 {
+		detail = fmt.Sprintf("culprit slots %v", culprits)
+	}
+	if recovered {
+		detail += ", recovered from clean equations"
+	}
+	e.rec.Record(obs.Event{
+		Kind: obs.KindIntegrity, Subsystem: "sched", Device: -1, Slot: -1,
+		Detail: detail,
+	})
+	e.sp.Annotate("integrity", detail)
 }
 
 // attributedError wraps a verification failure, attributing culprit gang
@@ -599,9 +653,11 @@ func (e *engine) attributedError(code *masking.Code, results []field.Vec, verr e
 	if code.E >= 2 {
 		if culprits, aerr := code.AuditForward(results); aerr == nil && len(culprits) > 0 {
 			e.stepCulprits = mergeSorted(e.stepCulprits, culprits)
+			e.recordIntegrity(culprits, false)
 			return &IntegrityError{Culprits: culprits, Err: verr}
 		}
 	}
+	e.recordIntegrity(nil, false)
 	return &IntegrityError{Err: verr}
 }
 
@@ -611,8 +667,10 @@ func (e *engine) attributedError(code *masking.Code, results []field.Vec, verr e
 func (e *engine) attributedSubsetError(code *masking.Code, results []field.Vec, present []bool, verr error) error {
 	if culprits, aerr := code.AuditForwardSubset(results, present); aerr == nil && len(culprits) > 0 {
 		e.stepCulprits = mergeSorted(e.stepCulprits, culprits)
+		e.recordIntegrity(culprits, false)
 		return &IntegrityError{Culprits: culprits, Err: verr}
 	}
+	e.recordIntegrity(nil, false)
 	return &IntegrityError{Err: verr}
 }
 

@@ -7,6 +7,7 @@ import (
 	"darknight/internal/enclave"
 	"darknight/internal/masking"
 	"darknight/internal/nn"
+	"darknight/internal/obs"
 	"darknight/internal/tensor"
 )
 
@@ -98,6 +99,17 @@ func (inf *Inferencer) Culprits() []int { return inf.eng.stepCulprits }
 
 // Gang returns the number of devices one dispatch occupies: K+M+E.
 func (inf *Inferencer) Gang() int { return inf.eng.cfg.maskParams().GPUs() }
+
+// SetSpan installs the trace span the next Forward/Predict call hangs its
+// offload encode/dispatch/decode children from. Like the Inferencer
+// itself, not safe for concurrent use; a nil span (the default) traces
+// nothing at no cost. The span stays installed until replaced — callers
+// pass nil after the batch to avoid cross-batch attribution.
+func (inf *Inferencer) SetSpan(sp *obs.Span) { inf.eng.sp = sp }
+
+// SetObserver attaches a flight recorder: cache refills and integrity
+// verdicts are recorded as they happen. Call before traffic starts.
+func (inf *Inferencer) SetObserver(rec *obs.FlightRecorder) { inf.eng.rec = rec }
 
 // PhaseStats returns the pipeline's cumulative encode/dispatch/decode
 // latency breakdown (plus Wall, the summed per-batch forward wall-clock).

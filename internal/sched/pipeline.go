@@ -8,6 +8,7 @@ import (
 	"darknight/internal/enclave"
 	"darknight/internal/masking"
 	"darknight/internal/nn"
+	"darknight/internal/obs"
 	"darknight/internal/tensor"
 )
 
@@ -119,6 +120,15 @@ func (p *Pipeline) EnableRecovery() error {
 	return nil
 }
 
+// SetObserver attaches a flight recorder to every lane: cache refills and
+// integrity verdicts are recorded as they happen. Call before Submit
+// traffic starts.
+func (p *Pipeline) SetObserver(rec *obs.FlightRecorder) {
+	for _, lane := range p.all {
+		lane.rec = rec
+	}
+}
+
 // PhaseStats returns the aggregated encode/dispatch/decode breakdown
 // across all lanes plus the pipeline's busy wall-clock; Overlap() on the
 // result is the headline overlap ratio.
@@ -201,6 +211,13 @@ func (t *Ticket) Culprits() []int {
 // overlap; passing the same fleet for every Submit is correct too, as long
 // as it tolerates concurrent dispatches.
 func (p *Pipeline) Submit(fleet Fleet, images [][]float64) (*Ticket, error) {
+	return p.SubmitTraced(fleet, images, nil)
+}
+
+// SubmitTraced is Submit with a trace span: the batch's offload
+// encode/dispatch/decode children hang off sp, annotated with the lane
+// that carried it. A nil sp is exactly Submit.
+func (p *Pipeline) SubmitTraced(fleet Fleet, images [][]float64, sp *obs.Span) (*Ticket, error) {
 	k := p.cfg.VirtualBatch
 	if len(images) != k {
 		return nil, fmt.Errorf("sched: inference needs exactly %d images, got %d", k, len(images))
@@ -216,8 +233,16 @@ func (p *Pipeline) Submit(fleet Fleet, images [][]float64) (*Ticket, error) {
 	p.mu.Unlock()
 	lane := <-p.lanes
 	p.noteStart()
+	if sp != nil {
+		for i, l := range p.all {
+			if l == lane {
+				sp.Annotatef("lane", "%d", i)
+				break
+			}
+		}
+	}
 	t := &Ticket{done: make(chan struct{})}
-	go p.run(lane, fleet, images, t)
+	go p.run(lane, fleet, images, sp, t)
 	return t, nil
 }
 
@@ -236,8 +261,9 @@ func (p *Pipeline) Predict(fleet Fleet, images [][]float64) ([]int, error) {
 // run drives one batch down a lane: lane-private setup without the token,
 // then the forward walk under the TEE token (released by the engine during
 // each GPU flight).
-func (p *Pipeline) run(lane *engine, fleet Fleet, images [][]float64, t *Ticket) {
+func (p *Pipeline) run(lane *engine, fleet Fleet, images [][]float64, sp *obs.Span, t *Ticket) {
 	lane.fleet = fleet
+	lane.sp = sp
 	lane.beginStep()
 	code, err := masking.New(lane.cfg.maskParams(), lane.rng)
 	var logits []*tensor.Tensor
@@ -255,6 +281,9 @@ func (p *Pipeline) run(lane *engine, fleet Fleet, images [][]float64, t *Ticket)
 		p.addPhases(lane.phases.Sub(ph0))
 	}
 	lane.fleet = nil
+	// Cleared before the lane re-enters the free channel: the next batch's
+	// Submit may install its own span immediately.
+	lane.sp = nil
 	if err == nil {
 		t.logits = logits
 		t.classes = make([]int, len(logits))

@@ -67,6 +67,7 @@ func (t *engine) recoverForward(code *masking.Code, results []field.Vec) ([]fiel
 		return nil, fmt.Errorf("sched: clean-subset decode failed: %w", err)
 	}
 	t.recovery.Recovered++
+	t.recordIntegrity(culprits, true)
 	return full[:code.K], nil
 }
 
@@ -101,6 +102,7 @@ func (t *engine) recoverForwardSubset(code *masking.Code, results []field.Vec, p
 		return nil, fmt.Errorf("sched: clean-subset decode failed: %w", err)
 	}
 	t.recovery.Recovered++
+	t.recordIntegrity(culprits, true)
 	return full[:code.K], nil
 }
 

@@ -29,6 +29,7 @@ import (
 	"darknight/internal/gpu"
 	"darknight/internal/masking"
 	"darknight/internal/nn"
+	"darknight/internal/obs"
 	"darknight/internal/quant"
 	"darknight/internal/tensor"
 )
@@ -103,6 +104,8 @@ type Trainer struct {
 	engine
 	// store seals per-virtual-batch gradient shards (Algorithm 2).
 	store *gradStore
+	// tracer, when non-nil, samples per-virtual-batch trace spans.
+	tracer *obs.Tracer
 }
 
 // NewTrainer wires a trainer. The enclave may be nil, in which case memory
@@ -132,6 +135,15 @@ func (t *Trainer) PhaseStats() PhaseStats { return t.phases }
 // reshuffled between the forward and backward passes).
 func (t *Trainer) CacheRefills() int64 { return t.refills }
 
+// SetObserver attaches a flight recorder: backward cache refills and
+// integrity verdicts are recorded as they happen.
+func (t *Trainer) SetObserver(rec *obs.FlightRecorder) { t.rec = rec }
+
+// SetTracer attaches a sampling tracer: each sampled virtual batch
+// (TrainVirtualBatch or Predict) produces a root span carrying its
+// offload encode/dispatch/decode trees.
+func (t *Trainer) SetTracer(tr *obs.Tracer) { t.tracer = tr }
+
 // trace records one layer's forward pass for the backward walk.
 type trace struct {
 	layer    nn.Layer
@@ -156,6 +168,9 @@ func (t *Trainer) TrainVirtualBatch(examples []dataset.Example) (float64, error)
 	}
 	t0 := time.Now()
 	defer func() { t.phases.Wall += time.Since(t0) }()
+	sp := t.tracer.Start("train.vbatch")
+	t.sp = sp
+	defer func() { t.sp = nil; sp.End() }()
 	t.beginStep()
 	code, err := masking.New(t.cfg.maskParams(), t.rng)
 	if err != nil {
@@ -192,6 +207,9 @@ func (t *Trainer) Predict(images [][]float64) ([]int, error) {
 	}
 	t0 := time.Now()
 	defer func() { t.phases.Wall += time.Since(t0) }()
+	sp := t.tracer.Start("predict")
+	t.sp = sp
+	defer func() { t.sp = nil; sp.End() }()
 	t.beginStep()
 	code, err := masking.New(t.cfg.maskParams(), t.rng)
 	if err != nil {

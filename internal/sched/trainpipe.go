@@ -9,6 +9,7 @@ import (
 	"darknight/internal/enclave"
 	"darknight/internal/masking"
 	"darknight/internal/nn"
+	"darknight/internal/obs"
 	"darknight/internal/tensor"
 )
 
@@ -100,6 +101,11 @@ type TrainPipeline struct {
 	active    int
 	busySince time.Time
 	closed    bool
+
+	// tracer, when non-nil, samples per-virtual-batch trace spans: each
+	// sampled batch yields a root with its forward/backward offload trees,
+	// annotated with the carrying lane.
+	tracer *obs.Tracer
 }
 
 // trainLane is one in-flight batch's execution context: a full engine plus
@@ -196,6 +202,20 @@ func (p *TrainPipeline) EnableRecovery() error {
 	}
 	return nil
 }
+
+// SetObserver attaches a flight recorder to every lane: backward cache
+// refills and integrity verdicts are recorded as they happen. Call
+// before training traffic starts.
+func (p *TrainPipeline) SetObserver(rec *obs.FlightRecorder) {
+	for _, lane := range p.all {
+		lane.rec = rec
+	}
+}
+
+// SetTracer attaches a sampling tracer: each sampled virtual batch
+// produces a "train.vbatch" root span carrying the batch's
+// forward/backward offload trees. Call before training traffic starts.
+func (p *TrainPipeline) SetTracer(tr *obs.Tracer) { p.tracer = tr }
 
 // PhaseStats returns the aggregated encode/dispatch/decode breakdown
 // across all lanes (forward and backward offloads) plus the pipeline's
@@ -344,6 +364,16 @@ func (p *TrainPipeline) submit(f Fleet, src GangSource, examples []dataset.Examp
 // recycled.
 func (p *TrainPipeline) run(lane *trainLane, f Fleet, src GangSource, examples []dataset.Example, shardElems int, t *trainTicket) {
 	lane.fleet = f
+	sp := p.tracer.Start("train.vbatch")
+	if sp != nil {
+		for i, l := range p.all {
+			if l == lane {
+				sp.Annotatef("lane", "%d", i)
+				break
+			}
+		}
+	}
+	lane.sp = sp
 	lane.beginStep()
 	code, err := masking.New(lane.cfg.maskParams(), lane.rng)
 	if err == nil {
@@ -379,6 +409,10 @@ func (p *TrainPipeline) run(lane *trainLane, f Fleet, src GangSource, examples [
 		p.addPhases(lane.phases.Sub(ph0))
 	}
 	lane.fleet = nil
+	// Cleared before the lane re-enters the free channel; ending the root
+	// files the completed trace with the tracer.
+	lane.sp = nil
+	sp.End()
 	if err == nil {
 		// Seal this virtual batch's ▽W shard-wise (Algorithm 2 lines 9–10)
 		// before the lane — and with it these accumulators — is recycled.

@@ -3,6 +3,8 @@ package serve
 import (
 	"math/rand"
 	"time"
+
+	"darknight/internal/obs"
 )
 
 // vbatch is one virtual batch headed for a worker: exactly K images of one
@@ -12,6 +14,23 @@ type vbatch struct {
 	tenant string
 	reqs   []*request
 	images [][]float64
+
+	// seal is opened on the leader span at flush time and closed when a
+	// worker picks the batch up — the handoff wait between batcher and
+	// worker pool. Nil when no rider is sampled.
+	seal *obs.Span
+}
+
+// leaderSpan returns the root span of the batch's first sampled rider —
+// the one trace that carries the batch subtree (annotating every sampled
+// rider would double-count the shared work). Nil when none is sampled.
+func (b *vbatch) leaderSpan() *obs.Span {
+	for _, r := range b.reqs {
+		if r.sp != nil {
+			return r.sp
+		}
+	}
+	return nil
 }
 
 func (b *vbatch) fail(err error) {
@@ -59,6 +78,11 @@ func (s *Server) batchLoop() {
 		b := &vbatch{tenant: tenant, reqs: reqs, images: make([][]float64, s.k)}
 		for i, r := range reqs {
 			b.images[i] = r.image
+			r.asp.End() // queueing over: the request is leaving the batcher
+		}
+		b.seal = b.leaderSpan().Child("seal")
+		if b.seal != nil {
+			b.seal.Annotatef("rows", "%d/%d", len(reqs), s.k)
 		}
 		for i := len(reqs); i < s.k; i++ {
 			dummy := make([]float64, s.imgLen)

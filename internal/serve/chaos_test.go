@@ -9,6 +9,7 @@ import (
 
 	"darknight/internal/fleet"
 	"darknight/internal/gpu"
+	"darknight/internal/obs"
 	"darknight/internal/sched"
 )
 
@@ -39,10 +40,21 @@ func TestChaosFaultyFleetQuarantinesAndKeepsServing(t *testing.T) {
 		ProbationProbability: -1, // deterministic end state: offenders stay out
 		Seed:                 9,
 	})
+	// The chaos run flies with the flight recorder attached; on failure the
+	// full event history (grants, integrity verdicts, quarantines) is dumped
+	// so the post-mortem starts with the story, not a stack trace.
+	ob := obs.New(obs.Options{RecorderSize: 2048, Seed: 9})
+	defer func() {
+		if t.Failed() {
+			t.Logf("flight recorder dump (%d events, %d dropped):\n%s",
+				ob.Recorder.Len(), ob.Recorder.Dropped(), obs.FormatEvents(ob.Recorder.Dump()))
+		}
+	}()
 	srv, err := New(Config{
 		Sched:   sched.Config{VirtualBatch: k, Redundancy: 2, Seed: 151},
 		MaxWait: time.Millisecond,
 		Recover: true,
+		Obs:     ob,
 	}, replicas(workers, 151), fm, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -101,5 +113,19 @@ func TestChaosFaultyFleetQuarantinesAndKeepsServing(t *testing.T) {
 	}
 	if st.QuarantineEvents < 2 {
 		t.Fatalf("quarantine events = %d, want >= 2", st.QuarantineEvents)
+	}
+	// The recorder saw the same story the fleet stats summarize.
+	var quarantines, grants int
+	for _, ev := range ob.Recorder.Dump() {
+		switch ev.Kind {
+		case obs.KindQuarantine:
+			quarantines++
+		case obs.KindGrant:
+			grants++
+		}
+	}
+	if grants == 0 || int64(quarantines)+ob.Recorder.Dropped() < st.QuarantineEvents {
+		t.Fatalf("flight recorder missed the chaos: %d grants, %d quarantine events recorded (fleet saw %d)",
+			grants, quarantines, st.QuarantineEvents)
 	}
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -111,6 +112,39 @@ func (m *Metrics) finished(b *vbatch, now time.Time, err error) {
 	}
 }
 
+// quantile returns the nearest-rank q-quantile of a sorted sample. Unlike
+// the old `sorted[len*99/100]` indexing it is exact for partially filled
+// windows: one sample answers every quantile with itself, two samples put
+// P50 on the lower one, and P99 only leaves the maximum once more than 100
+// samples have arrived.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(float64(len(sorted))*q)) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// quantiles returns the P50/P99 latency over the recent completion window
+// (zeros before the first completion) — the scrape-time read the metrics
+// registry exports.
+func (m *Metrics) quantiles() (p50, p99 time.Duration) {
+	m.mu.Lock()
+	sorted := append([]time.Duration(nil), m.lat...)
+	m.mu.Unlock()
+	if len(sorted) == 0 {
+		return 0, 0
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return quantile(sorted, 0.50), quantile(sorted, 0.99)
+}
+
 // Snapshot is a consistent copy of the serving counters.
 type Snapshot struct {
 	Completed  int64 // requests answered successfully
@@ -186,8 +220,8 @@ func (m *Metrics) Snapshot() Snapshot {
 	if len(m.lat) > 0 {
 		sorted := append([]time.Duration(nil), m.lat...)
 		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-		s.P50 = sorted[len(sorted)/2]
-		s.P99 = sorted[len(sorted)*99/100]
+		s.P50 = quantile(sorted, 0.50)
+		s.P99 = quantile(sorted, 0.99)
 	}
 	for name, tc := range m.tenants {
 		ts := TenantSnapshot{

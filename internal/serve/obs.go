@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"darknight/internal/masking"
+	"darknight/internal/obs"
+)
+
+// registerMetrics registers the serving series into the registry. Every
+// series is a scrape-time closure over the Metrics counters — nothing is
+// added to the request hot path. The fleet's series register separately
+// (fleet.Manager.RegisterMetrics); together they are the /metrics surface.
+func (s *Server) registerMetrics(r *obs.Registry) {
+	m := s.metrics
+	lockedInt := func(fn func() int64) func() float64 {
+		return func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return float64(fn())
+		}
+	}
+	r.CounterFunc("darknight_requests_completed_total",
+		"Requests answered successfully.",
+		lockedInt(func() int64 { return m.completed }))
+	r.CounterFunc("darknight_requests_failed_total",
+		"Requests answered with an error.",
+		lockedInt(func() int64 { return m.failed }))
+	r.CounterFunc("darknight_requests_integrity_failures_total",
+		"Failed requests caused by tampered GPU results.",
+		lockedInt(func() int64 { return m.integrity }))
+	r.CounterFunc("darknight_batches_total",
+		"Virtual batches dispatched.",
+		lockedInt(func() int64 { return m.batches }))
+	r.GaugeFunc("darknight_queue_depth",
+		"Admitted requests not yet dispatched.",
+		lockedInt(func() int64 { return int64(m.depth) }))
+	r.GaugeFunc("darknight_batch_occupancy",
+		"Mean fraction of real rows per dispatched batch.",
+		func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			if m.batches == 0 {
+				return 0
+			}
+			return float64(m.realRows) / float64(m.batches*int64(m.k))
+		})
+	r.SampleFunc("darknight_batch_rows_total",
+		"Rows dispatched across all batches, by kind.", "counter",
+		func() []obs.Sample {
+			m.mu.Lock()
+			rr, pr := m.realRows, m.padRows
+			m.mu.Unlock()
+			return []obs.Sample{
+				{Labels: map[string]string{"kind": "real"}, Value: float64(rr)},
+				{Labels: map[string]string{"kind": "padded"}, Value: float64(pr)},
+			}
+		})
+	r.SampleFunc("darknight_request_latency_seconds",
+		"Request latency quantiles over the recent completion window.", "gauge",
+		func() []obs.Sample {
+			p50, p99 := m.quantiles()
+			return []obs.Sample{
+				{Labels: map[string]string{"quantile": "0.5"}, Value: p50.Seconds()},
+				{Labels: map[string]string{"quantile": "0.99"}, Value: p99.Seconds()},
+			}
+		})
+	r.SampleFunc("darknight_tee_phase_seconds_total",
+		"Cumulative TEE-side time by phase across all workers' offloads.", "counter",
+		func() []obs.Sample {
+			m.mu.Lock()
+			ph := m.phase
+			m.mu.Unlock()
+			return []obs.Sample{
+				{Labels: map[string]string{"phase": "encode"}, Value: ph.Encode.Seconds()},
+				{Labels: map[string]string{"phase": "dispatch"}, Value: ph.Dispatch.Seconds()},
+				{Labels: map[string]string{"phase": "decode"}, Value: ph.Decode.Seconds()},
+				{Labels: map[string]string{"phase": "wall"}, Value: ph.Wall.Seconds()},
+			}
+		})
+	r.CounterFunc("darknight_tee_offloads_total",
+		"Bilinear-layer offload dispatches measured by the phase breakdown.",
+		lockedInt(func() int64 { return m.phase.Offloads }))
+	r.CounterFunc("darknight_noisepool_hits_total",
+		"Encodes served from precomputed noise material.",
+		func() float64 { return float64(s.poolStats().Hits) })
+	r.CounterFunc("darknight_noisepool_misses_total",
+		"Encodes that found the noise ring empty and drew inline.",
+		func() float64 { return float64(s.poolStats().Misses) })
+	r.GaugeFunc("darknight_noisepool_fallbacks",
+		"Current count of inline-RNG fallbacks — nonzero and growing means the pool is undersized.",
+		func() float64 { return float64(s.poolStats().Misses) })
+	r.SampleFunc("darknight_tenant_requests_total",
+		"Per-tenant request outcomes.", "counter",
+		func() []obs.Sample {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			out := make([]obs.Sample, 0, 2*len(m.tenants))
+			for name, tc := range m.tenants {
+				out = append(out,
+					obs.Sample{Labels: map[string]string{"tenant": name, "outcome": "completed"}, Value: float64(tc.completed)},
+					obs.Sample{Labels: map[string]string{"tenant": name, "outcome": "failed"}, Value: float64(tc.failed)},
+				)
+			}
+			return out
+		})
+}
+
+// poolStats aggregates the workers' noise-pool counters (pipeline mode
+// only; serial workers run without pools).
+func (s *Server) poolStats() masking.NoisePoolStats {
+	var st masking.NoisePoolStats
+	for _, p := range s.pipes {
+		ps := p.PoolStats()
+		st.Hits += ps.Hits
+		st.Misses += ps.Misses
+		st.Refills += ps.Refills
+	}
+	return st
+}

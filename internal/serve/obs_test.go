@@ -1,0 +1,298 @@
+package serve
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"darknight/internal/fleet"
+	"darknight/internal/gpu"
+	"darknight/internal/obs"
+	"darknight/internal/sched"
+)
+
+// validateTraces asserts every retained trace is a well-formed tree —
+// request→admit on all, and on each batch leader seal + batch →
+// grant/offload → encode/dispatch/decode with the right parents and
+// annotations, every span ended — and returns (leader count, count of
+// offloads whose dispatch carries the quorum annotation).
+func validateTraces(t *testing.T, traces []*obs.Span) (leaders, quorums int) {
+	t.Helper()
+	for _, root := range traces {
+		if root.Name() != "request" {
+			t.Fatalf("root span named %q", root.Name())
+		}
+		root.Walk(func(sp *obs.Span) {
+			if !sp.Ended() {
+				t.Fatalf("span %q left open in a completed trace", sp.Name())
+			}
+		})
+		admit := root.Find("admit")
+		if admit == nil || admit.Parent() != root {
+			t.Fatalf("admit span missing or misparented:\n%s", root.RenderString())
+		}
+		batch := root.Find("batch")
+		if batch == nil {
+			continue // rider on another leader's batch: request+admit only
+		}
+		leaders++
+		if batch.Parent() != root {
+			t.Fatalf("batch parented to %q", batch.Parent().Name())
+		}
+		if seal := root.Find("seal"); seal == nil || seal.Parent() != root {
+			t.Fatalf("leader trace missing seal:\n%s", root.RenderString())
+		}
+		for _, key := range []string{"tenant", "rows", "gang", "lane"} {
+			if batch.Attr(key) == "" {
+				t.Fatalf("batch span missing %q annotation:\n%s", key, root.RenderString())
+			}
+		}
+		if g := batch.Find("grant"); g == nil || g.Parent() != batch {
+			t.Fatalf("grant span missing under batch:\n%s", root.RenderString())
+		}
+		offloads := batch.FindAll("offload")
+		if len(offloads) == 0 {
+			t.Fatalf("no offload spans under batch:\n%s", root.RenderString())
+		}
+		for _, off := range offloads {
+			if off.Parent() != batch {
+				t.Fatalf("offload parented to %q", off.Parent().Name())
+			}
+			for _, phase := range []string{"encode", "dispatch", "decode"} {
+				ph := off.Find(phase)
+				if ph == nil || ph.Parent() != off {
+					t.Fatalf("offload missing %s child:\n%s", phase, root.RenderString())
+				}
+			}
+			if off.Find("dispatch").Attr("quorum") != "" {
+				quorums++
+			}
+		}
+	}
+	if leaders == 0 {
+		t.Fatal("no trace carries a batch subtree")
+	}
+	return leaders, quorums
+}
+
+// tracedRun drives requests concurrently through a pipelined traced
+// server and returns the observability bundle for inspection. Run under
+// -race this proves the span handoff across client → batcher → worker →
+// lane goroutines is clean.
+func tracedRun(t *testing.T, devs []gpu.Device, scfg sched.Config, recover bool, requests int) *obs.Observability {
+	t.Helper()
+	fm := fleet.NewManager(gpu.NewCluster(devs...), fleet.Config{ProbationProbability: -1})
+	ob := obs.New(obs.Options{TraceSample: 1, TraceKeep: 2 * requests, RecorderSize: 512, Seed: 5})
+	srv, err := New(Config{
+		Sched:         scfg,
+		MaxWait:       time.Millisecond,
+		PipelineDepth: 2,
+		Recover:       recover,
+		Obs:           ob,
+	}, replicas(1, scfg.Seed), fm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgs := sampleImages(requests, scfg.Seed+1)
+	var wg sync.WaitGroup
+	for i := range imgs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := srv.Infer(context.Background(), imgs[i]); err != nil {
+				t.Errorf("request %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	srv.Close()
+
+	traces := ob.Tracer.Recent()
+	if len(traces) == 0 {
+		t.Fatal("no traces retained at 100% sampling")
+	}
+	_, sampled, completed := ob.Tracer.Counts()
+	if sampled != int64(requests) || completed != int64(requests) {
+		t.Fatalf("sampled %d / completed %d traces, want %d", sampled, completed, requests)
+	}
+	return ob
+}
+
+// TestTracePropagationQuorum: pipelined depth-2 serving with a
+// deterministic straggler and StragglerSlack 1 — every span tree is
+// complete and correctly parented, and the early quorum decode shows up
+// as dispatch-span annotations.
+func TestTracePropagationQuorum(t *testing.T) {
+	const (
+		k        = 2
+		e        = 2
+		requests = 24
+	)
+	gang := k + 1 + e
+	devs := make([]gpu.Device, 2*gang)
+	for i := range devs {
+		devs[i] = gpu.NewHonest(i)
+	}
+	devs[3] = gpu.NewSlow(devs[3], 10*time.Millisecond)
+
+	ob := tracedRun(t, devs,
+		sched.Config{VirtualBatch: k, Redundancy: e, StragglerSlack: 1, Seed: 5},
+		false, requests)
+
+	_, quorums := validateTraces(t, ob.Tracer.Recent())
+	if quorums == 0 {
+		t.Fatal("no dispatch span carries the quorum annotation despite StragglerSlack=1")
+	}
+	kinds := map[string]bool{}
+	for _, ev := range ob.Recorder.Dump() {
+		kinds[ev.Kind] = true
+	}
+	if !kinds[obs.KindGrant] || !kinds[obs.KindRelease] {
+		t.Fatalf("flight recorder missing grant/release events (saw %v)", kinds)
+	}
+}
+
+// TestTracePropagationMidFlightQuarantine: a persistent tamperer inside a
+// pipelined traced run — recovery masks the fault, the device is
+// quarantined mid-flight, and the traces stay well formed while the
+// flight recorder captures the grant→integrity→quarantine story.
+func TestTracePropagationMidFlightQuarantine(t *testing.T) {
+	const (
+		k        = 2
+		e        = 2
+		requests = 24
+	)
+	gang := k + 1 + e
+	devs := make([]gpu.Device, 2*gang+1)
+	for i := range devs {
+		devs[i] = gpu.NewHonest(i)
+	}
+	devs[1] = gpu.NewMalicious(devs[1], gpu.FaultPolicy{EveryNth: 1})
+
+	ob := tracedRun(t, devs,
+		sched.Config{VirtualBatch: k, Redundancy: e, Seed: 7},
+		true, requests)
+
+	validateTraces(t, ob.Tracer.Recent())
+	kinds := map[string]bool{}
+	quarantined := false
+	for _, ev := range ob.Recorder.Dump() {
+		kinds[ev.Kind] = true
+		if ev.Kind == obs.KindQuarantine && ev.Device == 1 {
+			quarantined = true
+		}
+	}
+	for _, want := range []string{obs.KindGrant, obs.KindRelease, obs.KindIntegrity, obs.KindQuarantine} {
+		if !kinds[want] {
+			t.Fatalf("flight recorder missing %q events (saw %v)", want, kinds)
+		}
+	}
+	if !quarantined {
+		t.Fatal("no quarantine event attributed to the tampering device")
+	}
+}
+
+// TestServeMetricsRegistryScrape: the registry's Prometheus exposition
+// must parse and agree with the serving snapshot.
+func TestServeMetricsRegistryScrape(t *testing.T) {
+	const (
+		k        = 4
+		requests = 32
+	)
+	fm := fleet.NewManager(gpu.NewHonestCluster(2*(k+1)), fleet.Config{})
+	ob := obs.New(obs.Options{Seed: 1})
+	srv, err := New(Config{
+		Sched:   sched.Config{VirtualBatch: k, Seed: 3},
+		MaxWait: 5 * time.Millisecond,
+		Obs:     ob,
+	}, replicas(2, 3), fm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgs := sampleImages(requests, 4)
+	var wg sync.WaitGroup
+	for i := range imgs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := srv.InferTenant(context.Background(), "gold", imgs[i]); err != nil {
+				t.Errorf("request %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	snap := srv.Metrics()
+	var b strings.Builder
+	if err := ob.Registry.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+
+	parsed, err := obs.ParsePrometheus(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("scrape does not parse: %v\n%s", err, b.String())
+	}
+	if got := parsed["darknight_requests_completed_total"]; got != float64(snap.Completed) {
+		t.Fatalf("completed_total = %v, snapshot %d", got, snap.Completed)
+	}
+	if got := parsed["darknight_batches_total"]; got != float64(snap.Batches) {
+		t.Fatalf("batches_total = %v, snapshot %d", got, snap.Batches)
+	}
+	if got := parsed[`darknight_batch_rows_total{kind="real"}`]; got != float64(snap.RealRows) {
+		t.Fatalf("real rows = %v, snapshot %d", got, snap.RealRows)
+	}
+	if got := parsed[`darknight_tenant_requests_total{outcome="completed",tenant="gold"}`]; got != float64(snap.Completed) {
+		t.Fatalf("tenant completed = %v, snapshot %d", got, snap.Completed)
+	}
+	if got := parsed[`darknight_fleet_devices{state="healthy"}`]; got != float64(2*(k+1)) {
+		t.Fatalf("healthy devices = %v, want %d", got, 2*(k+1))
+	}
+	if parsed[`darknight_request_latency_seconds{quantile="0.99"}`] <= 0 {
+		t.Fatal("p99 latency not exported")
+	}
+}
+
+// TestQuantilePartialWindow pins the nearest-rank quantile on small
+// samples: before the fix, P99 over a two-element window indexed
+// sorted[1*99/100] = sorted[0] (the minimum) and P50 overshot the median.
+func TestQuantilePartialWindow(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	cases := []struct {
+		sorted   []time.Duration
+		p50, p99 time.Duration
+	}{
+		{nil, 0, 0},
+		{[]time.Duration{ms(10)}, ms(10), ms(10)},
+		{[]time.Duration{ms(10), ms(20)}, ms(10), ms(20)},
+		{[]time.Duration{ms(10), ms(20), ms(30)}, ms(20), ms(30)},
+	}
+	for _, c := range cases {
+		if got := quantile(c.sorted, 0.50); got != c.p50 {
+			t.Errorf("p50 of %v = %v, want %v", c.sorted, got, c.p50)
+		}
+		if got := quantile(c.sorted, 0.99); got != c.p99 {
+			t.Errorf("p99 of %v = %v, want %v", c.sorted, got, c.p99)
+		}
+	}
+	// 1..100: the nearest-rank P99 is the 99th value, not the maximum.
+	seq := make([]time.Duration, 100)
+	for i := range seq {
+		seq[i] = ms(i + 1)
+	}
+	if got := quantile(seq, 0.99); got != ms(99) {
+		t.Errorf("p99 of 1..100 = %v, want 99ms", got)
+	}
+	if got := quantile(seq, 0.50); got != ms(50) {
+		t.Errorf("p50 of 1..100 = %v, want 50ms", got)
+	}
+
+	// The Metrics wrapper sees the same values through the ring.
+	m := newMetrics(2)
+	m.lat = []time.Duration{ms(30), ms(10)}
+	p50, p99 := m.quantiles()
+	if p50 != ms(10) || p99 != ms(30) {
+		t.Fatalf("Metrics.quantiles = %v/%v, want 10ms/30ms", p50, p99)
+	}
+}

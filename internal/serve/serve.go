@@ -41,6 +41,7 @@ import (
 	"darknight/internal/enclave"
 	"darknight/internal/fleet"
 	"darknight/internal/nn"
+	"darknight/internal/obs"
 	"darknight/internal/sched"
 )
 
@@ -80,6 +81,12 @@ type Config struct {
 	// GPUs stay busy simultaneously. <= 1 keeps the serial engine. Outputs
 	// are bit-identical either way (exact decoding over F_p).
 	PipelineDepth int
+	// Obs, when non-nil, attaches the observability stack: sampled request
+	// traces (admit→seal→batch→offload span trees), serving/fleet/noise-pool
+	// series registered into Obs.Registry, and fleet/sched events recorded
+	// into Obs.Recorder. One Observability per server — series registration
+	// panics on duplicates. Nil keeps the hot path at its untraced cost.
+	Obs *obs.Observability
 }
 
 // result is what a worker delivers back to one waiting request.
@@ -95,6 +102,11 @@ type request struct {
 	enqueued time.Time
 	flushBy  time.Time // batching deadline: enqueued+MaxWait or ctx deadline
 	done     chan result
+
+	// sp is the request's sampled root span (nil when unsampled — every
+	// span operation then no-ops); asp is its "admit" child, open from
+	// enqueue until the batcher flushes the request into a virtual batch.
+	sp, asp *obs.Span
 }
 
 // Server is a concurrent private-inference service over one managed GPU
@@ -112,6 +124,7 @@ type Server struct {
 	admit   chan *request
 	batches chan *vbatch
 	metrics *Metrics
+	obs     *obs.Observability
 
 	gate closeGate
 	wg   sync.WaitGroup
@@ -200,6 +213,21 @@ func New(cfg Config, models []*nn.Model, fm *fleet.Manager, encl *enclave.Enclav
 		admit:   make(chan *request, depth),
 		batches: make(chan *vbatch, len(models)),
 		metrics: newMetrics(k),
+		obs:     cfg.Obs,
+	}
+	if s.obs != nil {
+		// Wire the observability stack: the fleet and every engine record
+		// into the shared flight recorder, and the serving + fleet counters
+		// become scrape-time series in the registry.
+		fm.SetObserver(s.obs.Recorder)
+		for _, inf := range workers {
+			inf.SetObserver(s.obs.Recorder)
+		}
+		for _, p := range pipes {
+			p.SetObserver(s.obs.Recorder)
+		}
+		s.registerMetrics(s.obs.Reg())
+		fm.RegisterMetrics(s.obs.Reg())
 	}
 	s.wg.Add(1)
 	go s.batchLoop()
@@ -234,14 +262,13 @@ func (s *Server) Fleet() *fleet.Manager { return s.fleet }
 func (s *Server) Metrics() Snapshot {
 	snap := s.metrics.Snapshot()
 	snap.Fleet = s.fleet.Stats()
-	for _, p := range s.pipes {
-		st := p.PoolStats()
-		snap.NoisePool.Hits += st.Hits
-		snap.NoisePool.Misses += st.Misses
-		snap.NoisePool.Refills += st.Refills
-	}
+	snap.NoisePool = s.poolStats()
 	return snap
 }
+
+// Observability returns the stack attached via Config.Obs (nil when
+// observability is off).
+func (s *Server) Observability() *obs.Observability { return s.obs }
 
 // Infer privately classifies one image for the default tenant.
 func (s *Server) Infer(ctx context.Context, image []float64) (int, error) {
@@ -271,6 +298,12 @@ func (s *Server) InferTenant(ctx context.Context, tenant string, image []float64
 		flushBy = d
 	}
 	r := &request{tenant: tenant, image: image, enqueued: now, flushBy: flushBy, done: make(chan result, 1)}
+	// Sampled tracing: the root span covers the request end to end; the
+	// "admit" child covers queueing until the batcher flushes it. A nil
+	// span (tracing off, or the sampling draw declined) no-ops throughout.
+	r.sp = s.obs.StartTrace("request")
+	r.sp.Annotate("tenant", tenant)
+	r.asp = r.sp.Child("admit")
 	// The gauge moves before the send: the batcher may flush (and
 	// decrement) the moment the request lands, so counting afterwards
 	// could read negative.
@@ -281,16 +314,21 @@ func (s *Server) InferTenant(ctx context.Context, tenant string, image []float64
 	case <-ctx.Done():
 		s.metrics.queued(-1)
 		s.gate.leave()
+		r.sp.Annotate("outcome", "cancelled-in-admit")
+		r.sp.End()
 		return 0, ctx.Err()
 	}
 	select {
 	case res := <-r.done:
+		r.sp.End()
 		if res.err != nil {
 			return 0, res.err
 		}
 		return res.class, nil
 	case <-ctx.Done():
 		// The batch may still complete; its result is discarded.
+		r.sp.Annotate("outcome", "cancelled-in-flight")
+		r.sp.End()
 		return 0, ctx.Err()
 	}
 }

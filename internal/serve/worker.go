@@ -7,6 +7,7 @@ import (
 
 	"darknight/internal/fleet"
 	"darknight/internal/masking"
+	"darknight/internal/obs"
 	"darknight/internal/sched"
 )
 
@@ -26,16 +27,32 @@ func (s *Server) workLoop(inf *sched.Inferencer) {
 	defer s.wg.Done()
 	gang := inf.Gang()
 	for b := range s.batches {
+		b.seal.End() // handoff complete: a worker owns the batch now
+		bsp := b.leaderSpan().Child("batch")
+		if bsp != nil {
+			bsp.Annotate("tenant", b.tenant)
+			bsp.Annotatef("rows", "%d/%d", len(b.reqs), s.k)
+		}
+		gsp := bsp.Child("grant")
 		grant, err := s.fleet.Acquire(context.Background(), b.tenant, gang)
+		gsp.End()
 		if err != nil {
+			bsp.Annotate("error", err.Error())
+			bsp.End()
 			b.fail(err)
 			s.metrics.finished(b, time.Now(), err)
 			continue
 		}
+		if bsp != nil {
+			bsp.Annotatef("gang", "%v", grant.DeviceIDs())
+		}
 		before := inf.PhaseStats()
+		inf.SetSpan(bsp)
 		preds, err := inf.Predict(grant, b.images)
+		inf.SetSpan(nil)
 		reportOutcome(grant, inf.Culprits(), err)
 		grant.Release()
+		bsp.End()
 		s.metrics.phases(inf.PhaseStats().Sub(before))
 		now := time.Now()
 		if err != nil {
@@ -82,6 +99,7 @@ type pipeFlight struct {
 	b     *vbatch
 	grant *fleet.Grant
 	tk    *sched.Ticket
+	bsp   *obs.Span // the batch span, closed when the flight retires
 }
 
 // pipeLoop is the overlapped serving worker: it owns a sched.Pipeline over
@@ -114,6 +132,7 @@ func (s *Server) pipeLoop(p *sched.Pipeline) {
 		err := f.tk.Wait()
 		reportOutcome(f.grant, f.tk.Culprits(), err)
 		f.grant.Release()
+		f.bsp.End()
 		// Windowed phase accounting: the pipeline's aggregate counters are
 		// monotone, so per-completion deltas sum to the true totals even
 		// while other batches are mid-flight.
@@ -177,20 +196,34 @@ func (s *Server) pipeLoop(p *sched.Pipeline) {
 	}
 
 	submit := func(b *vbatch) {
+		b.seal.End() // handoff complete: this worker owns the batch now
+		bsp := b.leaderSpan().Child("batch")
+		if bsp != nil {
+			bsp.Annotate("tenant", b.tenant)
+			bsp.Annotatef("rows", "%d/%d", len(b.reqs), s.k)
+		}
+		gsp := bsp.Child("grant")
 		grant, err := acquire(b.tenant)
+		gsp.End()
 		if err != nil {
+			bsp.Annotate("error", err.Error())
+			bsp.End()
 			b.fail(err)
 			s.metrics.finished(b, time.Now(), err)
 			return
 		}
-		tk, err := p.Submit(grant, b.images)
+		if bsp != nil {
+			bsp.Annotatef("gang", "%v", grant.DeviceIDs())
+		}
+		tk, err := p.SubmitTraced(grant, b.images, bsp)
 		if err != nil {
 			grant.Release()
+			bsp.End()
 			b.fail(err)
 			s.metrics.finished(b, time.Now(), err)
 			return
 		}
-		q = append(q, pipeFlight{b: b, grant: grant, tk: tk})
+		q = append(q, pipeFlight{b: b, grant: grant, tk: tk, bsp: bsp})
 		watch(tk)
 	}
 

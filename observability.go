@@ -1,0 +1,125 @@
+package darknight
+
+import (
+	"io"
+
+	"darknight/internal/obs"
+)
+
+// Observability bundles the three observability pillars — tracer, metrics
+// registry, flight recorder. Obtain one from Server.Observability or
+// System.Observability; nil disables everything.
+type Observability = obs.Observability
+
+// TraceSpan is one node of a request's span tree: name, wall-clock
+// interval, annotations, children. Render/RenderBreakdown pretty-print a
+// completed tree and its critical-path breakdown.
+type TraceSpan = obs.Span
+
+// FlightEvent is one structured entry of the chaos flight recorder:
+// grants, quarantine transitions, straggler re-dispatch, cache refills,
+// integrity verdicts.
+type FlightEvent = obs.Event
+
+// ObservabilityConfig switches on the unified observability layer for a
+// Server (ServerConfig.Observability) or a System (Config.Observability).
+// The zero value disables everything and keeps the hot path at its
+// untraced cost — nil-span pointer checks only.
+type ObservabilityConfig struct {
+	// Enabled turns the stack on (registry + flight recorder + tracer at
+	// TraceSample) even when every other field is zero. Any non-zero field
+	// below implies it.
+	Enabled bool
+	// MetricsAddr starts an HTTP listener (e.g. ":9090", or "127.0.0.1:0"
+	// for an ephemeral port) exporting /metrics (Prometheus text),
+	// /metrics.json, /traces and /flightrecorder.
+	MetricsAddr string
+	// TraceSample is the fraction of requests traced: 0 none, 1 all.
+	// Sampling draws are seeded from the deployment's Seed, so traced runs
+	// are reproducible.
+	TraceSample float64
+	// TraceKeep bounds the ring of completed traces kept for dumps
+	// (default 16).
+	TraceKeep int
+	// FlightRecorderSize bounds the structured-event ring (default 1024).
+	FlightRecorderSize int
+}
+
+// enabled reports whether any knob asks for the observability stack.
+func (o ObservabilityConfig) enabled() bool {
+	return o.Enabled || o.MetricsAddr != "" || o.TraceSample > 0 ||
+		o.TraceKeep > 0 || o.FlightRecorderSize > 0
+}
+
+// build assembles the bundle (nil when disabled).
+func (o ObservabilityConfig) build(seed int64) *obs.Observability {
+	if !o.enabled() {
+		return nil
+	}
+	return obs.New(obs.Options{
+		TraceSample:  o.TraceSample,
+		TraceKeep:    o.TraceKeep,
+		RecorderSize: o.FlightRecorderSize,
+		Seed:         seed,
+	})
+}
+
+// Observability returns the server's bundle (nil when not configured).
+func (s *Server) Observability() *Observability { return s.obs }
+
+// MetricsAddr returns the bound address of the metrics listener — useful
+// with an ephemeral ":0" configuration — or "" when none is serving.
+func (s *Server) MetricsAddr() string { return s.msrv.Addr() }
+
+// WriteMetrics writes the Prometheus text exposition of every registered
+// series (serving counters, fleet health, noise-pool stats).
+func (s *Server) WriteMetrics(w io.Writer) error { return s.obs.WriteMetrics(w) }
+
+// RecentTraces returns the most recent completed request span trees, oldest
+// first (empty when tracing is off or nothing sampled yet).
+func (s *Server) RecentTraces() []*TraceSpan {
+	if s.obs == nil {
+		return nil
+	}
+	return s.obs.Tracer.Recent()
+}
+
+// FlightRecorderDump returns the recorded chaos events, oldest first.
+func (s *Server) FlightRecorderDump() []FlightEvent {
+	if s.obs == nil {
+		return nil
+	}
+	return s.obs.Recorder.Dump()
+}
+
+// Observability returns the system's bundle (nil when not configured).
+func (s *System) Observability() *Observability { return s.obs }
+
+// MetricsAddr returns the bound address of the system's metrics listener,
+// or "" when none is serving.
+func (s *System) MetricsAddr() string { return s.msrv.Addr() }
+
+// Trace returns the most recent completed training/inference span tree, or
+// nil when tracing is off or nothing has completed yet.
+func (s *System) Trace() *TraceSpan {
+	if s.obs == nil {
+		return nil
+	}
+	recent := s.obs.Tracer.Recent()
+	if len(recent) == 0 {
+		return nil
+	}
+	return recent[len(recent)-1]
+}
+
+// WriteMetrics writes the Prometheus text exposition of the system's
+// registered series.
+func (s *System) WriteMetrics(w io.Writer) error { return s.obs.WriteMetrics(w) }
+
+// FlightRecorderDump returns the recorded chaos events, oldest first.
+func (s *System) FlightRecorderDump() []FlightEvent {
+	if s.obs == nil {
+		return nil
+	}
+	return s.obs.Recorder.Dump()
+}

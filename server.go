@@ -8,6 +8,7 @@ import (
 	"darknight/internal/fleet"
 	"darknight/internal/gpu"
 	"darknight/internal/nn"
+	"darknight/internal/obs"
 	"darknight/internal/sched"
 	"darknight/internal/serve"
 )
@@ -74,6 +75,10 @@ type ServerConfig struct {
 	// the fleet defaults. Tenants/SpeculateAfter/Seed above take
 	// precedence over their Fleet counterparts.
 	Fleet fleet.Config
+	// Observability switches on request tracing, the exportable metrics
+	// registry, and the chaos flight recorder. Zero value = off, and the
+	// hot path stays at its untraced cost.
+	Observability ObservabilityConfig
 }
 
 // ServerMetrics is a snapshot of the serving counters.
@@ -88,6 +93,8 @@ type Server struct {
 	fleet   *fleet.Manager
 	cluster *gpu.Cluster
 	encl    *enclave.Enclave
+	obs     *obs.Observability
+	msrv    *obs.MetricsServer
 }
 
 // NewServer stands up a serving deployment. newModel is called once per
@@ -140,6 +147,7 @@ func NewServer(newModel func() *Model, cfg ServerConfig) (*Server, error) {
 	fcfg.SpeculateAfter = cfg.SpeculateAfter
 	fcfg.Seed = cfg.Seed
 	fm := fleet.NewManager(cluster, fcfg)
+	ob := cfg.Observability.build(cfg.Seed)
 	srv, err := serve.New(serve.Config{
 		Sched: sched.Config{
 			VirtualBatch:   cfg.VirtualBatch,
@@ -152,11 +160,20 @@ func NewServer(newModel func() *Model, cfg ServerConfig) (*Server, error) {
 		MaxWait:       cfg.MaxWait,
 		Recover:       cfg.Recover,
 		PipelineDepth: cfg.PipelineDepth,
+		Obs:           ob,
 	}, replicas, fm, encl)
 	if err != nil {
 		return nil, err
 	}
-	return &Server{inner: srv, fleet: fm, cluster: cluster, encl: encl}, nil
+	s := &Server{inner: srv, fleet: fm, cluster: cluster, encl: encl, obs: ob}
+	if addr := cfg.Observability.MetricsAddr; addr != "" {
+		s.msrv, err = ob.Serve(addr)
+		if err != nil {
+			srv.Close()
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 // Infer privately classifies one image for the default tenant, blocking
@@ -196,8 +213,12 @@ func (s *Server) EnclaveStats() enclave.Stats {
 	return s.encl.Stats()
 }
 
-// Close drains in-flight requests and stops the workers.
-func (s *Server) Close() { s.inner.Close() }
+// Close drains in-flight requests, stops the workers, and shuts down the
+// metrics listener if one is serving.
+func (s *Server) Close() {
+	s.msrv.Close()
+	s.inner.Close()
+}
 
 // IsIntegrityError reports whether a serving error was caused by tampered
 // GPU results.
