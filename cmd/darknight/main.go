@@ -81,8 +81,10 @@ func buildModel(name string, seed int64) *darknight.Model {
 		return darknight.ResNet50(1, 8, 8, 4, 1, seed)
 	case "mobilenet":
 		return darknight.MobileNetV2(1, 8, 8, 4, 1, seed)
+	case "deep":
+		return darknight.DeepMLP(1, 8, 8, 4, 16, seed)
 	}
-	log.Fatalf("unknown model %q (want tiny|vgg|resnet|mobilenet)", name)
+	log.Fatalf("unknown model %q (want tiny|vgg|resnet|mobilenet|deep)", name)
 	return nil
 }
 

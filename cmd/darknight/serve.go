@@ -122,6 +122,8 @@ func cmdServe(args []string) {
 	tenantsFlag := fs.String("tenants", "", "fair-share tenants, e.g. gold:3,bronze:1 (clients round-robin over them)")
 	spares := fs.Int("spares", 0, "spare GPUs beyond the worker gangs (quarantine/speculation headroom)")
 	slack := fs.Int("slack", 0, "straggler slack: decode after all but N coded responses (needs E >= 2)")
+	fuse := fs.Bool("fuse", false, "fuse consecutive bilinear layers into one gang flight per block (bit-identical outputs)")
+	continuous := fs.Bool("continuous", false, "continuous batching: flushed padded batches keep admitting riders until a worker picks them up")
 	speculate := fs.Duration("speculate", 0, "speculative re-dispatch window for lagging shares (0 = off)")
 	slow := fs.Int("slow", -1, "index of a deterministically slow GPU (-1 = none)")
 	slowAll := fs.Bool("slowall", false, "add -slowdelay latency to every GPU (the device-latency regime -pipeline hides)")
@@ -157,6 +159,8 @@ func cmdServe(args []string) {
 		SpareGPUs:      *spares,
 		Recover:        *recover,
 		StragglerSlack: *slack,
+		Fuse:           *fuse,
+		Continuous:     *continuous,
 		SpeculateAfter: *speculate,
 		Observability: darknight.ObservabilityConfig{
 			Enabled:            *obsDump != "",
@@ -222,6 +226,17 @@ func cmdServe(args []string) {
 	}
 	if m.Phases.Wall > 0 {
 		fmt.Printf("pipeline: wall %v, overlap ratio %.2f (phase-sum / wall)\n", m.Phases.Wall, m.Overlap)
+	}
+	if m.Phases.Flights > 0 {
+		fmt.Printf("flights: %d gang flights for %d offloads (%.2f layers/flight)",
+			m.Phases.Flights, m.Phases.Offloads, float64(m.Phases.Offloads)/float64(m.Phases.Flights))
+		if m.Phases.FusedBlocks > 0 {
+			fmt.Printf("; %d fused blocks carried %d layers", m.Phases.FusedBlocks, m.Phases.FusedLayers)
+		}
+		fmt.Println()
+	}
+	if m.ContinuousAdmits > 0 {
+		fmt.Printf("continuous batching: %d riders admitted into flushed batches\n", m.ContinuousAdmits)
 	}
 	if np := m.NoisePool; np.Hits+np.Misses > 0 {
 		fmt.Printf("noise pool: %.0f%% hit rate (%d precomputed, %d inline fallbacks)\n",

@@ -30,9 +30,21 @@ const MaxLazyTerms = 1 << 14
 // accumulators (32 KiB) plus one source block stay L1/L2-resident.
 const combineBlock = 4096
 
+// combineSpan is the width of one pooled accumulator: TWO column blocks.
+// Combine sweeps them as a single wider span (half the per-block loop
+// overhead — accumulator zeroing setup, coefficient rescan, pool traffic —
+// for the same cache story, since the span still fits L2); Combine2 splits
+// them one block per output row so both rows of a pair share a single pass
+// over the sources.
+const combineSpan = 2 * combineBlock
+
 // combineParGrain is the element count below which Combine stays serial;
 // fanning out goroutines for tiny vectors costs more than the modmuls.
-const combineParGrain = 1 << 15
+// Lifted from 1<<15 by a measured sweep (see EXPERIMENTS.md): one grain of
+// serial combine work takes ~370 µs at 1<<16 against single-digit-µs
+// goroutine fan-out cost (<1% overhead), where the old 1<<15 grain paid
+// ~2–4%.
+const combineParGrain = 1 << 16
 
 // accPool recycles Combine's fixed-size accumulator blocks. It is kept
 // separate from the general scratch.Pool because the steady-state coding
@@ -40,7 +52,7 @@ const combineParGrain = 1 << 15
 // Get/Put (pointer interface conversions never box), whereas scratch.Pool
 // builds a fresh slice-header pointer on every Put.
 var accPool = sync.Pool{New: func() any {
-	b := make([]uint64, combineBlock)
+	b := make([]uint64, combineSpan)
 	return &b
 }}
 
@@ -147,13 +159,13 @@ func Combine(dst Vec, coeffs []Elem, srcs []Vec) {
 	})
 }
 
-// combineRange is Combine over the column range [lo, hi), using one pooled
-// cache-resident accumulator block at a time.
+// combineRange is Combine over the column range [lo, hi), sweeping one
+// pooled accumulator — two column blocks wide — at a time.
 func combineRange(dst Vec, coeffs []Elem, srcs []Vec, lo, hi int) {
-	accp := getAcc(combineBlock)
+	accp := getAcc(combineSpan)
 	acc := *accp
-	for b := lo; b < hi; b += combineBlock {
-		be := b + combineBlock
+	for b := lo; b < hi; b += combineSpan {
+		be := b + combineSpan
 		if be > hi {
 			be = hi
 		}
@@ -174,6 +186,72 @@ func combineRange(dst Vec, coeffs []Elem, srcs []Vec, lo, hi int) {
 			}
 		}
 		ReduceAccInto(dst[b:be], blk)
+	}
+	putAcc(accp)
+}
+
+// Combine2 computes TWO output rows of the coding matrix product in one
+// pass over the shared sources: dst0 = Σ_j c0[j]·srcs[j] and
+// dst1 = Σ_j c1[j]·srcs[j] mod p, via LazyAXPY2 — the sources are streamed
+// once instead of twice, which matters because the combine is memory-bound.
+// The pooled accumulator's two column blocks serve one row each. Results
+// are bit-identical to two Combine calls (the lazy reductions commute with
+// the final mod). Destinations may alias none of the sources or each other.
+func Combine2(dst0, dst1 Vec, c0, c1 []Elem, srcs []Vec) {
+	if len(c0) != len(srcs) || len(c1) != len(srcs) {
+		panic(fmt.Sprintf("field: combine2 has %d/%d coefficients for %d sources", len(c0), len(c1), len(srcs)))
+	}
+	n := len(dst0)
+	if len(dst1) != n {
+		panic(fmt.Sprintf("field: combine2 destination lengths %d != %d", len(dst0), len(dst1)))
+	}
+	for _, s := range srcs {
+		if len(s) != n {
+			panic(fmt.Sprintf("field: combine source length %d != %d", len(s), n))
+		}
+	}
+	if n <= combineParGrain || par.Workers() == 1 {
+		combineRange2(dst0, dst1, c0, c1, srcs, 0, n)
+		return
+	}
+	par.For(n, combineParGrain, func(lo, hi int) {
+		combineRange2(dst0, dst1, c0, c1, srcs, lo, hi)
+	})
+}
+
+// combineRange2 is Combine2 over the column range [lo, hi): the pooled
+// accumulator's first block carries dst0's columns, the second dst1's.
+func combineRange2(dst0, dst1 Vec, c0, c1 []Elem, srcs []Vec, lo, hi int) {
+	accp := getAcc(combineSpan)
+	acc := *accp
+	for b := lo; b < hi; b += combineBlock {
+		be := b + combineBlock
+		if be > hi {
+			be = hi
+		}
+		w := be - b
+		blk0 := acc[:w]
+		blk1 := acc[combineBlock : combineBlock+w]
+		for i := 0; i < w; i++ {
+			blk0[i] = 0
+			blk1[i] = 0
+		}
+		terms := 0
+		for j := range srcs {
+			u0, u1 := c0[j], c1[j]
+			if u0 == 0 && u1 == 0 {
+				continue
+			}
+			LazyAXPY2(blk0, blk1, u0, u1, srcs[j][b:be])
+			terms++
+			if terms == MaxLazyTerms {
+				ReduceAcc(blk0)
+				ReduceAcc(blk1)
+				terms = 0
+			}
+		}
+		ReduceAccInto(dst0[b:be], blk0)
+		ReduceAccInto(dst1[b:be], blk1)
 	}
 	putAcc(accp)
 }

@@ -68,6 +68,56 @@ func TestCombineParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestCombine2MatchesCombine pins the paired-row kernel bit-for-bit to two
+// independent Combine calls (and, transitively, the AXPY oracle), across
+// block boundaries, zero coefficients — including rows zero on only one
+// side of a pair — and the parallel split.
+func TestCombine2MatchesCombine(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	for _, tc := range []struct{ k, n int }{
+		{1, 1}, {3, 17}, {7, 1000}, {5, combineBlock}, {4, combineSpan + 3}, {6, 3*combineBlock + 511},
+	} {
+		c0, srcs := randSrcs(rng, tc.k, tc.n)
+		c1 := make([]Elem, tc.k)
+		for j := range c1 {
+			c1[j] = Rand(rng)
+		}
+		c0[0] = 0 // zero on one side of the pair only
+		if tc.k > 1 {
+			c0[1], c1[1] = 0, 0 // zero on both sides: the skip path
+		}
+		want0, want1 := NewVec(tc.n), NewVec(tc.n)
+		Combine(want0, c0, srcs)
+		Combine(want1, c1, srcs)
+		got0, got1 := NewVec(tc.n), NewVec(tc.n)
+		Combine2(got0, got1, c0, c1, srcs)
+		if !got0.Equal(want0) || !got1.Equal(want1) {
+			t.Fatalf("Combine2(k=%d, n=%d) diverges from Combine", tc.k, tc.n)
+		}
+	}
+}
+
+func TestCombine2ParallelMatchesSerial(t *testing.T) {
+	defer par.SetMaxWorkers(par.SetMaxWorkers(4))
+	rng := rand.New(rand.NewSource(27))
+	n := combineParGrain*2 + 37
+	c0, srcs := randSrcs(rng, 6, n)
+	c1 := make([]Elem, 6)
+	for j := range c1 {
+		c1[j] = Rand(rng)
+	}
+	p0, p1 := NewVec(n), NewVec(n)
+	Combine2(p0, p1, c0, c1, srcs)
+
+	par.SetMaxWorkers(1)
+	s0, s1 := NewVec(n), NewVec(n)
+	Combine2(s0, s1, c0, c1, srcs)
+
+	if !p0.Equal(s0) || !p1.Equal(s1) {
+		t.Fatal("parallel Combine2 diverges from serial Combine2")
+	}
+}
+
 // TestCombineLazyReductionBound drives more than MaxLazyTerms sources
 // through one accumulator block so the interleaved reduction actually
 // fires; the result must still match the eagerly-reduced oracle.

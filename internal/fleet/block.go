@@ -1,0 +1,39 @@
+package fleet
+
+import (
+	"fmt"
+
+	"darknight/internal/gpu"
+)
+
+// BeginBlock opens one gang flight carrying a whole fused block on the
+// first n slots of the grant. The flight holds exactly one outstanding
+// dispatch handle for its whole life — handle bookkeeping is per-flight,
+// not per-layer, so a depth-d fused block counts once toward
+// Stats.AsyncDispatches and PeakOverlap rather than d times. Per-job
+// response latencies still feed the health EWMA individually, and slots
+// absent from a quorum snapshot are branded stragglers per layer wait,
+// matching the per-layer dispatch path's branding rate.
+//
+// The caller must End the flight before Release; Release waits out the
+// flight's handle like any other outstanding dispatch.
+func (g *Grant) BeginBlock(n int) (*gpu.BlockFlight, error) {
+	if n > len(g.devs) {
+		return nil, fmt.Errorf("fleet: flight of %d slots for gang of %d", n, len(g.devs))
+	}
+	trips := make([]gpu.DeviceTrip, n)
+	for i := 0; i < n; i++ {
+		trips[i] = gpu.BeginTrip(g.devs[i])
+	}
+	g.beginAsync()
+	return gpu.NewBlockFlight(trips, gpu.BlockOptions{
+		MapKey:  gpu.SlotKey,
+		Observe: g.record,
+		Straggler: func(slot int) {
+			g.mu.Lock()
+			g.straggles[slot]++
+			g.mu.Unlock()
+		},
+		OnEnd: g.endAsync,
+	}), nil
+}

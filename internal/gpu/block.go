@@ -1,0 +1,275 @@
+package gpu
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"darknight/internal/field"
+)
+
+// BlockFlight is one gang flight carrying a whole fused block: a persistent
+// conversation with every device of the gang over which the TEE dispatches
+// each layer of the block in turn. The flight owns one worker goroutine per
+// slot, fed by an unbounded per-slot queue, so the dispatcher never blocks
+// on a straggling device — a slot that is still chewing on layer l simply
+// accumulates its layer l+1 job and the quorum machinery decodes around it.
+// All flight-scoped machinery — goroutine spawns, trip launch latency,
+// lease/handle accounting hooks — is paid once per block instead of once
+// per layer; the per-layer math (encode, decode, verify) is untouched, which
+// is what keeps fused outputs bit-identical to the per-layer path.
+//
+// Speculative re-dispatch to spare devices is not available inside a block
+// flight: a spare joining mid-conversation would have missed the layers
+// already shipped. Straggler tolerance inside a block comes from the MDS
+// quorum decode alone.
+type BlockFlight struct {
+	slots []*tripSlot
+	opts  BlockOptions
+	wg    sync.WaitGroup
+	ended bool
+}
+
+// BlockOptions customizes a flight's key mapping and accounting hooks; the
+// zero value dispatches with raw keys and no observation.
+type BlockOptions struct {
+	// MapKey rewrites a logical tensor key for one slot's device store.
+	// nil keeps the key as-is (the bare-cluster convention; the fleet maps
+	// through SlotKey so rotated devices never collide).
+	MapKey func(key string, slot int) string
+	// Observe, when non-nil, receives each completed job's latency — the
+	// fleet's health EWMA feed.
+	Observe func(slot int, lat time.Duration)
+	// Straggler, when non-nil, is invoked for each slot absent from a
+	// quorum snapshot — once per layer wait, matching the per-layer
+	// dispatch path's branding rate.
+	Straggler func(slot int)
+	// OnEnd, when non-nil, runs after every worker has drained and exited —
+	// where the fleet closes its per-flight async handle.
+	OnEnd func()
+}
+
+// tripSlot is one device conversation: a worker goroutine draining an
+// unbounded FIFO of jobs so enqueues never block the TEE dispatcher.
+type tripSlot struct {
+	trip   DeviceTrip
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []func()
+	closed bool
+}
+
+func newTripSlot(trip DeviceTrip) *tripSlot {
+	s := &tripSlot{trip: trip}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *tripSlot) enqueue(job func()) {
+	s.mu.Lock()
+	s.queue = append(s.queue, job)
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+func (s *tripSlot) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+func (s *tripSlot) work() {
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		job := s.queue[0]
+		s.queue = s.queue[1:]
+		s.mu.Unlock()
+		job()
+	}
+}
+
+// NewBlockFlight opens a flight over one trip per gang slot.
+func NewBlockFlight(trips []DeviceTrip, opts BlockOptions) *BlockFlight {
+	f := &BlockFlight{slots: make([]*tripSlot, len(trips)), opts: opts}
+	for i, tr := range trips {
+		f.slots[i] = newTripSlot(tr)
+		f.wg.Add(1)
+		go func(s *tripSlot) {
+			defer f.wg.Done()
+			s.work()
+		}(f.slots[i])
+	}
+	return f
+}
+
+// Slots returns the gang width of the flight.
+func (f *BlockFlight) Slots() int { return len(f.slots) }
+
+func (f *BlockFlight) key(key string, slot int) string {
+	if f.opts.MapKey == nil {
+		return key
+	}
+	return f.opts.MapKey(key, slot)
+}
+
+// ForwardLayer ships one layer of the block: slot j computes the kernel on
+// coded[j], storing it under the layer key for backward reuse. Returns
+// immediately; gather through the LayerPending (Wait for all slots,
+// WaitQuorum to decode around stragglers).
+func (f *BlockFlight) ForwardLayer(key string, kernel LinearKernel, coded []field.Vec) (*LayerPending, error) {
+	if len(coded) != len(f.slots) {
+		return nil, fmt.Errorf("gpu: %d coded inputs for flight of %d slots", len(coded), len(f.slots))
+	}
+	p := newLayerPending(len(f.slots), f.opts.Straggler)
+	for j := range f.slots {
+		j := j
+		s := f.slots[j]
+		x := coded[j]
+		k := f.key(key, j)
+		s.enqueue(func() {
+			start := time.Now()
+			y := s.trip.LinearForward(k, kernel, x)
+			if f.opts.Observe != nil {
+				f.opts.Observe(j, time.Since(start))
+			}
+			p.deliver(j, y, nil)
+		})
+	}
+	return p, nil
+}
+
+// GradLayer ships one layer's weight-gradient equations: slot j computes
+// the bilinear kernel of deltas[j] against its stored coded input. Cache
+// misses surface as per-slot errors on the pending (fold with
+// FoldSlotErrors after Wait).
+func (f *BlockFlight) GradLayer(key string, kernel BilinearKernel, deltas []field.Vec) (*LayerPending, error) {
+	if len(deltas) != len(f.slots) {
+		return nil, fmt.Errorf("gpu: %d deltas for flight of %d slots", len(deltas), len(f.slots))
+	}
+	p := newLayerPending(len(f.slots), f.opts.Straggler)
+	for j := range f.slots {
+		j := j
+		s := f.slots[j]
+		d := deltas[j]
+		k := f.key(key, j)
+		s.enqueue(func() {
+			start := time.Now()
+			y, err := s.trip.GradWeights(k, kernel, d)
+			if f.opts.Observe != nil {
+				f.opts.Observe(j, time.Since(start))
+			}
+			p.deliver(j, y, err)
+		})
+	}
+	return p, nil
+}
+
+// End closes every slot queue, waits for the workers to drain, and fires
+// the OnEnd hook. Idempotent.
+func (f *BlockFlight) End() {
+	if f.ended {
+		return
+	}
+	f.ended = true
+	for _, s := range f.slots {
+		s.close()
+	}
+	f.wg.Wait()
+	if f.opts.OnEnd != nil {
+		f.opts.OnEnd()
+	}
+}
+
+// LayerPending gathers one layer's in-flight results within a block
+// flight. Unlike Pending (which completes exactly once with the full
+// result set), a LayerPending fills slot by slot so a quorum waiter can
+// snapshot as soon as enough slots landed.
+type LayerPending struct {
+	mu        sync.Mutex
+	results   []field.Vec
+	errs      []error
+	present   []bool
+	arrived   chan struct{}
+	straggler func(slot int)
+}
+
+func newLayerPending(n int, straggler func(slot int)) *LayerPending {
+	return &LayerPending{
+		results:   make([]field.Vec, n),
+		errs:      make([]error, n),
+		present:   make([]bool, n),
+		arrived:   make(chan struct{}, n),
+		straggler: straggler,
+	}
+}
+
+func (p *LayerPending) deliver(slot int, v field.Vec, err error) {
+	p.mu.Lock()
+	if !p.present[slot] {
+		p.results[slot] = v
+		p.errs[slot] = err
+		p.present[slot] = true
+	}
+	p.mu.Unlock()
+	p.arrived <- struct{}{}
+}
+
+// Wait blocks until every slot has answered and returns results and
+// per-slot errors in slot order.
+func (p *LayerPending) Wait() ([]field.Vec, []error) {
+	for range p.results {
+		<-p.arrived
+	}
+	return p.results, p.errs
+}
+
+// WaitQuorum blocks until q slots have answered and returns a snapshot:
+// results and a presence mask in slot order. Laggards keep computing and
+// land in the flight's accounting, but the snapshot is immutable.
+func (p *LayerPending) WaitQuorum(q int) ([]field.Vec, []bool) {
+	if q >= len(p.results) {
+		res, _ := p.Wait()
+		all := make([]bool, len(res))
+		for i := range all {
+			all[i] = true
+		}
+		return res, all
+	}
+	for i := 0; i < q; i++ {
+		<-p.arrived
+	}
+	p.mu.Lock()
+	res := append([]field.Vec(nil), p.results...)
+	mask := append([]bool(nil), p.present...)
+	p.mu.Unlock()
+	if p.straggler != nil {
+		for slot, ok := range mask {
+			if !ok {
+				p.straggler(slot)
+			}
+		}
+	}
+	return res, mask
+}
+
+// BeginBlock opens a block flight over the first n devices of the cluster,
+// with the bare-cluster raw-key convention the per-layer dispatch paths
+// use.
+func (c *Cluster) BeginBlock(n int) (*BlockFlight, error) {
+	if n > len(c.devices) {
+		return nil, fmt.Errorf("gpu: flight of %d slots for %d devices", n, len(c.devices))
+	}
+	trips := make([]DeviceTrip, n)
+	for i := range trips {
+		trips[i] = BeginTrip(c.devices[i])
+	}
+	return NewBlockFlight(trips, BlockOptions{}), nil
+}

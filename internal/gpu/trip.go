@@ -1,0 +1,96 @@
+package gpu
+
+import (
+	"darknight/internal/field"
+
+	"sync"
+	"time"
+)
+
+// DeviceTrip is one persistent dispatch conversation with a device: the
+// channel a fused-block flight keeps open so several per-layer kernels ride
+// a single round trip. A trip exposes the same job surface as the device,
+// but cost-model wrappers account differently: the slow device charges its
+// per-dispatch launch latency once per trip rather than once per job —
+// the persistent-kernel / graph-launch amortization that makes fusing
+// consecutive linear layers into one flight worthwhile. Behavioural
+// wrappers (fault injection, collusion capture) keep their per-job
+// semantics, so a trip never changes *what* a device computes, only what
+// a conversation with it costs.
+type DeviceTrip interface {
+	// LinearForward is Device.LinearForward within the trip.
+	LinearForward(key string, kernel LinearKernel, x field.Vec) field.Vec
+	// GradWeights is Device.GradWeights within the trip.
+	GradWeights(key string, kernel BilinearKernel, delta field.Vec) (field.Vec, error)
+}
+
+// BeginTrip opens a persistent dispatch conversation on the device. The
+// honest device has no per-dispatch cost to amortize, so its trip is the
+// device itself; wrappers layer their own trip semantics on top.
+func (d *honest) BeginTrip() DeviceTrip { return d }
+
+// BeginTrip keeps fault injection per-job: a tampering device corrupts the
+// same job sequence whether the jobs arrive one flight each or batched in
+// a block, so integrity detection sees an identical adversary either way.
+func (m *malicious) BeginTrip() DeviceTrip { return &wrapTrip{m} }
+
+// BeginTrip charges the straggler's launch delay once for the whole trip
+// (on its first job) instead of once per job: the delay models dispatch
+// overhead — kernel launch, transfer setup — which a persistent block
+// conversation pays a single time.
+func (s *slow) BeginTrip() DeviceTrip {
+	return &slowTrip{inner: BeginTrip(s.Device), delay: s.delay}
+}
+
+// BeginTrip keeps collusion capture per-job: the coalition observes every
+// coded vector it is sent regardless of flight batching.
+func (c *colluding) BeginTrip() DeviceTrip { return &wrapTrip{c} }
+
+// tripper is the optional upgrade a device implements to customize its
+// trip; devices without it fall back to per-job semantics.
+type tripper interface {
+	BeginTrip() DeviceTrip
+}
+
+// BeginTrip opens a trip on any device: the device's own trip if it
+// implements one, else a passthrough with unchanged per-job accounting.
+func BeginTrip(d Device) DeviceTrip {
+	if t, ok := d.(tripper); ok {
+		return t.BeginTrip()
+	}
+	return &wrapTrip{d}
+}
+
+// wrapTrip adapts a Device to the trip surface verbatim (per-job
+// semantics preserved).
+type wrapTrip struct{ d Device }
+
+func (t *wrapTrip) LinearForward(key string, kernel LinearKernel, x field.Vec) field.Vec {
+	return t.d.LinearForward(key, kernel, x)
+}
+
+func (t *wrapTrip) GradWeights(key string, kernel BilinearKernel, delta field.Vec) (field.Vec, error) {
+	return t.d.GradWeights(key, kernel, delta)
+}
+
+// slowTrip delays the trip's first job by the device's launch latency and
+// lets the rest of the conversation through at full speed.
+type slowTrip struct {
+	inner DeviceTrip
+	delay time.Duration
+	once  sync.Once
+}
+
+func (t *slowTrip) launch() { t.once.Do(func() { time.Sleep(t.delay) }) }
+
+func (t *slowTrip) LinearForward(key string, kernel LinearKernel, x field.Vec) field.Vec {
+	y := t.inner.LinearForward(key, kernel, x)
+	t.launch()
+	return y
+}
+
+func (t *slowTrip) GradWeights(key string, kernel BilinearKernel, delta field.Vec) (field.Vec, error) {
+	y, err := t.inner.GradWeights(key, kernel, delta)
+	t.launch()
+	return y, err
+}

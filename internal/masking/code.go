@@ -98,6 +98,9 @@ type Code struct {
 	// TEE execution context and is not safe for concurrent use.
 	srcs []field.Vec
 	col  field.Vec
+	// col2 is the second coefficient-column gather of a row pair: the fused
+	// kernels emit two output rows per source pass (field.Combine2).
+	col2 field.Vec
 	// noiseScratch holds Encode's M internally drawn noise rows. The rows
 	// never escape (only the coded combinations do), so like srcs/col they
 	// are drawn into reusable scratch rather than allocated per call.
@@ -110,6 +113,7 @@ func (c *Code) gatherScratch(k int) ([]field.Vec, field.Vec) {
 	if cap(c.srcs) < k {
 		c.srcs = make([]field.Vec, k)
 		c.col = make(field.Vec, k)
+		c.col2 = make(field.Vec, k)
 	}
 	return c.srcs[:k], c.col[:k]
 }
@@ -295,11 +299,22 @@ func (c *Code) EncodeWith(dst, inputs, noise []field.Vec) error {
 		}
 	}
 	srcs, col := c.gatherScratch(c.S)
+	col2 := c.col2[:c.S]
 	copy(srcs, inputs)
 	copy(srcs[c.K:], noise)
 	// Coded column j is one row of the product [X; R]ᵀ·A: gather A's
-	// column j and fuse all S scale-adds with lazy reduction.
-	for j := range dst {
+	// column and fuse all S scale-adds with lazy reduction. Rows go out in
+	// pairs — Combine2 streams the shared sources once for both — with a
+	// single-row tail when S+E is odd.
+	j := 0
+	for ; j+1 < len(dst); j += 2 {
+		for m := 0; m < c.S; m++ {
+			col[m] = c.A.At(m, j)
+			col2[m] = c.A.At(m, j+1)
+		}
+		field.Combine2(dst[j], dst[j+1], col, col2, srcs)
+	}
+	if j < len(dst) {
 		for m := 0; m < c.S; m++ {
 			col[m] = c.A.At(m, j)
 		}
@@ -361,9 +376,19 @@ func (c *Code) decodeWithInto(dst []field.Vec, results []field.Vec, inv *field.M
 		}
 	}
 	_, col := c.gatherScratch(c.S)
+	col2 := c.col2[:c.S]
 	// y_i = Σ_j inv[j, i] · ȳ_{offset+j}: gather inv's column i, one fused
-	// lazy-reduced product row per decoded input.
-	for i := range dst {
+	// lazy-reduced product row per decoded input, decoding input pairs in a
+	// single pass over the shared result window (Combine2).
+	i := 0
+	for ; i+1 < len(dst); i += 2 {
+		for j := 0; j < c.S; j++ {
+			col[j] = inv.At(j, i)
+			col2[j] = inv.At(j, i+1)
+		}
+		field.Combine2(dst[i], dst[i+1], col, col2, window)
+	}
+	if i < len(dst) {
 		for j := 0; j < c.S; j++ {
 			col[j] = inv.At(j, i)
 		}

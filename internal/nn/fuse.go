@@ -1,0 +1,117 @@
+package nn
+
+// This file is the fused-offload compile pass. DarKnight offloads every
+// bilinear layer as its own coded gang flight; but when a model stacks
+// linear layers back to back — factorized dense operators, bottleneck
+// 1×1 convolution chains with no interposed TEE-side nonlinearity — the
+// per-layer flights can share one persistent gang conversation. The pass
+// runs once per model and groups maximal runs of directly consecutive
+// offloadable linear layers into FusedBlocks; the scheduler dispatches
+// each block as a single flight (see internal/sched), with the per-layer
+// coding math unchanged so outputs stay bit-identical.
+
+// FusedBlock is one maximal run of directly consecutive offloadable
+// linear layers inside a Sequential container.
+type FusedBlock struct {
+	// Seq is the container holding the run.
+	Seq *Sequential
+	// Start is the child index of the run's first layer within Seq.
+	Start int
+	// Layers is the run in forward order; always length >= 2.
+	Layers []Linear
+}
+
+// Depth returns the number of layers fused into the block.
+func (b FusedBlock) Depth() int { return len(b.Layers) }
+
+// FusionPlan is the compile pass output: for every Sequential in the
+// model, the fused blocks found among its direct children, addressable by
+// the child index the run starts at. Containers are identified by
+// pointer, so the plan is only valid for the model it was compiled from.
+type FusionPlan struct {
+	blocks map[*Sequential]map[int]FusedBlock
+	all    []FusedBlock
+}
+
+// CompileFusion walks the model and groups maximal runs of directly
+// consecutive offloadable linear layers (n >= 2) into fused blocks. A
+// run breaks at any interposed layer the TEE must evaluate between the
+// linear ops — activation, pooling, normalization — and at container
+// boundaries: fusion never reaches across a Residual branch join, because
+// the add is a TEE-side op on decoded values.
+func CompileFusion(m *Model) *FusionPlan {
+	p := &FusionPlan{blocks: make(map[*Sequential]map[int]FusedBlock)}
+	var walk func(l Layer)
+	walk = func(l Layer) {
+		switch v := l.(type) {
+		case *Sequential:
+			p.scan(v)
+			for _, c := range v.Layers() {
+				walk(c)
+			}
+		case *Residual:
+			walk(v.body)
+			if v.skip != nil {
+				walk(v.skip)
+			}
+		}
+	}
+	walk(m.Stack)
+	return p
+}
+
+// scan finds the maximal consecutive-linear runs among seq's direct
+// children.
+func (p *FusionPlan) scan(seq *Sequential) {
+	children := seq.Layers()
+	i := 0
+	for i < len(children) {
+		lin, ok := children[i].(Linear)
+		if !ok {
+			i++
+			continue
+		}
+		run := []Linear{lin}
+		j := i + 1
+		for j < len(children) {
+			next, ok := children[j].(Linear)
+			if !ok {
+				break
+			}
+			run = append(run, next)
+			j++
+		}
+		if len(run) >= 2 {
+			b := FusedBlock{Seq: seq, Start: i, Layers: run}
+			if p.blocks[seq] == nil {
+				p.blocks[seq] = make(map[int]FusedBlock)
+			}
+			p.blocks[seq][i] = b
+			p.all = append(p.all, b)
+		}
+		i = j
+	}
+}
+
+// BlockAt returns the fused block starting at child index idx of seq, if
+// the plan has one.
+func (p *FusionPlan) BlockAt(seq *Sequential, idx int) (FusedBlock, bool) {
+	if p == nil {
+		return FusedBlock{}, false
+	}
+	b, ok := p.blocks[seq][idx]
+	return b, ok
+}
+
+// Blocks returns every fused block of the plan in compile order.
+func (p *FusionPlan) Blocks() []FusedBlock { return p.all }
+
+// FusedLayers returns the total number of linear layers covered by fused
+// blocks.
+func (p *FusionPlan) FusedLayers() int {
+	n := 0
+	for _, b := range p.all {
+		n += len(b.Layers)
+	}
+	return n
+}

@@ -180,3 +180,29 @@ func TinyCNN(c, h, w, classes int, rng *rand.Rand) *Model {
 	seq.Append(NewDense("fc", flat, classes, rng))
 	return NewModel("TinyCNN", []int{c, h, w}, classes, seq)
 }
+
+// DeepMLP builds a factorized deep MLP: the flattened input feeds two
+// stacks of three consecutive Dense layers (a low-rank factorized linear
+// operator — W3·W2·W1 evaluated factor by factor), each stack followed by
+// one ReLU, and a Dense classifier head. The back-to-back Dense runs make
+// it the fusion showcase: the compile pass groups each 3-layer run into
+// one FusedBlock, so a forward pass that costs 7 gang flights per-layer
+// costs 3 fused (two blocks + the lone head).
+func DeepMLP(c, h, w, classes, width int, rng *rand.Rand) *Model {
+	if width <= 0 {
+		width = 16
+	}
+	flat := c * h * w
+	seq := NewSequential("deepmlp")
+	seq.Append(NewFlatten("flatten", c, h, w))
+	in := flat
+	for s := 1; s <= 2; s++ {
+		for f := 1; f <= 3; f++ {
+			seq.Append(NewDense(fmt.Sprintf("s%d_fc%d", s, f), in, width, rng))
+			in = width
+		}
+		seq.Append(NewReLU(fmt.Sprintf("s%d_relu", s), width))
+	}
+	seq.Append(NewDense("head", in, classes, rng))
+	return NewModel("DeepMLP", []int{c, h, w}, classes, seq)
+}

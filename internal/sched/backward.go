@@ -27,6 +27,21 @@ func (e *engine) backwardLayer(code *masking.Code, tr *trace, grads []*tensor.Te
 		cur := grads
 		var err error
 		for i := len(tr.children) - 1; i >= 0; i-- {
+			// A trace marked blockLen=d closes a fused run of d bilinear
+			// layers: offload their gradient equations through one block
+			// flight. The dual-window straggler-tolerant backward needs the
+			// per-layer dispatch (block flights carry the primary window
+			// only), so a quorum-configured backward walks layer by layer.
+			if d := tr.children[i].blockLen; d > 1 {
+				if bf, fused := e.blockFleet(); fused && !e.backwardQuorum(code) {
+					cur, err = e.offloadBackwardBlock(code, bf, tr.children[i-d+1:i+1], cur)
+					if err != nil {
+						return nil, err
+					}
+					i -= d - 1
+					continue
+				}
+			}
 			cur, err = e.backwardLayer(code, tr.children[i], cur)
 			if err != nil {
 				return nil, err
@@ -209,6 +224,7 @@ func (e *engine) dispatchBackward(code *masking.Code, tr *trace, osp *obs.Span, 
 			e.phases.Dispatch += time.Since(t1)
 		}
 		dsp.End()
+		e.phases.Flights++
 		if err != nil {
 			if errors.Is(err, gpu.ErrNoStored) && !refilled {
 				osp.Annotate("refill", tr.key)
@@ -271,6 +287,7 @@ func (e *engine) refillStores(code *masking.Code, tr *trace, fx float64) error {
 		Detail: fmt.Sprintf("re-created device stores for %q", tr.key),
 	})
 	identity := func(x field.Vec) field.Vec { return x }
+	e.phases.Flights++
 	_, err := e.fleet.ForwardAll(tr.key, identity, coded)
 	return err
 }

@@ -36,16 +36,30 @@ type PhaseStats struct {
 	// 1.0 means no overlap, 2.0 means two stages were kept busy throughout.
 	Wall     time.Duration
 	Offloads int64 // bilinear layer dispatches timed
+	// Flights counts gang flights: dispatches that paid the full
+	// lease/fan-out/gather machinery. On the per-layer path every offload
+	// is its own flight, so Flights tracks Offloads; a fused block carries
+	// several offloads per flight, which is exactly the reduction the
+	// fused path exists to buy.
+	Flights int64
+	// FusedBlocks counts fused-block flights; FusedLayers counts the
+	// bilinear layers they carried (FusedLayers/FusedBlocks is the mean
+	// fused block depth).
+	FusedBlocks int64
+	FusedLayers int64
 }
 
 // Sub returns the phase deltas s - o (for windowed measurements).
 func (s PhaseStats) Sub(o PhaseStats) PhaseStats {
 	return PhaseStats{
-		Encode:   s.Encode - o.Encode,
-		Dispatch: s.Dispatch - o.Dispatch,
-		Decode:   s.Decode - o.Decode,
-		Wall:     s.Wall - o.Wall,
-		Offloads: s.Offloads - o.Offloads,
+		Encode:      s.Encode - o.Encode,
+		Dispatch:    s.Dispatch - o.Dispatch,
+		Decode:      s.Decode - o.Decode,
+		Wall:        s.Wall - o.Wall,
+		Offloads:    s.Offloads - o.Offloads,
+		Flights:     s.Flights - o.Flights,
+		FusedBlocks: s.FusedBlocks - o.FusedBlocks,
+		FusedLayers: s.FusedLayers - o.FusedLayers,
 	}
 }
 
@@ -131,6 +145,17 @@ type AsyncBackwardQuorumFleet interface {
 	BackwardQuorumAsync(key string, kernel gpu.BilinearKernel, prim, sec []field.Vec, e int) *gpu.PendingBackward
 }
 
+// BlockFleet is the optional Fleet extension for fused-block offload:
+// BeginBlock opens one persistent gang flight over n slots, and the
+// engine dispatches every layer of a fused block through it — paying the
+// flight machinery (lease handles, goroutine fan-out, per-dispatch device
+// launch latency) once per block instead of once per layer. *gpu.Cluster
+// and *fleet.Grant both implement it.
+type BlockFleet interface {
+	Fleet
+	BeginBlock(n int) (*gpu.BlockFlight, error)
+}
+
 // IntegrityError is an integrity violation with (when the redundancy
 // budget allows attribution) the coded columns — equivalently the gang
 // device slots — that returned tampered results. It wraps
@@ -201,6 +226,12 @@ type engine struct {
 	// consumes precomputed material with zero online RNG; exhaustion falls
 	// back to inline draws from rng (counted by the pool).
 	pool *masking.NoisePool
+	// plan, when non-nil, is the fused-offload compile pass output:
+	// maximal runs of consecutive bilinear layers the forward walk
+	// dispatches as single block flights (Config.FuseBlocks). The
+	// per-layer coding math is unchanged inside a block, so fused outputs
+	// are bit-identical to the per-layer path.
+	plan *nn.FusionPlan
 
 	// sp, when non-nil, is the trace span of the virtual batch currently
 	// executing on this engine: every offload hangs an
@@ -252,7 +283,7 @@ func slots(buf *[]field.Vec, k int) []field.Vec {
 }
 
 func newEngine(cfg Config, model *nn.Model, fleet Fleet, encl *enclave.Enclave, keyspace string) engine {
-	return engine{
+	e := engine{
 		cfg:      cfg,
 		model:    model,
 		fleet:    fleet,
@@ -261,6 +292,21 @@ func newEngine(cfg Config, model *nn.Model, fleet Fleet, encl *enclave.Enclave, 
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		keyspace: keyspace,
 	}
+	if cfg.FuseBlocks {
+		e.plan = nn.CompileFusion(model)
+	}
+	return e
+}
+
+// blockFleet returns the fleet's block-flight surface when fusion is
+// compiled in and the current fleet supports it; otherwise the engine
+// stays on the per-layer dispatch path.
+func (e *engine) blockFleet() (BlockFleet, bool) {
+	if e.plan == nil {
+		return nil, false
+	}
+	bf, ok := e.fleet.(BlockFleet)
+	return bf, ok
 }
 
 // lockTEE acquires the shared TEE execution token and runs the engine's
@@ -311,8 +357,21 @@ func (e *engine) forwardLayer(code *masking.Code, layer nn.Layer, xs []*tensor.T
 	switch v := layer.(type) {
 	case *nn.Sequential:
 		cur := xs
-		for _, child := range v.Layers() {
-			out, childTr, err := e.forwardLayer(code, child, cur, train)
+		children := v.Layers()
+		for i := 0; i < len(children); i++ {
+			if blk, ok := e.plan.BlockAt(v, i); ok {
+				if bf, fused := e.blockFleet(); fused {
+					outs, childTrs, err := e.offloadForwardBlock(code, bf, blk, cur, train)
+					if err != nil {
+						return nil, nil, err
+					}
+					tr.children = append(tr.children, childTrs...)
+					cur = outs
+					i += blk.Depth() - 1
+					continue
+				}
+			}
+			out, childTr, err := e.forwardLayer(code, children[i], cur, train)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -371,7 +430,6 @@ func (e *engine) forwardLayer(code *masking.Code, layer nn.Layer, xs []*tensor.T
 // bit-identically (see refillStores).
 func (e *engine) offloadForward(code *masking.Code, tr *trace, lin nn.Linear, xs []*tensor.Tensor, train bool) ([]*tensor.Tensor, error) {
 	key := tr.key
-	k := e.cfg.VirtualBatch
 	osp := e.sp.Child("offload")
 	if osp != nil {
 		osp.Annotate("key", key)
@@ -381,6 +439,111 @@ func (e *engine) offloadForward(code *masking.Code, tr *trace, lin nn.Linear, xs
 	}
 	esp := osp.Child("encode")
 	t0 := time.Now()
+	qf, isQuorum := e.fleet.(QuorumFleet)
+	slack := e.effectiveSlack()
+	useQuorum := isQuorum && slack > 0
+	enc, err := e.encodeForward(code, tr, lin, xs, train, useQuorum)
+	if err != nil {
+		return nil, err
+	}
+	defer e.freeEnclave(enc.workset)
+	wq, coded := enc.wq, enc.coded
+	e.phases.Encode += time.Since(t0)
+	esp.End()
+
+	// Gang dispatch: the fleet fans the S+E coded inputs out to its devices
+	// concurrently (one goroutine per device) and gathers in device order.
+	// A pipelined engine (e.tee != nil) releases the TEE token for the
+	// flight so sibling lanes can encode/decode their batches meanwhile;
+	// the arena stays untouched until this lane's next offload, so the
+	// coded inputs and wq the kernel references outlive the flight exactly
+	// as on the serial path. The token-reacquisition wait after the flight
+	// is deliberately untimed — it is overlap, not work.
+	dsp := osp.Child("dispatch")
+	if dsp != nil && useQuorum {
+		dsp.Annotatef("quorum", "%d/%d", code.NumCoded()-slack, code.NumCoded())
+	}
+	t1 := time.Now()
+	kernel := func(x field.Vec) field.Vec { return lin.LinearForwardField(wq, x) }
+	var (
+		results []field.Vec
+		present []bool
+	)
+	switch {
+	case useQuorum && e.tee != nil:
+		var pend *gpu.Pending
+		if aq, ok := e.fleet.(AsyncQuorumFleet); ok {
+			pend = aq.ForwardQuorumAsync(key, kernel, coded, code.NumCoded()-slack)
+		}
+		e.tee.Unlock()
+		if pend != nil {
+			results, present, err = pend.Wait()
+		} else {
+			results, present, err = qf.ForwardQuorum(key, kernel, coded, code.NumCoded()-slack)
+		}
+		flight := time.Since(t1)
+		e.lockTEE()
+		e.phases.Dispatch += flight
+	case useQuorum:
+		results, present, err = qf.ForwardQuorum(key, kernel, coded, code.NumCoded()-slack)
+		e.phases.Dispatch += time.Since(t1)
+	case e.tee != nil:
+		var pend *gpu.Pending
+		if af, ok := e.fleet.(AsyncFleet); ok {
+			pend = af.ForwardAllAsync(key, kernel, coded)
+		}
+		e.tee.Unlock()
+		if pend != nil {
+			results, _, err = pend.Wait()
+		} else {
+			// Fleet without an async surface: the blocking call itself runs
+			// token-free. Such fleets must tolerate concurrent ForwardAll
+			// calls (per-call gather buffers) — *gpu.Cluster does.
+			results, err = e.fleet.ForwardAll(key, kernel, coded)
+		}
+		flight := time.Since(t1)
+		e.lockTEE()
+		e.phases.Dispatch += flight
+	default:
+		results, err = e.fleet.ForwardAll(key, kernel, coded)
+		e.phases.Dispatch += time.Since(t1)
+	}
+	dsp.End()
+	e.phases.Flights++
+	if err != nil {
+		return nil, err
+	}
+
+	csp := osp.Child("decode")
+	t2 := time.Now()
+	decoded, err := e.decodeForward(code, csp, results, present)
+	if err != nil {
+		return nil, err
+	}
+	outs := e.restoreForward(lin, decoded, enc.fx*enc.fw)
+	e.phases.Decode += time.Since(t2)
+	e.phases.Offloads++
+	csp.End()
+	return outs, nil
+}
+
+// fwdEnc is the encode-stage output of one bilinear layer's forward
+// offload: everything the dispatch and decode stages need.
+type fwdEnc struct {
+	wq      field.Vec
+	coded   []field.Vec
+	fx, fw  float64
+	workset int64
+}
+
+// encodeForward runs the encode stage of one bilinear layer's offload:
+// dynamic normalization, quantization into the field, the enclave
+// working-set charge, the noise draw and the coded combine. Shared
+// verbatim by the per-layer path and the fused-block path, which is what
+// pins their coded vectors bit-for-bit to each other. The caller owns
+// freeing the returned workset (already freed on error).
+func (e *engine) encodeForward(code *masking.Code, tr *trace, lin nn.Linear, xs []*tensor.Tensor, train, cloneForQuorum bool) (fwdEnc, error) {
+	k := e.cfg.VirtualBatch
 	// Shared dynamic normalization factor across the virtual batch so the
 	// backward decode (a sum across inputs) can be unscaled exactly.
 	fx := sharedNormFactor(xs, e.cfg.NormLimit)
@@ -405,9 +568,8 @@ func (e *engine) offloadForward(code *masking.Code, tr *trace, lin nn.Linear, xs
 	// Enclave working set: K inputs + S+E coded vectors of InLen u32.
 	workset := int64(lin.InLen()) * int64(k+code.NumCoded()) * 4
 	if err := e.allocEnclave(workset); err != nil {
-		return nil, err
+		return fwdEnc{}, err
 	}
-	defer e.freeEnclave(workset)
 
 	// Noise rows: the offline path consumes a pre-drawn set from the noise
 	// pool (zero online RNG — pure pointer traffic); exhaustion falls back
@@ -450,19 +612,17 @@ func (e *engine) offloadForward(code *masking.Code, tr *trace, lin nn.Linear, xs
 		e.pool.Recycle(pset)
 	}
 	if encErr != nil {
-		return nil, encErr
+		e.freeEnclave(workset)
+		return fwdEnc{}, encErr
 	}
 
-	// Straggler-tolerant dispatch (QuorumFleet + slack) returns before the
-	// slowest devices answer. A laggard's kernel then runs concurrently
-	// with the TEE's next offload, so everything it references — the coded
-	// inputs and the quantized weights captured by the kernel closure —
-	// must outlive this arena generation: clone them out of the arena. The
-	// default wait-for-all path keeps the zero-allocation arena buffers.
-	qf, isQuorum := e.fleet.(QuorumFleet)
-	slack := e.effectiveSlack()
-	useQuorum := isQuorum && slack > 0
-	if useQuorum {
+	// Straggler-tolerant dispatch returns before the slowest devices
+	// answer. A laggard's kernel then runs concurrently with the TEE's
+	// next offload, so everything it references — the coded inputs and the
+	// quantized weights captured by the kernel closure — must outlive this
+	// arena generation: clone them out of the arena. The default
+	// wait-for-all path keeps the zero-allocation arena buffers.
+	if cloneForQuorum {
 		wq = wq.Clone()
 		cl := make([]field.Vec, len(coded))
 		for j := range coded {
@@ -470,74 +630,15 @@ func (e *engine) offloadForward(code *masking.Code, tr *trace, lin nn.Linear, xs
 		}
 		coded = cl // fresh header array too: e.coded is rewritten next offload
 	}
-	e.phases.Encode += time.Since(t0)
-	esp.End()
+	return fwdEnc{wq: wq, coded: coded, fx: fx, fw: fw, workset: workset}, nil
+}
 
-	// Gang dispatch: the fleet fans the S+E coded inputs out to its devices
-	// concurrently (one goroutine per device) and gathers in device order.
-	// A pipelined engine (e.tee != nil) releases the TEE token for the
-	// flight so sibling lanes can encode/decode their batches meanwhile;
-	// the arena stays untouched until this lane's next offload, so the
-	// coded inputs and wq the kernel references outlive the flight exactly
-	// as on the serial path. The token-reacquisition wait after the flight
-	// is deliberately untimed — it is overlap, not work.
-	dsp := osp.Child("dispatch")
-	if dsp != nil && useQuorum {
-		dsp.Annotatef("quorum", "%d/%d", code.NumCoded()-slack, code.NumCoded())
-	}
-	t1 := time.Now()
-	kernel := func(x field.Vec) field.Vec { return lin.LinearForwardField(wq, x) }
-	var (
-		results []field.Vec
-		present []bool
-		err     error
-	)
-	switch {
-	case useQuorum && e.tee != nil:
-		var pend *gpu.Pending
-		if aq, ok := e.fleet.(AsyncQuorumFleet); ok {
-			pend = aq.ForwardQuorumAsync(key, kernel, coded, code.NumCoded()-slack)
-		}
-		e.tee.Unlock()
-		if pend != nil {
-			results, present, err = pend.Wait()
-		} else {
-			results, present, err = qf.ForwardQuorum(key, kernel, coded, code.NumCoded()-slack)
-		}
-		flight := time.Since(t1)
-		e.lockTEE()
-		e.phases.Dispatch += flight
-	case useQuorum:
-		results, present, err = qf.ForwardQuorum(key, kernel, coded, code.NumCoded()-slack)
-		e.phases.Dispatch += time.Since(t1)
-	case e.tee != nil:
-		var pend *gpu.Pending
-		if af, ok := e.fleet.(AsyncFleet); ok {
-			pend = af.ForwardAllAsync(key, kernel, coded)
-		}
-		e.tee.Unlock()
-		if pend != nil {
-			results, _, err = pend.Wait()
-		} else {
-			// Fleet without an async surface: the blocking call itself runs
-			// token-free. Such fleets must tolerate concurrent ForwardAll
-			// calls (per-call gather buffers) — *gpu.Cluster does.
-			results, err = e.fleet.ForwardAll(key, kernel, coded)
-		}
-		flight := time.Since(t1)
-		e.lockTEE()
-		e.phases.Dispatch += flight
-	default:
-		results, err = e.fleet.ForwardAll(key, kernel, coded)
-		e.phases.Dispatch += time.Since(t1)
-	}
-	dsp.End()
-	if err != nil {
-		return nil, err
-	}
-
-	csp := osp.Child("decode")
-	t2 := time.Now()
+// decodeForward runs the decode stage of one bilinear layer's offload:
+// straggler-subset decode, integrity verification, audit-and-recover, or
+// the plain inverse combine. present == nil means every response arrived.
+// Shared verbatim by the per-layer and fused-block paths.
+func (e *engine) decodeForward(code *masking.Code, csp *obs.Span, results []field.Vec, present []bool) ([]field.Vec, error) {
+	k := e.cfg.VirtualBatch
 	missing := 0
 	for _, p := range present {
 		if !p {
@@ -587,10 +688,11 @@ func (e *engine) offloadForward(code *masking.Code, tr *trace, lin nn.Linear, xs
 			if !e.recover {
 				return nil, e.attributedError(code, results, verr)
 			}
-			decoded, err = e.recoverForward(code, results)
-			if err != nil {
-				return nil, err
+			rec, rerr := e.recoverForward(code, results)
+			if rerr != nil {
+				return nil, rerr
 			}
+			decoded = rec
 		}
 	}
 	if decoded == nil {
@@ -603,15 +705,19 @@ func (e *engine) offloadForward(code *masking.Code, tr *trace, lin nn.Linear, xs
 			return nil, err
 		}
 	}
+	return decoded, nil
+}
 
-	// TEE: restore floats, undo normalization, add bias.
-	outs := make([]*tensor.Tensor, k)
-	rescale := fx * fw
+// restoreForward runs the restore stage: floats back from the field, undo
+// normalization, add the TEE-side bias. Outputs escape to the caller as
+// layer activations, so they are deliberately fresh allocations, not
+// arena memory.
+func (e *engine) restoreForward(lin nn.Linear, decoded []field.Vec, rescale float64) []*tensor.Tensor {
+	k := e.cfg.VirtualBatch
 	bias := lin.BiasData()
 	outShape := lin.OutShape()
+	outs := make([]*tensor.Tensor, k)
 	for i := 0; i < k; i++ {
-		// Outputs escape to the caller as layer activations, so they are
-		// deliberately fresh allocations, not arena memory.
 		y := e.q.UnquantizeProduct(decoded[i])
 		for j := range y {
 			y[j] *= rescale
@@ -619,10 +725,7 @@ func (e *engine) offloadForward(code *masking.Code, tr *trace, lin nn.Linear, xs
 		addBias(y, bias, outShape)
 		outs[i] = tensor.FromSlice(y, outShape...)
 	}
-	e.phases.Decode += time.Since(t2)
-	e.phases.Offloads++
-	csp.End()
-	return outs, nil
+	return outs
 }
 
 // recordIntegrity files one integrity verdict into the flight recorder

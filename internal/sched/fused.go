@@ -1,0 +1,321 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"darknight/internal/field"
+	"darknight/internal/gpu"
+	"darknight/internal/masking"
+	"darknight/internal/nn"
+	"darknight/internal/tensor"
+)
+
+// This file is the fused-block dispatch path: runs of directly consecutive
+// bilinear layers (nn.CompileFusion) ride ONE persistent gang flight
+// instead of one flight per layer. The per-layer coding math is reused
+// verbatim — every layer boundary still decodes, verifies, restores
+// floats, adds the bias and re-encodes, because the interior requantization
+// is data-dependent (the dynamic normalization factor of layer l+1's input
+// is a function of layer l's decoded output) and chaining products in the
+// field would overflow the 25-bit prime. What a block flight amortizes is
+// everything *around* the math: the lease/handle bookkeeping, the
+// goroutine fan-out and gather machinery, and — on devices that model a
+// per-dispatch launch latency — the launch cost itself, paid once per trip
+// (gpu.DeviceTrip) instead of once per layer. Outputs are bit-identical to
+// the per-layer path by construction; TestFusedBlockMatchesPerLayer pins
+// it.
+
+// offloadForwardBlock runs one fused block's layers through a single gang
+// flight, returning the block's outputs and one trace per layer (the last
+// trace carries blockLen so the backward walk re-fuses the run).
+func (e *engine) offloadForwardBlock(code *masking.Code, bf BlockFleet, blk nn.FusedBlock, xs []*tensor.Tensor, train bool) ([]*tensor.Tensor, []*trace, error) {
+	depth := blk.Depth()
+	bsp := e.sp.Child("offload-block")
+	if bsp != nil {
+		bsp.Annotatef("depth", "%d", depth)
+		defer bsp.End()
+	}
+	flight, err := bf.BeginBlock(code.NumCoded())
+	if err != nil {
+		return nil, nil, err
+	}
+	defer flight.End()
+	e.phases.Flights++
+	e.phases.FusedBlocks++
+	e.phases.FusedLayers += int64(depth)
+
+	// Same quorum gate as offloadForward: straggler-tolerant gather only on
+	// fleets that support quorum dispatch, so a fused run decodes exactly
+	// the subsets the per-layer path would have.
+	_, isQuorum := e.fleet.(QuorumFleet)
+	slack := e.effectiveSlack()
+	useQuorum := isQuorum && slack > 0
+
+	traces := make([]*trace, depth)
+	cur := xs
+	for d := 0; d < depth; d++ {
+		lin := blk.Layers[d]
+		e.linSeq++
+		tr := &trace{layer: lin, inputs: append([]*tensor.Tensor(nil), cur...)}
+		if e.reuseKeys {
+			tr.key = fmt.Sprintf("%slin%d", e.keyspace, e.linSeq)
+		} else {
+			tr.key = fmt.Sprintf("%sstep%d/lin%d", e.keyspace, e.stepSeq, e.linSeq)
+		}
+		traces[d] = tr
+
+		osp := bsp.Child("offload")
+		if osp != nil {
+			osp.Annotate("key", tr.key)
+		}
+		esp := osp.Child("encode")
+		t0 := time.Now()
+		enc, eerr := e.encodeForward(code, tr, lin, cur, train, useQuorum)
+		if eerr != nil {
+			osp.End()
+			return nil, nil, eerr
+		}
+		wq := enc.wq
+		e.phases.Encode += time.Since(t0)
+		esp.End()
+
+		dsp := osp.Child("dispatch")
+		if dsp != nil && useQuorum {
+			dsp.Annotatef("quorum", "%d/%d", code.NumCoded()-slack, code.NumCoded())
+		}
+		t1 := time.Now()
+		kernel := func(x field.Vec) field.Vec { return lin.LinearForwardField(wq, x) }
+		pend, perr := flight.ForwardLayer(tr.key, kernel, enc.coded)
+		if perr != nil {
+			e.freeEnclave(enc.workset)
+			dsp.End()
+			osp.End()
+			return nil, nil, perr
+		}
+		// Token discipline mirrors offloadForward: a pipelined engine
+		// releases the TEE token for exactly the gather wait, so sibling
+		// lanes encode/decode their batches while this block's layer is in
+		// device flight.
+		var (
+			results []field.Vec
+			present []bool
+		)
+		if e.tee != nil {
+			e.tee.Unlock()
+		}
+		if useQuorum {
+			results, present = pend.WaitQuorum(code.NumCoded() - slack)
+		} else {
+			results, _ = pend.Wait()
+		}
+		flightTime := time.Since(t1)
+		if e.tee != nil {
+			e.lockTEE()
+		}
+		e.phases.Dispatch += flightTime
+		dsp.End()
+
+		csp := osp.Child("decode")
+		t2 := time.Now()
+		decoded, derr := e.decodeForward(code, csp, results, present)
+		if derr != nil {
+			e.freeEnclave(enc.workset)
+			osp.End()
+			return nil, nil, derr
+		}
+		outs := e.restoreForward(lin, decoded, enc.fx*enc.fw)
+		e.phases.Decode += time.Since(t2)
+		e.phases.Offloads++
+		e.freeEnclave(enc.workset)
+		csp.End()
+		osp.End()
+		cur = outs
+	}
+	traces[depth-1].blockLen = depth
+	return cur, traces, nil
+}
+
+// bwdBlockLayer is one layer's TEE-prepared backward state inside a fused
+// block: the public combined delta equations and the unscaling factors the
+// decode needs.
+type bwdBlockLayer struct {
+	tr        *trace
+	lin       nn.Linear
+	deltaBars []field.Vec
+	kernel    gpu.BilinearKernel
+	fd, fx    float64
+}
+
+// backwardQuorum reports whether the backward dispatch would use the
+// dual-window straggler-tolerant path. Block flights carry the primary
+// window only, so a quorum-configured backward falls back entirely to the
+// per-layer dispatch (which handles both windows) — gate parity with
+// offloadBackward's useQuorum.
+func (e *engine) backwardQuorum(code *masking.Code) bool {
+	_, ok := e.fleet.(BackwardQuorumFleet)
+	return ok && e.cfg.StragglerSlack > 0 && code.E >= 1
+}
+
+// offloadBackwardBlock runs one fused block's gradient offloads through a
+// single gang flight over the S primary-equation slots. trs is the block's
+// forward traces in forward order; grads is the gradient flowing into the
+// block's LAST layer. Returns the per-example input gradients below the
+// block's first layer.
+//
+// The TEE stage walks the block last layer first — bias gradients, delta
+// quantization, the public Eq (4) combinations, and the input-gradient
+// chain to the layer below — before anything is dispatched; the device
+// stage then ships every layer's equations down the open flight, and the
+// decode stage folds each layer's gathered equations with the secret γ
+// exactly as the per-layer path does.
+func (e *engine) offloadBackwardBlock(code *masking.Code, bf BlockFleet, trs []*trace, grads []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	depth := len(trs)
+	k := e.cfg.VirtualBatch
+	bsp := e.sp.Child("offload-backward-block")
+	if bsp != nil {
+		bsp.Annotatef("depth", "%d", depth)
+		defer bsp.End()
+	}
+
+	t0 := time.Now()
+	layers := make([]bwdBlockLayer, depth)
+	cur := grads
+	for d := depth - 1; d >= 0; d-- {
+		tr := trs[d]
+		lin, ok := tr.layer.(nn.Linear)
+		if !ok {
+			return nil, fmt.Errorf("sched: fused block trace %q is not a bilinear layer", tr.key)
+		}
+		for i := 0; i < k; i++ {
+			lin.AddGradB(cur[i], 1)
+		}
+		fd := sharedNormFactor(cur, e.cfg.NormLimit)
+		fx := sharedNormFactor(tr.inputs, e.cfg.NormLimit)
+		quantDeltas := make([]field.Vec, k)
+		scratch := make([]float64, lin.OutLen())
+		for i := 0; i < k; i++ {
+			for j, v := range cur[i].Data {
+				scratch[j] = v / fd
+			}
+			quantDeltas[i] = e.q.Quantize(scratch)
+		}
+		// Row j of B is the K combination coefficients of equation j. Fresh
+		// allocations: the equations escape to the flight's slot workers.
+		deltaBars := make([]field.Vec, code.S)
+		for j := 0; j < code.S; j++ {
+			bar := make(field.Vec, lin.OutLen())
+			field.Combine(bar, code.B.Row(j), quantDeltas)
+			deltaBars[j] = bar
+		}
+		layers[d] = bwdBlockLayer{
+			tr: tr, lin: lin, deltaBars: deltaBars,
+			kernel: func(delta, x field.Vec) field.Vec { return lin.GradWeightsField(delta, x) },
+			fd:     fd, fx: fx,
+		}
+		next := make([]*tensor.Tensor, k)
+		for i := 0; i < k; i++ {
+			next[i] = lin.BackwardInputOnly(cur[i])
+		}
+		cur = next
+	}
+	e.phases.Encode += time.Since(t0)
+
+	flight, err := bf.BeginBlock(code.S)
+	if err != nil {
+		return nil, err
+	}
+	defer flight.End()
+	e.phases.Flights++
+	e.phases.FusedBlocks++
+	e.phases.FusedLayers += int64(depth)
+
+	// Ship every layer's equations immediately — slot queues are unbounded,
+	// so the whole block is in flight before the first gather.
+	pends := make([]*gpu.LayerPending, depth)
+	for d := depth - 1; d >= 0; d-- {
+		p, perr := flight.GradLayer(layers[d].tr.key, layers[d].kernel, layers[d].deltaBars)
+		if perr != nil {
+			return nil, perr
+		}
+		pends[d] = p
+	}
+
+	for d := depth - 1; d >= 0; d-- {
+		l := layers[d]
+		eqs, errs := e.waitGrad(pends[d])
+		if werr := foldSlotErrors(errs); werr != nil {
+			if !errors.Is(werr, gpu.ErrNoStored) {
+				return nil, werr
+			}
+			// Mid-block cache miss: a device lost this layer's coded forward
+			// input (quarantine replacement, slot reshuffle). Re-create all
+			// S+E stores from the trace — refillStores is its own
+			// identity-kernel flight, bit-identical to the forward encode —
+			// then re-ship the layer's equations down the still-open block
+			// flight.
+			bsp.Annotate("refill", l.tr.key)
+			if rerr := e.refillStores(code, l.tr, l.fx); rerr != nil {
+				return nil, fmt.Errorf("sched: backward cache refill for %q: %w", l.tr.key, rerr)
+			}
+			p, perr := flight.GradLayer(l.tr.key, l.kernel, l.deltaBars)
+			if perr != nil {
+				return nil, perr
+			}
+			eqs, errs = e.waitGrad(p)
+			if werr := foldSlotErrors(errs); werr != nil {
+				return nil, werr
+			}
+		}
+		t2 := time.Now()
+		sum := field.NewVec(l.lin.WLen())
+		if derr := code.DecodeBackwardInto(sum, eqs); derr != nil {
+			return nil, derr
+		}
+		dw := e.q.UnquantizeProduct(sum)
+		rescale := l.fd * l.fx
+		for j := range dw {
+			dw[j] *= rescale
+		}
+		l.lin.AddGradW(dw, 1)
+		e.phases.Decode += time.Since(t2)
+		e.phases.Offloads++
+	}
+	return cur, nil
+}
+
+// waitGrad gathers one layer's gradient equations with offloadForward's
+// token discipline: the TEE token is released for exactly the wait.
+func (e *engine) waitGrad(p *gpu.LayerPending) ([]field.Vec, []error) {
+	t1 := time.Now()
+	if e.tee != nil {
+		e.tee.Unlock()
+	}
+	eqs, errs := p.Wait()
+	flightTime := time.Since(t1)
+	if e.tee != nil {
+		e.lockTEE()
+	}
+	e.phases.Dispatch += flightTime
+	return eqs, errs
+}
+
+// foldSlotErrors folds a flight gather's per-slot errors into one:
+// ErrNoStored wins (it is recoverable — the caller refills), else the
+// first error in slot order.
+func foldSlotErrors(errs []error) error {
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, gpu.ErrNoStored) {
+			return err
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,270 @@
+package sched
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"darknight/internal/field"
+	"darknight/internal/fleet"
+	"darknight/internal/gpu"
+	"darknight/internal/nn"
+)
+
+// TestFusedFlightCount is the flight-count gate: DeepMLP has 7 bilinear
+// layers in two fusable 3-layer runs plus a lone head, so a fused forward
+// must cost exactly 3 gang flights where the per-layer path costs 7 — with
+// the per-layer offload count (and the predictions) unchanged.
+func TestFusedFlightCount(t *testing.T) {
+	images := make([][]float64, 2)
+	rng := rand.New(rand.NewSource(9))
+	for i := range images {
+		img := make([]float64, 64)
+		for j := range img {
+			img[j] = rng.Float64()
+		}
+		images[i] = img
+	}
+	run := func(fuse bool) ([]int, PhaseStats) {
+		cfg := Config{VirtualBatch: 2, Collusion: 1, FuseBlocks: fuse, Seed: 1}
+		model := nn.DeepMLP(1, 8, 8, 4, 12, rand.New(rand.NewSource(42)))
+		trn, err := NewTrainer(cfg, model, gpu.NewHonestCluster(3), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		preds, err := trn.Predict(images)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return preds, trn.PhaseStats()
+	}
+	perPreds, per := run(false)
+	fusedPreds, fused := run(true)
+	for i := range perPreds {
+		if perPreds[i] != fusedPreds[i] {
+			t.Fatalf("image %d: fused class %d != per-layer %d", i, fusedPreds[i], perPreds[i])
+		}
+	}
+	if per.Flights != 7 || per.Offloads != 7 {
+		t.Fatalf("per-layer forward: %d flights / %d offloads, want 7/7", per.Flights, per.Offloads)
+	}
+	if fused.Flights != 3 {
+		t.Fatalf("fused forward took %d flights, want 3 (two blocks + the head)", fused.Flights)
+	}
+	if fused.Offloads != 7 {
+		t.Fatalf("fused forward measured %d offloads, want 7 (per-layer math unchanged)", fused.Offloads)
+	}
+	if fused.FusedBlocks != 2 || fused.FusedLayers != 6 {
+		t.Fatalf("fused accounting: %d blocks / %d layers, want 2/6", fused.FusedBlocks, fused.FusedLayers)
+	}
+}
+
+// TestFusedBlockMatchesPerLayer is the fused-offload equivalence gate:
+// across K/E/slack operating points — raw shared cluster, fleet-managed
+// gang grants, and the straggler-tolerant quorum path with a
+// deterministically slow device — training DeepMLP with FuseBlocks must
+// report the same losses and leave weights bit-identical to the per-layer
+// dispatch, while spending strictly fewer gang flights on the same number
+// of per-layer offloads.
+func TestFusedBlockMatchesPerLayer(t *testing.T) {
+	combos := []struct {
+		name           string
+		k, m, e, slack int
+		slowSlot       int // -1 = no slow device
+		fleetManaged   bool
+	}{
+		{name: "K2-M1-E0-cluster", k: 2, m: 1, e: 0, slowSlot: -1},
+		{name: "K3-M1-E1-fleet", k: 3, m: 1, e: 1, slowSlot: -1, fleetManaged: true},
+		{name: "K2-M1-E2-slack1-slow", k: 2, m: 1, e: 2, slack: 1, slowSlot: 2, fleetManaged: true},
+	}
+	for _, c := range combos {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			gang := c.k + c.m + c.e
+			batch := trainData(4 * c.k)
+			run := func(fuse bool) (*nn.Model, []float64, PhaseStats, *fleet.Manager) {
+				cfg := Config{VirtualBatch: c.k, Collusion: c.m, Redundancy: c.e,
+					StragglerSlack: c.slack, FuseBlocks: fuse, Seed: 1}
+				devs := make([]gpu.Device, gang)
+				for i := range devs {
+					devs[i] = gpu.NewHonest(i)
+					if i == c.slowSlot {
+						devs[i] = gpu.NewSlow(devs[i], time.Millisecond)
+					}
+				}
+				cluster := gpu.NewCluster(devs...)
+				model := nn.DeepMLP(1, 8, 8, 4, 12, rand.New(rand.NewSource(42)))
+				pipe, err := NewTrainPipeline(cfg, model, nil, "fm/", 2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer pipe.Close()
+				var src GangSource
+				var fm *fleet.Manager
+				if c.fleetManaged {
+					fm = fleet.NewManager(cluster, fleet.Config{})
+					src = &managerSource{m: fm, gang: gang}
+				} else {
+					src = SingleFleetSource{F: cluster}
+				}
+				opt := nn.NewSGD(0.05, 0.9)
+				var losses []float64
+				for step := 0; step < 2; step++ {
+					loss, _, err := pipe.TrainLargeBatch(src, batch, opt, 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					losses = append(losses, loss)
+				}
+				return model, losses, pipe.PhaseStats(), fm
+			}
+			perModel, perLosses, perPS, _ := run(false)
+			fusedModel, fusedLosses, fusedPS, fm := run(true)
+			for i := range perLosses {
+				if fusedLosses[i] != perLosses[i] {
+					t.Fatalf("step %d: fused loss %v != per-layer %v", i, fusedLosses[i], perLosses[i])
+				}
+			}
+			sameWeights(t, c.name, perModel, fusedModel)
+			if fusedPS.FusedBlocks == 0 {
+				t.Fatal("fused run dispatched no block flights")
+			}
+			if fusedPS.Offloads != perPS.Offloads {
+				t.Fatalf("fused offloads %d != per-layer %d (the per-layer math must be unchanged)",
+					fusedPS.Offloads, perPS.Offloads)
+			}
+			if fusedPS.Flights >= perPS.Flights {
+				t.Fatalf("fused flights %d not fewer than per-layer %d", fusedPS.Flights, perPS.Flights)
+			}
+			if c.slack > 0 && c.slowSlot >= 0 {
+				// The slow slot misses the first quorum of every block flight
+				// (the trip pays its latency on the first job), so the fused
+				// quorum gather must have left straggler marks — proof the
+				// straggler-tolerant path ran fused, not wait-for-all.
+				if st := fm.Stats(); st.StragglerEvents == 0 {
+					t.Fatalf("slack combo never exercised the fused quorum path: %+v", st)
+				}
+			}
+		})
+	}
+}
+
+// blockSwapFleet is phaseSwapFleet with a block-flight surface: it counts
+// every dispatch event — per-layer calls AND block flights — against
+// nForward, then swaps to the backward fleet. It lets a fused training
+// step run its forward on one gang grant and its backward on another.
+type blockSwapFleet struct {
+	fw, bw   Fleet
+	nForward int
+	calls    int
+	swap     func()
+}
+
+func (f *blockSwapFleet) current() Fleet {
+	if f.calls <= f.nForward {
+		return f.fw
+	}
+	if f.swap != nil {
+		f.swap()
+		f.swap = nil
+	}
+	return f.bw
+}
+
+func (f *blockSwapFleet) Size() int { return f.fw.Size() }
+
+func (f *blockSwapFleet) ForwardAll(key string, kernel gpu.LinearKernel, coded []field.Vec) ([]field.Vec, error) {
+	f.calls++
+	return f.current().ForwardAll(key, kernel, coded)
+}
+
+func (f *blockSwapFleet) BackwardAll(key string, kernel gpu.BilinearKernel, deltas []field.Vec) ([]field.Vec, error) {
+	f.calls++
+	return f.current().BackwardAll(key, kernel, deltas)
+}
+
+func (f *blockSwapFleet) BeginBlock(n int) (*gpu.BlockFlight, error) {
+	f.calls++
+	return f.current().(BlockFleet).BeginBlock(n)
+}
+
+// TestFusedBackwardCacheMissRefill quarantines a device between a fused
+// step's forward and backward passes: every backward gather on the
+// replacement gang — the per-layer head AND the layers inside the open
+// block flights — misses its stored coded inputs, the engine refills the
+// stores from the trace (the PR5 cache-miss machinery) and re-ships the
+// equations down the still-open flight. The step must complete with
+// weights bit-identical to an undisturbed per-layer run.
+func TestFusedBackwardCacheMissRefill(t *testing.T) {
+	cfg := Config{VirtualBatch: 2, Collusion: 1, Redundancy: 0, Seed: 3}
+	const gang = 3
+	batch := trainData(cfg.VirtualBatch)
+
+	// Control: undisturbed per-layer serial run — doubles as one more
+	// fused-vs-per-layer equivalence point.
+	control := nn.DeepMLP(1, 8, 8, 4, 12, rand.New(rand.NewSource(42)))
+	ctrlTrainer, err := NewTrainer(cfg, control, gpu.NewHonestCluster(gang), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrlLoss, _, err := ctrlTrainer.TrainLargeBatch(batch, nn.NewSGD(0.05, 0.9), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Disturbed fused run: a 5-device fleet, gang of 3. DeepMLP's fused
+	// forward is 3 dispatch events (two block flights + the per-layer
+	// head); after them the first grant is released with slot 1 reported
+	// faulty, and the whole backward walks a fresh gang.
+	model := nn.DeepMLP(1, 8, 8, 4, 12, rand.New(rand.NewSource(42)))
+	fcfg := cfg
+	fcfg.FuseBlocks = true
+	fm := fleet.NewManager(gpu.NewHonestCluster(gang+2), fleet.Config{ProbationProbability: -1})
+	g1, err := fm.Acquire(context.Background(), "train", gang)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := &blockSwapFleet{fw: g1, nForward: 3}
+	sw.swap = func() {
+		g1.ReportFaults([]int{1})
+		g1.Release()
+		g2, err := fm.Acquire(context.Background(), "train", gang)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw.bw = g2
+	}
+
+	pipe, err := NewTrainPipeline(fcfg, model, nil, "fmiss/", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pipe.Close()
+	loss, _, err := pipe.TrainLargeBatch(SingleFleetSource{F: sw}, batch, nn.NewSGD(0.05, 0.9), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.bw != nil {
+		if g, ok := sw.bw.(*fleet.Grant); ok {
+			g.Release()
+		}
+	}
+	if loss != ctrlLoss {
+		t.Fatalf("disturbed fused loss %v != per-layer control %v", loss, ctrlLoss)
+	}
+	sameWeights(t, "fused-cache-miss-refill", control, model)
+	// All 7 bilinear layers lost their stores with the gang, so all 7 must
+	// have refilled — 6 of them mid-flight inside the two backward block
+	// flights.
+	if refills := pipe.CacheRefills(); refills != 7 {
+		t.Fatalf("%d cache refills, want 7 (one per bilinear layer)", refills)
+	}
+	ps := pipe.PhaseStats()
+	if ps.FusedBlocks != 4 {
+		t.Fatalf("%d fused blocks, want 4 (two forward + two backward)", ps.FusedBlocks)
+	}
+	if st := fm.Stats(); st.QuarantineEvents == 0 {
+		t.Fatalf("no quarantine recorded: %+v", st)
+	}
+}

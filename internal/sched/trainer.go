@@ -60,6 +60,16 @@ type Config struct {
 	// requires Redundancy >= 2. 0 waits for every device. The quorum path
 	// only engages on fleets implementing QuorumFleet.
 	StragglerSlack int
+	// FuseBlocks enables the fused-offload compile pass: maximal runs of
+	// directly consecutive bilinear layers are grouped into blocks
+	// (nn.CompileFusion) and each block is dispatched as a single gang
+	// flight instead of one flight per layer, on fleets implementing
+	// BlockFleet. The per-layer coding math — encode, verify, decode,
+	// requantize — is unchanged at every layer boundary inside a block, so
+	// fused outputs are bit-identical to the per-layer path; only the
+	// flight machinery (lease handles, goroutine fan-out, device launch
+	// latency) is amortized across the block.
+	FuseBlocks bool
 	// Seed drives all randomness (coding coefficients, noise).
 	Seed int64
 }
@@ -155,6 +165,11 @@ type trace struct {
 	// recomputed, kept so a backward cache miss can re-create the coded
 	// inputs bit-identically (engine.refillStores).
 	noise []field.Vec
+	// blockLen, when > 1, marks this trace as the LAST layer of a fused
+	// block of that depth: the backward walk over the parent Sequential's
+	// children recognizes the run ending here and offloads its gradient
+	// equations through one block flight (offloadBackwardBlock).
+	blockLen int
 }
 
 // TrainVirtualBatch runs one masked forward+backward over exactly K

@@ -464,5 +464,8 @@ func (p *TrainPipeline) addPhases(d PhaseStats) {
 	p.phases.Dispatch += d.Dispatch
 	p.phases.Decode += d.Decode
 	p.phases.Offloads += d.Offloads
+	p.phases.Flights += d.Flights
+	p.phases.FusedBlocks += d.FusedBlocks
+	p.phases.FusedLayers += d.FusedLayers
 	p.mu.Unlock()
 }

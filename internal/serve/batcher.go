@@ -2,6 +2,7 @@ package serve
 
 import (
 	"math/rand"
+	"sync"
 	"time"
 
 	"darknight/internal/obs"
@@ -19,6 +20,40 @@ type vbatch struct {
 	// worker picks the batch up — the handoff wait between batcher and
 	// worker pool. Nil when no rider is sampled.
 	seal *obs.Span
+
+	// mu guards reqs/images/sealed between the batcher (continuous rider
+	// admission) and the worker that picks the batch up. A batch is sealed
+	// at worker pickup — not at flush — which is the continuous-batching
+	// window: a flushed-but-unclaimed padded batch can still trade pad rows
+	// for late riders.
+	mu     sync.Mutex
+	sealed bool
+}
+
+// admitRider swaps one pad row of a flushed-but-unsealed batch for a late
+// request of the same tenant. Returns false once the batch is sealed (a
+// worker owns it) or full of real rows; the caller then falls back to the
+// pending queue.
+func (b *vbatch) admitRider(r *request) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.sealed || len(b.reqs) >= len(b.images) {
+		return false
+	}
+	b.images[len(b.reqs)] = r.image
+	b.reqs = append(b.reqs, r)
+	r.asp.End() // queueing over: the rider joined an in-flight batch
+	r.sp.Annotate("admission", "continuous")
+	return true
+}
+
+// sealAdmission closes the continuous-admission window: the worker that
+// picked the batch up owns its rows from here on. The mutex pairs with
+// admitRider, so rows admitted before the seal are visible to the worker.
+func (b *vbatch) sealAdmission() {
+	b.mu.Lock()
+	b.sealed = true
+	b.mu.Unlock()
 }
 
 // leaderSpan returns the root span of the batch's first sampled rider —
@@ -55,6 +90,11 @@ func (s *Server) batchLoop() {
 	rng := rand.New(rand.NewSource(s.cfg.Sched.Seed + 0x5eed))
 
 	pending := map[string][]*request{}
+	// open tracks each tenant's most recent padded batch that may still be
+	// waiting for a worker: the continuous-batching admission targets
+	// (Config.Continuous). Entries are dropped lazily when an admission
+	// finds the batch sealed or full.
+	open := map[string]*vbatch{}
 	timer := time.NewTimer(time.Hour)
 	timer.Stop()
 	timerSet := false
@@ -93,6 +133,9 @@ func (s *Server) batchLoop() {
 		}
 		s.metrics.queued(-len(reqs))
 		s.batches <- b
+		if s.cfg.Continuous && len(reqs) < s.k {
+			open[tenant] = b
+		}
 	}
 
 	// flushDue flushes every tenant whose earliest deadline has passed.
@@ -137,6 +180,19 @@ func (s *Server) batchLoop() {
 					flush(tenant) // final partial batches drain on Close
 				}
 				return
+			}
+			// Continuous batching: before queueing for a fresh batch, try to
+			// ride the tenant's last padded batch if no worker has sealed it
+			// yet — the rider replaces a pad row at the next block boundary
+			// instead of waiting out a whole new batch.
+			if b, ok := open[r.tenant]; ok {
+				if b.admitRider(r) {
+					s.metrics.queued(-1)
+					s.metrics.continuousAdmit()
+					rearm()
+					continue
+				}
+				delete(open, r.tenant) // sealed or full: no longer a target
 			}
 			pending[r.tenant] = append(pending[r.tenant], r)
 			if len(pending[r.tenant]) == s.k {

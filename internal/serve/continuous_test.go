@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"darknight/internal/fleet"
+	"darknight/internal/gpu"
+	"darknight/internal/nn"
+	"darknight/internal/sched"
+)
+
+// TestContinuousBatchingAdmitsRiders drives saturating traffic through a
+// one-worker server whose batcher flushes immediately (negative MaxWait:
+// every batch leaves the batcher padded) onto slow devices, with continuous
+// batching on. Flushed batches queue behind the busy worker, so late
+// requests must ride them in place of pad rows — raising occupancy without
+// delaying anyone — and every rider's answer must still match the float
+// reference. The admission window closes at worker pickup; the -race CI
+// run exercises the seal against concurrent admits.
+func TestContinuousBatchingAdmitsRiders(t *testing.T) {
+	const (
+		k        = 4
+		requests = 32
+	)
+	models := replicas(1, 19)
+	devs := make([]gpu.Device, k+1)
+	for i := range devs {
+		devs[i] = gpu.NewSlow(gpu.NewHonest(i), 2*time.Millisecond)
+	}
+	fm := fleet.NewManager(gpu.NewCluster(devs...), fleet.Config{})
+	srv, err := New(Config{
+		Sched:      sched.Config{VirtualBatch: k, Seed: 19},
+		MaxWait:    -time.Nanosecond,
+		Continuous: true,
+	}, models, fm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	imgs := sampleImages(requests, 20)
+	preds := make([]int, requests)
+	var wg sync.WaitGroup
+	for i := range imgs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := srv.Infer(context.Background(), imgs[i])
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			preds[i] = p
+		}(i)
+	}
+	wg.Wait()
+	snap := srv.Metrics()
+	srv.Close()
+
+	ref := nn.TinyCNN(1, 8, 8, 4, rand.New(rand.NewSource(19)))
+	for i, img := range imgs {
+		if want := nn.Argmax(ref.Forward(img, false)); preds[i] != want {
+			t.Errorf("image %d: served %d, float %d", i, preds[i], want)
+		}
+	}
+	if snap.Completed != requests || snap.Failed != 0 {
+		t.Fatalf("completed %d failed %d, want %d/0", snap.Completed, snap.Failed, requests)
+	}
+	// Batches flush underfilled (negative MaxWait) and queue behind the
+	// slow one-worker pipeline, so at least some of them must have picked
+	// up riders before pickup.
+	if snap.ContinuousAdmits == 0 {
+		t.Fatalf("no continuous admissions under saturating immediate-flush load: %+v", snap)
+	}
+}
+
+// TestContinuousDisabledNeverAdmits pins the default: with Continuous off,
+// the same immediate-flush workload completes with zero rider admissions —
+// every batch serves exactly its flush row.
+func TestContinuousDisabledNeverAdmits(t *testing.T) {
+	const k = 4
+	models := replicas(1, 23)
+	fm := fleet.NewManager(gpu.NewHonestCluster(k+1), fleet.Config{})
+	srv, err := New(Config{
+		Sched:   sched.Config{VirtualBatch: k, Seed: 23},
+		MaxWait: -time.Nanosecond,
+	}, models, fm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgs := sampleImages(8, 24)
+	var wg sync.WaitGroup
+	for i := range imgs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := srv.Infer(context.Background(), imgs[i]); err != nil {
+				t.Errorf("request %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	snap := srv.Metrics()
+	srv.Close()
+	if snap.ContinuousAdmits != 0 {
+		t.Fatalf("%d continuous admissions with Continuous off", snap.ContinuousAdmits)
+	}
+}

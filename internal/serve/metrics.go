@@ -29,6 +29,9 @@ type Metrics struct {
 	realRows  int64
 	padRows   int64
 	depth     int
+	// continuous counts requests admitted into an already-flushed batch in
+	// place of a pad row (continuous batching).
+	continuous int64
 
 	lat    []time.Duration // ring buffer of recent request latencies
 	latIdx int
@@ -70,6 +73,13 @@ func (m *Metrics) queued(delta int) {
 	m.mu.Unlock()
 }
 
+// continuousAdmit counts one continuous-batching rider admission.
+func (m *Metrics) continuousAdmit() {
+	m.mu.Lock()
+	m.continuous++
+	m.mu.Unlock()
+}
+
 // phases folds one batch's TEE-side phase deltas into the totals.
 func (m *Metrics) phases(d sched.PhaseStats) {
 	m.mu.Lock()
@@ -78,6 +88,9 @@ func (m *Metrics) phases(d sched.PhaseStats) {
 	m.phase.Decode += d.Decode
 	m.phase.Wall += d.Wall
 	m.phase.Offloads += d.Offloads
+	m.phase.Flights += d.Flights
+	m.phase.FusedBlocks += d.FusedBlocks
+	m.phase.FusedLayers += d.FusedLayers
 	m.mu.Unlock()
 }
 
@@ -154,6 +167,9 @@ type Snapshot struct {
 	RealRows   int64 // client rows across all batches
 	PaddedRows int64 // dummy rows across all batches
 	QueueDepth int   // admitted requests not yet dispatched
+	// ContinuousAdmits counts requests that rode an already-flushed batch
+	// in place of a pad row (continuous batching, Config.Continuous).
+	ContinuousAdmits int64
 
 	// Occupancy is the mean fraction of real rows per dispatched batch
 	// (1.0 = every batch full, 1/K = pure one-at-a-time traffic).
@@ -201,15 +217,16 @@ func (m *Metrics) Snapshot() Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := Snapshot{
-		Completed:  m.completed,
-		Failed:     m.failed,
-		Integrity:  m.integrity,
-		Batches:    m.batches,
-		RealRows:   m.realRows,
-		PaddedRows: m.padRows,
-		QueueDepth: m.depth,
-		Phases:     m.phase,
-		Overlap:    m.phase.Overlap(),
+		Completed:        m.completed,
+		Failed:           m.failed,
+		Integrity:        m.integrity,
+		Batches:          m.batches,
+		RealRows:         m.realRows,
+		PaddedRows:       m.padRows,
+		QueueDepth:       m.depth,
+		ContinuousAdmits: m.continuous,
+		Phases:           m.phase,
+		Overlap:          m.phase.Overlap(),
 	}
 	if m.batches > 0 {
 		s.Occupancy = float64(m.realRows) / float64(m.batches*int64(m.k))

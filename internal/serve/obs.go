@@ -79,6 +79,28 @@ func (s *Server) registerMetrics(r *obs.Registry) {
 	r.CounterFunc("darknight_tee_offloads_total",
 		"Bilinear-layer offload dispatches measured by the phase breakdown.",
 		lockedInt(func() int64 { return m.phase.Offloads }))
+	r.CounterFunc("darknight_offload_flights_total",
+		"Gang flights dispatched (a fused block carries several offloads per flight).",
+		lockedInt(func() int64 { return m.phase.Flights }))
+	r.SampleFunc("darknight_fused_block_size",
+		"Fused-block flight accounting: flights, the layers they carried, and the mean fused depth.", "gauge",
+		func() []obs.Sample {
+			m.mu.Lock()
+			blocks, layers := m.phase.FusedBlocks, m.phase.FusedLayers
+			m.mu.Unlock()
+			mean := 0.0
+			if blocks > 0 {
+				mean = float64(layers) / float64(blocks)
+			}
+			return []obs.Sample{
+				{Labels: map[string]string{"stat": "blocks"}, Value: float64(blocks)},
+				{Labels: map[string]string{"stat": "layers"}, Value: float64(layers)},
+				{Labels: map[string]string{"stat": "mean_depth"}, Value: mean},
+			}
+		})
+	r.CounterFunc("darknight_continuous_admits_total",
+		"Requests admitted into an already-flushed batch in place of a pad row.",
+		lockedInt(func() int64 { return m.continuous }))
 	r.CounterFunc("darknight_noisepool_hits_total",
 		"Encodes served from precomputed noise material.",
 		func() float64 { return float64(s.poolStats().Hits) })

@@ -81,6 +81,13 @@ type Config struct {
 	// GPUs stay busy simultaneously. <= 1 keeps the serial engine. Outputs
 	// are bit-identical either way (exact decoding over F_p).
 	PipelineDepth int
+	// Continuous enables continuous batching: a flushed padded batch that
+	// no worker has picked up yet keeps accepting same-tenant riders in
+	// place of its pad rows — the batch seals at worker pickup, not at
+	// flush. Strictly fewer pad rows under load at identical privacy (a
+	// rider replaces a dummy row before anything is encoded; the batch
+	// still carries exactly K rows of one tenant).
+	Continuous bool
 	// Obs, when non-nil, attaches the observability stack: sampled request
 	// traces (admit→seal→batch→offload span trees), serving/fleet/noise-pool
 	// series registered into Obs.Registry, and fleet/sched events recorded

@@ -27,7 +27,8 @@ func (s *Server) workLoop(inf *sched.Inferencer) {
 	defer s.wg.Done()
 	gang := inf.Gang()
 	for b := range s.batches {
-		b.seal.End() // handoff complete: a worker owns the batch now
+		b.sealAdmission() // continuous riders stop here; the rows are ours
+		b.seal.End()      // handoff complete: a worker owns the batch now
 		bsp := b.leaderSpan().Child("batch")
 		if bsp != nil {
 			bsp.Annotate("tenant", b.tenant)
@@ -196,7 +197,8 @@ func (s *Server) pipeLoop(p *sched.Pipeline) {
 	}
 
 	submit := func(b *vbatch) {
-		b.seal.End() // handoff complete: this worker owns the batch now
+		b.sealAdmission() // continuous riders stop here; the rows are ours
+		b.seal.End()      // handoff complete: this worker owns the batch now
 		bsp := b.leaderSpan().Child("batch")
 		if bsp != nil {
 			bsp.Annotate("tenant", b.tenant)

@@ -66,6 +66,16 @@ type ServerConfig struct {
 	// responses arrive (needs Redundancy >= 2; one redundant equation is
 	// always kept for verification).
 	StragglerSlack int
+	// Fuse enables the fused-offload compile pass: maximal runs of directly
+	// consecutive bilinear layers ride one gang flight per block instead of
+	// one flight per layer. Outputs are bit-identical to the per-layer path;
+	// only the per-flight machinery (lease handles, fan-out goroutines,
+	// device launch latency) is amortized across the block.
+	Fuse bool
+	// Continuous enables continuous batching: a flushed padded batch keeps
+	// accepting same-tenant riders in place of its pad rows until a worker
+	// picks it up (the batch seals at pickup, not at flush).
+	Continuous bool
 	// SpeculateAfter re-dispatches a coded share that has not answered
 	// within this window to a spare device. 0 disables. Speculation rides
 	// the straggler quorum path, so it only engages when StragglerSlack
@@ -154,12 +164,14 @@ func NewServer(newModel func() *Model, cfg ServerConfig) (*Server, error) {
 			Collusion:      cfg.Collusion,
 			Redundancy:     cfg.Redundancy,
 			StragglerSlack: cfg.StragglerSlack,
+			FuseBlocks:     cfg.Fuse,
 			Seed:           cfg.Seed,
 		},
 		QueueDepth:    cfg.QueueDepth,
 		MaxWait:       cfg.MaxWait,
 		Recover:       cfg.Recover,
 		PipelineDepth: cfg.PipelineDepth,
+		Continuous:    cfg.Continuous,
 		Obs:           ob,
 	}, replicas, fm, encl)
 	if err != nil {
