@@ -12,6 +12,8 @@
 //	                  [-obs-dump DIR]
 //	darknight loadgen [-model ...] [-k K] [-workers N] [-maxclients N] [-duration D]
 //	                  [-tenants ...] [-malicious I] [-faultprob P] [-slow I]
+//	darknight snapshot [-addr HOST:PORT] [-o FILE]
+//	darknight replay  -snapshot FILE [-model NAME] [-seed N] [-v]
 //
 // `train -pipeline D` overlaps D virtual batches across the TEE and the
 // GPU gangs (forward and backward), bit-identical weights to serial;
@@ -61,31 +63,26 @@ func main() {
 		cmdServe(os.Args[2:])
 	case "loadgen":
 		cmdLoadgen(os.Args[2:])
+	case "snapshot":
+		cmdSnapshot(os.Args[2:])
+	case "replay":
+		cmdReplay(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: darknight <train|infer|verify|serve|loadgen> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: darknight <train|infer|verify|serve|loadgen|snapshot|replay> [flags]")
 	os.Exit(2)
 }
 
 func buildModel(name string, seed int64) *darknight.Model {
-	switch name {
-	case "tiny":
-		return darknight.TinyCNN(1, 8, 8, 4, seed)
-	case "vgg":
-		return darknight.VGG16(1, 8, 8, 4, 1, seed)
-	case "resnet":
-		return darknight.ResNet50(1, 8, 8, 4, 1, seed)
-	case "mobilenet":
-		return darknight.MobileNetV2(1, 8, 8, 4, 1, seed)
-	case "deep":
-		return darknight.DeepMLP(1, 8, 8, 4, 16, seed)
+	m, err := darknight.BuildModel(name, seed)
+	if err != nil {
+		log.Fatal(err)
 	}
-	log.Fatalf("unknown model %q (want tiny|vgg|resnet|mobilenet|deep)", name)
-	return nil
+	return m
 }
 
 func cmdTrain(args []string) {

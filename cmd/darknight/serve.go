@@ -132,6 +132,11 @@ func cmdServe(args []string) {
 	traceSample := fs.Float64("trace-sample", 0, "fraction of requests traced (0 = off, 1 = all); the last trace is printed after the run")
 	flightRec := fs.Int("flight-recorder", 0, "flight-recorder event-ring capacity (0 = default 1024 when other obs flags are set)")
 	obsDump := fs.String("obs-dump", "", "directory for observability artifacts after the run (metrics.prom, metrics.json, trace.txt, flightrecorder.json)")
+	snapshot := fs.String("snapshot", "", "write a replayable state snapshot to this file after the run (also served live at /snapshot)")
+	snapWeights := fs.Bool("snapshot-weights", false, "embed the full model weights in snapshots (self-contained, but large)")
+	sloP99 := fs.Duration("slo-p99", 0, "per-tenant P99 latency objective (0 = SLO tracking off)")
+	sloGoal := fs.Float64("slo-goal", 0.99, "fraction of requests that must meet -slo-p99")
+	sloErrors := fs.Float64("slo-errors", 0.001, "error-budget fraction of the SLO")
 	seed := fs.Int64("seed", 1, "random seed")
 	fs.Parse(args)
 
@@ -144,6 +149,11 @@ func cmdServe(args []string) {
 	}
 	if *recover || *slack > 0 {
 		redundancy = 2
+	}
+	if *recover && *slack > 0 {
+		// Straggler slack spends redundant equations; recovery still needs
+		// two live checks in every quorum to attribute a culprit.
+		redundancy = 2 + *slack
 	}
 	tenants := parseTenants(*tenantsFlag)
 	cfg := darknight.ServerConfig{
@@ -163,11 +173,23 @@ func cmdServe(args []string) {
 		Continuous:     *continuous,
 		SpeculateAfter: *speculate,
 		Observability: darknight.ObservabilityConfig{
-			Enabled:            *obsDump != "",
+			Enabled:            *obsDump != "" || *snapshot != "",
 			MetricsAddr:        *metricsAddr,
 			TraceSample:        *traceSample,
 			FlightRecorderSize: *flightRec,
+			SnapshotWeights:    *snapWeights,
 		},
+		Arch: *modelName,
+	}
+	if *sloP99 > 0 {
+		cfg.Observability.SLO = darknight.SLOConfig{
+			Objectives: []darknight.SLOObjective{{
+				Tenant:        "*",
+				LatencyTarget: *sloP99,
+				LatencyGoal:   *sloGoal,
+				ErrorBudget:   *sloErrors,
+			}},
+		}
 	}
 	if *malicious >= 0 {
 		cfg.MaliciousGPUs = []int{*malicious}
@@ -265,6 +287,20 @@ func cmdServe(args []string) {
 			log.Fatalf("obs-dump: %v", err)
 		}
 		fmt.Printf("observability artifacts written to %s\n", *obsDump)
+	}
+	if t := srv.SLO(); t != nil {
+		for _, br := range t.BurnRates() {
+			fmt.Printf("slo: tenant %s %s over %v: burn %.2f\n", br.Tenant, br.SLO, br.Window, br.Burn)
+		}
+		if n := t.Breaches(); n > 0 {
+			fmt.Printf("slo: %d burn-rate threshold crossings during the run\n", n)
+		}
+	}
+	if *snapshot != "" {
+		if err := srv.SaveSnapshot(*snapshot); err != nil {
+			log.Fatalf("snapshot: %v", err)
+		}
+		fmt.Printf("state snapshot written to %s (replay with: darknight replay -snapshot %s)\n", *snapshot, *snapshot)
 	}
 }
 

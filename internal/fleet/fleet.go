@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -174,10 +175,15 @@ type Manager struct {
 	speculations     int64
 	asyncDispatches  int64
 	peakOverlap      int
+	borrowed         int   // devices currently out on speculative loans
+	sloBreaches      int64 // SLO burn-rate crossings delivered via SubscribeSLO
 
 	// rec, when non-nil, receives grant/release/quarantine/speculation
 	// events (see SetObserver in obs.go).
 	rec *obs.FlightRecorder
+	// flightHist, when non-nil, receives each device's mean flight
+	// latency at grant release (see RegisterMetrics).
+	flightHist *obs.HistogramVec
 }
 
 // NewManager puts every device of the cluster under fleet management.
@@ -513,6 +519,7 @@ func (m *Manager) release(g *Grant) {
 		var mean time.Duration
 		if latN[slot] > 0 {
 			mean = latSum[slot] / time.Duration(latN[slot])
+			m.flightHist.Observe(strconv.Itoa(rec.id), mean.Seconds())
 		}
 		switch {
 		case faulted[slot]:
@@ -547,6 +554,7 @@ func (m *Manager) borrowSpare() (*deviceRec, gpu.Device, bool) {
 	}
 	ids := m.pickLocked(1)
 	rec := m.devs[ids[0]]
+	m.borrowed++
 	return rec, m.cluster.Device(rec.idx), true
 }
 
@@ -555,6 +563,7 @@ func (m *Manager) returnSpare(rec *deviceRec, lat time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	rec.leased = false
+	m.borrowed--
 	m.reportCleanLocked(rec, lat, 0)
 	if rec.state != Quarantined {
 		m.free = append(m.free, rec.idx)

@@ -78,6 +78,11 @@ func (g *Grant) DeviceIDs() []int {
 // Tenant returns the tenant the gang is charged to.
 func (g *Grant) Tenant() string { return g.t.name }
 
+// Slots returns the cluster slot indices of the gang in coding order
+// (slot i serves coded input i) — the identity the snapshot batch log
+// records so replay can re-acquire exactly this gang.
+func (g *Grant) Slots() []int { return append([]int(nil), g.ids...) }
+
 // record accumulates one device response latency.
 func (g *Grant) record(slot int, lat time.Duration) {
 	g.mu.Lock()

@@ -48,6 +48,9 @@ type Stats struct {
 	// StragglerEvents counts device responses that missed their dispatch
 	// quorum; Speculations counts coded shares re-dispatched to spares.
 	StragglerEvents, Speculations int64
+	// SLOBreaches counts burn-rate threshold crossings delivered to the
+	// fleet via SubscribeSLO (rising edges only).
+	SLOBreaches int64
 	// AsyncDispatches counts completion-handle dispatches issued across all
 	// released grants; PeakOverlap is the largest number of overlapping
 	// outstanding dispatches any single grant carried — > 1 means a
@@ -74,6 +77,7 @@ func (m *Manager) Stats() Stats {
 		Readmissions:     m.readmissions,
 		StragglerEvents:  m.stragglerEvents,
 		Speculations:     m.speculations,
+		SLOBreaches:      m.sloBreaches,
 		AsyncDispatches:  m.asyncDispatches,
 		PeakOverlap:      m.peakOverlap,
 		Devices:          make([]DeviceHealth, 0, len(m.devs)),

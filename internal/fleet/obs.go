@@ -57,6 +57,15 @@ func (m *Manager) RegisterMetrics(r *obs.Registry) {
 	r.GaugeFunc("darknight_fleet_free_devices",
 		"Devices currently free and in circulation.",
 		lockedInt(func() int64 { return int64(len(m.free)) }))
+	r.CounterFunc("darknight_fleet_slo_breaches_total",
+		"SLO burn-rate threshold crossings delivered to the fleet.",
+		lockedInt(func() int64 { return m.sloBreaches }))
+	fh := r.HistogramVec("darknight_fleet_flight_latency_seconds",
+		"Mean per-device coded-flight latency of each released grant.",
+		"device", obs.LatencyBuckets())
+	m.mu.Lock()
+	m.flightHist = fh
+	m.mu.Unlock()
 	r.SampleFunc("darknight_fleet_devices",
 		"Device population partitioned by health state.", "gauge",
 		func() []obs.Sample {

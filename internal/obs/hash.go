@@ -1,0 +1,21 @@
+package obs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// HashWeights fingerprints a flat weight vector (FNV-1a over the IEEE-754
+// bits, order-sensitive). Snapshots record it so replay can verify it
+// rebuilt bit-identical model weights before comparing outputs.
+func HashWeights(w []float64) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range w {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		_, _ = h.Write(buf[:])
+	}
+	return fmt.Sprintf("fnv1a:%016x:%d", h.Sum64(), len(w))
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -13,9 +14,28 @@ import (
 //	/metrics.json      the same registry as JSON (BENCH artifact shape)
 //	/traces            recent completed span trees, rendered as text
 //	/flightrecorder    the event ring as JSON
+//	/snapshot          versioned state snapshot (when a provider is set)
+//
+// Every endpoint is GET-only (405 otherwise) and sets an explicit
+// Content-Type. Close shuts down gracefully: in-flight scrapes drain
+// before the listener dies.
 type MetricsServer struct {
 	lis net.Listener
 	srv *http.Server
+}
+
+// getOnly wraps a handler, rejecting non-GET methods with 405 and
+// stamping the Content-Type before the body is written.
+func getOnly(contentType string, h func(w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", contentType)
+		h(w, r)
+	}
 }
 
 // Serve starts the metrics listener on addr (e.g. ":9090" or
@@ -30,21 +50,18 @@ func (o *Observability) Serve(addr string) (*MetricsServer, error) {
 		return nil, err
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	mux.HandleFunc("/metrics", getOnly("text/plain; version=0.0.4; charset=utf-8", func(w http.ResponseWriter, _ *http.Request) {
 		_ = o.Registry.WritePrometheus(w)
-	})
-	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
+	}))
+	mux.HandleFunc("/metrics.json", getOnly("application/json", func(w http.ResponseWriter, _ *http.Request) {
 		b, err := o.Registry.DumpJSON()
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
 		_, _ = w.Write(b)
-	})
-	mux.HandleFunc("/traces", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	}))
+	mux.HandleFunc("/traces", getOnly("text/plain; charset=utf-8", func(w http.ResponseWriter, _ *http.Request) {
 		traces := o.Tracer.Recent()
 		if len(traces) == 0 {
 			fmt.Fprintln(w, "no completed traces (is -trace-sample > 0?)")
@@ -55,11 +72,23 @@ func (o *Observability) Serve(addr string) (*MetricsServer, error) {
 			sp.RenderBreakdown(w)
 			fmt.Fprintln(w)
 		}
-	})
-	mux.HandleFunc("/flightrecorder", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
+	}))
+	mux.HandleFunc("/flightrecorder", getOnly("application/json", func(w http.ResponseWriter, _ *http.Request) {
 		_ = o.Recorder.WriteJSON(w)
-	})
+	}))
+	mux.HandleFunc("/snapshot", getOnly("application/json", func(w http.ResponseWriter, _ *http.Request) {
+		provider := o.snapshotProvider()
+		if provider == nil {
+			http.Error(w, "no snapshot provider attached", http.StatusNotFound)
+			return
+		}
+		snap, err := provider()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		_ = snap.WriteJSON(w)
+	}))
 	ms := &MetricsServer{lis: lis, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
 	go func() { _ = ms.srv.Serve(lis) }()
 	return ms, nil
@@ -73,10 +102,16 @@ func (s *MetricsServer) Addr() string {
 	return s.lis.Addr().String()
 }
 
-// Close stops the listener. Nil-safe.
+// Close stops the listener gracefully: new connections are refused
+// immediately, in-flight scrapes get up to five seconds to drain, then
+// the server is torn down hard. Nil-safe and idempotent.
 func (s *MetricsServer) Close() {
 	if s == nil {
 		return
 	}
-	_ = s.srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		_ = s.srv.Close()
+	}
 }

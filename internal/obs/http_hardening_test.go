@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHTTPContentTypesAndMethodGuard pins the endpoint hardening: every
+// endpoint declares a Content-Type and refuses non-GET methods with 405
+// plus an Allow header.
+func TestHTTPContentTypesAndMethodGuard(t *testing.T) {
+	o := New(Options{TraceSample: 1, Seed: 1})
+	ms, err := o.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+
+	wantTypes := map[string]string{
+		"/metrics":        "text/plain; version=0.0.4; charset=utf-8",
+		"/metrics.json":   "application/json",
+		"/traces":         "text/plain; charset=utf-8",
+		"/flightrecorder": "application/json",
+	}
+	for path, ct := range wantTypes {
+		resp, err := http.Get("http://" + ms.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Content-Type"); got != ct {
+			t.Fatalf("GET %s Content-Type = %q, want %q", path, got, ct)
+		}
+
+		resp, err = http.Post("http://"+ms.Addr()+path, "text/plain", strings.NewReader("x"))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("POST %s: status %d, want 405", path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Allow"); got != http.MethodGet {
+			t.Fatalf("POST %s Allow = %q, want GET", path, got)
+		}
+	}
+
+	// /snapshot without a provider: 404, not a panic.
+	resp, err := http.Get("http://" + ms.Addr() + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /snapshot without provider: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// slowFlusher blocks a /metrics scrape mid-write until released, so the
+// test can catch Close with a scrape in flight.
+type slowFlusher struct {
+	started chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func (s *slowFlusher) value() float64 {
+	s.once.Do(func() { close(s.started) })
+	<-s.release
+	return 1
+}
+
+// TestHTTPGracefulClose: Close drains an in-flight scrape (the client
+// gets a complete 200 response) instead of severing the connection.
+func TestHTTPGracefulClose(t *testing.T) {
+	o := New(Options{Seed: 1})
+	sf := &slowFlusher{started: make(chan struct{}), release: make(chan struct{})}
+	o.Reg().GaugeFunc("slow_gauge", "blocks until released", sf.value)
+	ms, err := o.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type scrape struct {
+		body string
+		code int
+		err  error
+	}
+	done := make(chan scrape, 1)
+	go func() {
+		resp, err := http.Get("http://" + ms.Addr() + "/metrics")
+		if err != nil {
+			done <- scrape{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			done <- scrape{err: err}
+			return
+		}
+		done <- scrape{body: string(b), code: resp.StatusCode}
+	}()
+
+	<-sf.started // the scrape is inside the handler now
+	closed := make(chan struct{})
+	go func() {
+		ms.Close()
+		close(closed)
+	}()
+	// Close must be waiting on the in-flight scrape, not done already.
+	select {
+	case <-closed:
+		t.Fatal("Close returned while a scrape was still in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+	// New connections are refused during the drain.
+	if conn, err := net.DialTimeout("tcp", ms.Addr(), 200*time.Millisecond); err == nil {
+		conn.Close()
+		// Some platforms accept then reset; either way the request fails.
+		if resp, err := http.Get("http://" + ms.Addr() + "/metrics"); err == nil {
+			resp.Body.Close()
+		}
+	}
+	close(sf.release)
+	s := <-done
+	if s.err != nil {
+		t.Fatalf("in-flight scrape severed by Close: %v", s.err)
+	}
+	if s.code != http.StatusOK || !strings.Contains(s.body, "slow_gauge 1") {
+		t.Fatalf("drained scrape incomplete: status %d body %q", s.code, s.body)
+	}
+	select {
+	case <-closed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not return after the scrape drained")
+	}
+	ms.Close() // idempotent
+}
+
+// TestBuildInfoAndUptime: the bundle pre-registers build metadata and an
+// uptime gauge.
+func TestBuildInfoAndUptime(t *testing.T) {
+	o := New(Options{Seed: 1})
+	var b strings.Builder
+	if err := o.WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "darknight_build_info{") ||
+		!strings.Contains(out, fmt.Sprintf("version=%q", BuildVersion)) ||
+		!strings.Contains(out, "goversion=") {
+		t.Fatalf("build info missing:\n%s", out)
+	}
+	if !strings.Contains(out, "darknight_uptime_seconds") {
+		t.Fatalf("uptime gauge missing:\n%s", out)
+	}
+	parsed, err := ParsePrometheus(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up, ok := parsed["darknight_uptime_seconds"]; !ok || up < 0 {
+		t.Fatalf("uptime = %v (present %v)", up, ok)
+	}
+}

@@ -34,7 +34,15 @@ package obs
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
+	"time"
 )
+
+// BuildVersion identifies this build of the stack in
+// darknight_build_info scrapes, so metrics are attributable across a
+// fleet of heterogeneous binaries.
+const BuildVersion = "0.8.0"
 
 // Options configures an Observability bundle.
 type Options struct {
@@ -58,16 +66,54 @@ type Observability struct {
 	Tracer   *Tracer
 	Registry *Registry
 	Recorder *FlightRecorder
+
+	mu       sync.Mutex
+	snapshot func() (*Snapshot, error)
 }
 
-// New assembles a bundle: a registry always, a tracer at the configured
-// sampling rate, and a flight recorder of the configured capacity.
+// New assembles a bundle: a registry always (pre-seeded with the
+// build-info and uptime families), a tracer at the configured sampling
+// rate, and a flight recorder of the configured capacity.
 func New(o Options) *Observability {
+	reg := NewRegistry()
+	start := time.Now()
+	reg.SampleFunc("darknight_build_info",
+		"Build metadata (constant 1); the labels carry the version.",
+		"gauge", func() []Sample {
+			return []Sample{{Labels: map[string]string{
+				"version":   BuildVersion,
+				"goversion": runtime.Version(),
+			}, Value: 1}}
+		})
+	reg.GaugeFunc("darknight_uptime_seconds",
+		"Seconds since this observability bundle was created.",
+		func() float64 { return time.Since(start).Seconds() })
 	return &Observability{
 		Tracer:   NewTracer(o.TraceSample, o.TraceKeep, o.Seed),
-		Registry: NewRegistry(),
+		Registry: reg,
 		Recorder: NewFlightRecorder(o.RecorderSize),
 	}
+}
+
+// SetSnapshotProvider installs the closure behind the /snapshot HTTP
+// endpoint — typically the facade Server's CaptureSnapshot. Nil-safe.
+func (o *Observability) SetSnapshotProvider(fn func() (*Snapshot, error)) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.snapshot = fn
+	o.mu.Unlock()
+}
+
+// snapshotProvider returns the installed provider, or nil.
+func (o *Observability) snapshotProvider() func() (*Snapshot, error) {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.snapshot
 }
 
 // StartTrace begins a sampled root span, or returns nil when the bundle,

@@ -21,6 +21,7 @@ const (
 	KindRefill     = "refill"         // GPU cache miss → weight-store refill
 	KindIntegrity  = "integrity"      // integrity verdict (attributed or suspect)
 	KindNoisePool  = "noisepool-miss" // noise pool exhausted, inline fallback
+	KindSLOBreach  = "slo-breach"     // SLO burn rate crossed the threshold (or cleared)
 )
 
 // Event is one structured entry in the flight recorder. Seq and Time are

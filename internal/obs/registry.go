@@ -30,6 +30,7 @@ type series struct {
 	name, help, typ string // typ: counter | gauge | histogram
 	value           func() float64
 	hist            *Histogram
+	histVec         *HistogramVec
 	samples         func() []Sample // labeled families
 }
 
@@ -160,13 +161,24 @@ func (r *Registry) SampleFunc(name, help, typ string, fn func() []Sample) {
 	r.register(&series{name: name, help: help, typ: typ, samples: fn})
 }
 
-// Histogram is a fixed-bucket cumulative histogram.
+// Histogram is a fixed-bucket cumulative histogram. Alongside the atomic
+// bucket counts it keeps a small mutex-protected ring of the most recent
+// raw observations, from which Quantile computes exact nearest-rank
+// quantiles over the live window — the paper-faithful tail numbers the
+// bucketed counts can only approximate.
 type Histogram struct {
 	bounds []float64 // upper bounds, ascending; +Inf implicit
 	counts []atomic.Int64
 	count  atomic.Int64
 	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+
+	ringMu  sync.Mutex
+	ring    []float64 // most recent observations, ringCap-bounded
+	ringPos int
 }
+
+// histRingCap bounds the live-observation ring behind exact quantiles.
+const histRingCap = 1024
 
 // Observe records one value. Nil-safe.
 func (h *Histogram) Observe(v float64) {
@@ -180,12 +192,43 @@ func (h *Histogram) Observe(v float64) {
 		}
 	}
 	h.count.Add(1)
+	h.ringMu.Lock()
+	if len(h.ring) < histRingCap {
+		h.ring = append(h.ring, v)
+	} else {
+		h.ring[h.ringPos] = v
+		h.ringPos = (h.ringPos + 1) % histRingCap
+	}
+	h.ringMu.Unlock()
 	for {
 		old := h.sum.Load()
 		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
 			return
 		}
 	}
+}
+
+// Quantile returns the exact nearest-rank q-quantile (0 < q <= 1) over
+// the live ring of recent observations. Returns 0 when empty. Nil-safe.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.ringMu.Lock()
+	vals := append([]float64(nil), h.ring...)
+	h.ringMu.Unlock()
+	if len(vals) == 0 {
+		return 0
+	}
+	sort.Float64s(vals)
+	idx := int(math.Ceil(q*float64(len(vals)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(vals) {
+		idx = len(vals) - 1
+	}
+	return vals[idx]
 }
 
 // Count returns the number of observations.
@@ -211,10 +254,91 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	if r == nil {
 		return nil
 	}
-	h := &Histogram{bounds: append([]float64(nil), bounds...)}
-	h.counts = make([]atomic.Int64, len(h.bounds))
+	h := newHistogram(bounds)
 	r.register(&series{name: name, help: help, typ: "histogram", hist: h})
 	return h
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	h.counts = make([]atomic.Int64, len(h.bounds))
+	return h
+}
+
+// LogBuckets returns log-spaced bucket upper bounds covering [min, max]
+// with perDecade buckets per power of ten. The last bound is >= max; a
+// +Inf bucket is implicit at registration.
+func LogBuckets(min, max float64, perDecade int) []float64 {
+	if min <= 0 || max <= min || perDecade <= 0 {
+		panic("obs: LogBuckets needs 0 < min < max and perDecade > 0")
+	}
+	step := math.Pow(10, 1/float64(perDecade))
+	var out []float64
+	for b := min; ; b *= step {
+		out = append(out, b)
+		if b >= max {
+			return out
+		}
+	}
+}
+
+// LatencyBuckets is the standard log bucket layout for second-valued
+// latency histograms: 10 buckets per decade from 10µs to 10s.
+func LatencyBuckets() []float64 { return LogBuckets(1e-5, 10, 10) }
+
+// HistogramVec is a histogram family keyed by one label (tenant, device,
+// phase). Children are created lazily on first Observe and rendered as
+// `name_bucket{label="v",le="..."}` plus per-label _sum/_count.
+type HistogramVec struct {
+	label  string
+	bounds []float64
+	mu     sync.Mutex
+	order  []string
+	kids   map[string]*Histogram
+}
+
+// HistogramVec registers a labeled histogram family. Nil registry
+// returns nil; the nil vec's methods are no-ops.
+func (r *Registry) HistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	hv := &HistogramVec{label: label, bounds: append([]float64(nil), bounds...), kids: make(map[string]*Histogram)}
+	r.register(&series{name: name, help: help, typ: "histogram", histVec: hv})
+	return hv
+}
+
+// With returns the child histogram for one label value, creating it on
+// first use. Nil-safe: a nil vec returns a nil (no-op) histogram.
+func (hv *HistogramVec) With(value string) *Histogram {
+	if hv == nil {
+		return nil
+	}
+	hv.mu.Lock()
+	h, ok := hv.kids[value]
+	if !ok {
+		h = newHistogram(hv.bounds)
+		hv.kids[value] = h
+		hv.order = append(hv.order, value)
+	}
+	hv.mu.Unlock()
+	return h
+}
+
+// Observe records v under the given label value. Nil-safe.
+func (hv *HistogramVec) Observe(value string, v float64) { hv.With(value).Observe(v) }
+
+// children returns the label values in first-use order with their
+// histograms, for exposition.
+func (hv *HistogramVec) children() ([]string, map[string]*Histogram) {
+	hv.mu.Lock()
+	defer hv.mu.Unlock()
+	order := append([]string(nil), hv.order...)
+	kids := make(map[string]*Histogram, len(hv.kids))
+	for k, v := range hv.kids {
+		kids[k] = v
+	}
+	return order, kids
 }
 
 // formatLabels renders {k="v",...} with sorted keys ("" when empty).
@@ -259,14 +383,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		fmt.Fprintf(bw, "# TYPE %s %s\n", s.name, s.typ)
 		switch {
 		case s.hist != nil:
-			cum := int64(0)
-			for i, b := range s.hist.bounds {
-				cum += s.hist.counts[i].Load()
-				fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", s.name, formatFloat(b), cum)
+			writeHistText(bw, s.name, "", s.hist)
+		case s.histVec != nil:
+			order, kids := s.histVec.children()
+			for _, lv := range order {
+				writeHistText(bw, s.name, fmt.Sprintf("%s=%q,", s.histVec.label, lv), kids[lv])
 			}
-			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", s.name, s.hist.Count())
-			fmt.Fprintf(bw, "%s_sum %s\n", s.name, formatFloat(s.hist.Sum()))
-			fmt.Fprintf(bw, "%s_count %d\n", s.name, s.hist.Count())
 		case s.samples != nil:
 			for _, smp := range s.samples() {
 				fmt.Fprintf(bw, "%s%s %s\n", s.name, formatLabels(smp.Labels), formatFloat(smp.Value))
@@ -276,6 +398,25 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// writeHistText renders one histogram's cumulative buckets plus
+// _sum/_count; labelPrefix is "" or `key="value",` for vec children.
+func writeHistText(bw *bufio.Writer, name, labelPrefix string, h *Histogram) {
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(bw, "%s_bucket{%sle=%q} %d\n", name, labelPrefix, formatFloat(b), cum)
+	}
+	fmt.Fprintf(bw, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labelPrefix, h.Count())
+	if labelPrefix == "" {
+		fmt.Fprintf(bw, "%s_sum %s\n", name, formatFloat(h.Sum()))
+		fmt.Fprintf(bw, "%s_count %d\n", name, h.Count())
+	} else {
+		lp := strings.TrimSuffix(labelPrefix, ",")
+		fmt.Fprintf(bw, "%s_sum{%s} %s\n", name, lp, formatFloat(h.Sum()))
+		fmt.Fprintf(bw, "%s_count{%s} %d\n", name, lp, h.Count())
+	}
 }
 
 // formatFloat renders a float the way Prometheus clients do: integers
@@ -289,20 +430,51 @@ func formatFloat(v float64) string {
 
 // jsonMetric is one series in the JSON dump.
 type jsonMetric struct {
-	Name    string             `json:"name"`
-	Type    string             `json:"type"`
-	Help    string             `json:"help,omitempty"`
-	Value   *float64           `json:"value,omitempty"`
-	Samples []jsonSample       `json:"samples,omitempty"`
-	Buckets map[string]int64   `json:"buckets,omitempty"`
-	Sum     *float64           `json:"sum,omitempty"`
-	Count   *int64             `json:"count,omitempty"`
-	Labels  map[string]float64 `json:"-"`
+	Name      string             `json:"name"`
+	Type      string             `json:"type"`
+	Help      string             `json:"help,omitempty"`
+	Value     *float64           `json:"value,omitempty"`
+	Samples   []jsonSample       `json:"samples,omitempty"`
+	Buckets   map[string]int64   `json:"buckets,omitempty"`
+	Sum       *float64           `json:"sum,omitempty"`
+	Count     *int64             `json:"count,omitempty"`
+	Quantiles map[string]float64 `json:"quantiles,omitempty"`
+	Children  []jsonChildHist    `json:"children,omitempty"`
+	Labels    map[string]float64 `json:"-"`
 }
 
 type jsonSample struct {
 	Labels map[string]string `json:"labels"`
 	Value  float64           `json:"value"`
+}
+
+// jsonChildHist is one labeled child of a HistogramVec in the JSON dump.
+type jsonChildHist struct {
+	Label     string             `json:"label"`
+	Buckets   map[string]int64   `json:"buckets"`
+	Sum       float64            `json:"sum"`
+	Count     int64              `json:"count"`
+	Quantiles map[string]float64 `json:"quantiles,omitempty"`
+}
+
+// histQuantiles reports the standard exact quantiles over the live ring.
+func histQuantiles(h *Histogram) map[string]float64 {
+	if h.Count() == 0 {
+		return nil
+	}
+	return map[string]float64{
+		"0.5":  h.Quantile(0.5),
+		"0.9":  h.Quantile(0.9),
+		"0.99": h.Quantile(0.99),
+	}
+}
+
+func histBuckets(h *Histogram) map[string]int64 {
+	out := make(map[string]int64, len(h.bounds))
+	for i, b := range h.bounds {
+		out[formatFloat(b)] = h.counts[i].Load()
+	}
+	return out
 }
 
 // DumpJSON renders the registry as a JSON array of series — the format
@@ -324,12 +496,19 @@ func (r *Registry) DumpJSON() ([]byte, error) {
 		jm := jsonMetric{Name: s.name, Type: s.typ, Help: s.help}
 		switch {
 		case s.hist != nil:
-			jm.Buckets = make(map[string]int64, len(s.hist.bounds))
-			for i, b := range s.hist.bounds {
-				jm.Buckets[formatFloat(b)] = s.hist.counts[i].Load()
-			}
+			jm.Buckets = histBuckets(s.hist)
 			sum, cnt := s.hist.Sum(), s.hist.Count()
 			jm.Sum, jm.Count = &sum, &cnt
+			jm.Quantiles = histQuantiles(s.hist)
+		case s.histVec != nil:
+			order, kids := s.histVec.children()
+			for _, lv := range order {
+				h := kids[lv]
+				jm.Children = append(jm.Children, jsonChildHist{
+					Label: lv, Buckets: histBuckets(h), Sum: h.Sum(), Count: h.Count(),
+					Quantiles: histQuantiles(h),
+				})
+			}
 		case s.samples != nil:
 			for _, smp := range s.samples() {
 				jm.Samples = append(jm.Samples, jsonSample{Labels: smp.Labels, Value: smp.Value})

@@ -1,0 +1,280 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// SLOObjective is one tenant's service-level objective. A request is
+// latency-"bad" when it exceeds LatencyTarget; the objective holds while
+// at least LatencyGoal of requests in the window are good and the error
+// fraction stays within ErrorBudget.
+type SLOObjective struct {
+	// Tenant names the tenant the objective applies to; "*" is the
+	// default for tenants without an explicit objective.
+	Tenant string
+	// LatencyTarget is the per-request latency bound (e.g. the P99
+	// target): requests slower than this consume error budget.
+	LatencyTarget time.Duration
+	// LatencyGoal is the fraction of requests that must meet the target
+	// (e.g. 0.99 for "P99 <= target"). Zero disables the latency SLO.
+	LatencyGoal float64
+	// ErrorBudget is the tolerated failure fraction (e.g. 0.001). Zero
+	// disables the error-rate SLO.
+	ErrorBudget float64
+}
+
+// SLOConfig configures an SLOTracker.
+type SLOConfig struct {
+	Objectives []SLOObjective
+	// Windows are the sliding evaluation windows; default {30s, 5m}.
+	// Multi-window burn rates distinguish a fast ongoing burn (short
+	// window) from a sustained one (long window).
+	Windows []time.Duration
+	// BurnThreshold is the burn rate at which the breach callback fires;
+	// default 1.0 (consuming budget exactly as fast as it accrues).
+	BurnThreshold float64
+	// Now is the clock; nil means time.Now. Tests inject a fake clock to
+	// pin burn-rate rise and fall deterministically.
+	Now func() time.Time
+}
+
+// Breach is one threshold crossing reported to the OnBreach hook.
+// Cleared=false marks the burn rate rising through the threshold,
+// Cleared=true its return below it.
+type Breach struct {
+	Tenant  string
+	Window  time.Duration
+	SLO     string // "latency" | "errors"
+	Burn    float64
+	Cleared bool
+}
+
+// BurnRate is one tenant/window/SLO burn-rate reading. Burn 1.0 means
+// the error budget is being consumed exactly at the sustainable rate;
+// above 1.0 the objective will be missed if the burn persists.
+type BurnRate struct {
+	Tenant string
+	Window time.Duration
+	SLO    string
+	Burn   float64
+}
+
+// sloSample is one observed request.
+type sloSample struct {
+	at     time.Time
+	lat    time.Duration
+	failed bool
+}
+
+// sloRingCap bounds the per-tenant sample ring. At serving rates beyond
+// cap/longest-window the burn rate degrades to "over the last cap
+// requests", which only under-reports windows already saturated with
+// samples.
+const sloRingCap = 8192
+
+type sloRing struct {
+	buf []sloSample
+	pos int
+}
+
+func (r *sloRing) add(s sloSample) {
+	if len(r.buf) < sloRingCap {
+		r.buf = append(r.buf, s)
+		return
+	}
+	r.buf[r.pos] = s
+	r.pos = (r.pos + 1) % sloRingCap
+}
+
+// SLOTracker evaluates per-tenant objectives over sliding windows and
+// exports multi-window burn-rate gauges
+// (darknight_slo_burn_rate{tenant,window,slo}). A threshold callback
+// hook lets the fleet manager subscribe to breaches.
+type SLOTracker struct {
+	mu         sync.Mutex
+	objectives map[string]SLOObjective
+	windows    []time.Duration
+	threshold  float64
+	now        func() time.Time
+	rings      map[string]*sloRing
+	breached   map[string]bool
+	onBreach   func(Breach)
+	breaches   int64 // rising crossings observed (monotone)
+}
+
+// NewSLOTracker builds a tracker; a config with no objectives yields a
+// tracker that observes but reports no burn rates.
+func NewSLOTracker(cfg SLOConfig) *SLOTracker {
+	t := &SLOTracker{
+		objectives: make(map[string]SLOObjective, len(cfg.Objectives)),
+		windows:    cfg.Windows,
+		threshold:  cfg.BurnThreshold,
+		now:        cfg.Now,
+		rings:      make(map[string]*sloRing),
+		breached:   make(map[string]bool),
+	}
+	for _, o := range cfg.Objectives {
+		t.objectives[o.Tenant] = o
+	}
+	if len(t.windows) == 0 {
+		t.windows = []time.Duration{30 * time.Second, 5 * time.Minute}
+	}
+	if t.threshold <= 0 {
+		t.threshold = 1
+	}
+	if t.now == nil {
+		t.now = time.Now
+	}
+	return t
+}
+
+// OnBreach installs the threshold callback. The callback runs outside
+// the tracker lock, on the goroutine that called Observe. Nil-safe.
+func (t *SLOTracker) OnBreach(fn func(Breach)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.onBreach = fn
+	t.mu.Unlock()
+}
+
+// objectiveFor resolves a tenant's objective, falling back to "*".
+func (t *SLOTracker) objectiveFor(tenant string) (SLOObjective, bool) {
+	if o, ok := t.objectives[tenant]; ok {
+		return o, true
+	}
+	o, ok := t.objectives["*"]
+	return o, ok
+}
+
+// Observe records one finished request and re-evaluates the tenant's
+// burn rates, firing the breach hook on threshold crossings. Nil-safe.
+func (t *SLOTracker) Observe(tenant string, latency time.Duration, failed bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	obj, ok := t.objectiveFor(tenant)
+	if !ok {
+		t.mu.Unlock()
+		return
+	}
+	ring := t.rings[tenant]
+	if ring == nil {
+		ring = &sloRing{}
+		t.rings[tenant] = ring
+	}
+	ring.add(sloSample{at: t.now(), lat: latency, failed: failed})
+	var fired []Breach
+	hook := t.onBreach
+	for _, br := range t.burnsLocked(tenant, obj, ring) {
+		key := fmt.Sprintf("%s|%s|%s", br.Tenant, br.Window, br.SLO)
+		switch {
+		case br.Burn >= t.threshold && !t.breached[key]:
+			t.breached[key] = true
+			t.breaches++
+			fired = append(fired, Breach{Tenant: br.Tenant, Window: br.Window, SLO: br.SLO, Burn: br.Burn})
+		case br.Burn < t.threshold && t.breached[key]:
+			delete(t.breached, key)
+			fired = append(fired, Breach{Tenant: br.Tenant, Window: br.Window, SLO: br.SLO, Burn: br.Burn, Cleared: true})
+		}
+	}
+	t.mu.Unlock()
+	if hook != nil {
+		for _, b := range fired {
+			hook(b)
+		}
+	}
+}
+
+// burnsLocked computes one tenant's burn rates across all windows.
+func (t *SLOTracker) burnsLocked(tenant string, obj SLOObjective, ring *sloRing) []BurnRate {
+	now := t.now()
+	var out []BurnRate
+	for _, w := range t.windows {
+		cutoff := now.Add(-w)
+		var total, slow, failed int
+		for _, s := range ring.buf {
+			if s.at.Before(cutoff) {
+				continue
+			}
+			total++
+			if s.failed {
+				failed++
+			} else if s.lat > obj.LatencyTarget {
+				slow++
+			}
+		}
+		if obj.LatencyGoal > 0 && obj.LatencyGoal < 1 {
+			burn := 0.0
+			if total > 0 {
+				burn = (float64(slow+failed) / float64(total)) / (1 - obj.LatencyGoal)
+			}
+			out = append(out, BurnRate{Tenant: tenant, Window: w, SLO: "latency", Burn: burn})
+		}
+		if obj.ErrorBudget > 0 {
+			burn := 0.0
+			if total > 0 {
+				burn = (float64(failed) / float64(total)) / obj.ErrorBudget
+			}
+			out = append(out, BurnRate{Tenant: tenant, Window: w, SLO: "errors", Burn: burn})
+		}
+	}
+	return out
+}
+
+// BurnRates recomputes every tenant's burn rates over the live windows.
+// Nil-safe: a nil tracker reports nothing.
+func (t *SLOTracker) BurnRates() []BurnRate {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []BurnRate
+	for tenant, ring := range t.rings {
+		obj, ok := t.objectiveFor(tenant)
+		if !ok {
+			continue
+		}
+		out = append(out, t.burnsLocked(tenant, obj, ring)...)
+	}
+	return out
+}
+
+// Breaches returns the number of rising threshold crossings seen.
+func (t *SLOTracker) Breaches() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.breaches
+}
+
+// Register exports the tracker on a registry:
+// darknight_slo_burn_rate{tenant,window,slo} recomputed at scrape time,
+// plus a darknight_slo_breaches_total counter. Nil-safe.
+func (t *SLOTracker) Register(r *Registry) {
+	if t == nil || r == nil {
+		return
+	}
+	r.SampleFunc("darknight_slo_burn_rate",
+		"Error-budget burn rate per tenant, window and SLO (1.0 = budget consumed exactly at the sustainable rate).",
+		"gauge", func() []Sample {
+			brs := t.BurnRates()
+			out := make([]Sample, 0, len(brs))
+			for _, br := range brs {
+				out = append(out, Sample{Labels: map[string]string{
+					"tenant": br.Tenant, "window": br.Window.String(), "slo": br.SLO,
+				}, Value: br.Burn})
+			}
+			return out
+		})
+	r.CounterFunc("darknight_slo_breaches_total",
+		"Rising burn-rate threshold crossings observed by the SLO tracker.",
+		func() float64 { return float64(t.Breaches()) })
+}

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable SLO clock tests advance by hand.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func burnOf(brs []BurnRate, slo string) float64 {
+	for _, br := range brs {
+		if br.SLO == slo {
+			return br.Burn
+		}
+	}
+	return -1
+}
+
+// TestSLOBurnRiseAndRecover pins the acceptance behavior: the burn rate
+// rises above the threshold while injected latency pushes requests past
+// the target, the breach hook fires once (edge-triggered), and once the
+// slow samples age out of the window the burn returns below threshold and
+// the clear event fires.
+func TestSLOBurnRiseAndRecover(t *testing.T) {
+	clk := newFakeClock()
+	tr := NewSLOTracker(SLOConfig{
+		Objectives: []SLOObjective{{Tenant: "*", LatencyTarget: 10 * time.Millisecond, LatencyGoal: 0.9, ErrorBudget: 0.1}},
+		Windows:    []time.Duration{time.Second},
+		Now:        clk.now,
+	})
+	var events []Breach
+	tr.OnBreach(func(b Breach) { events = append(events, b) })
+
+	// Healthy traffic: all requests meet the target, burn 0.
+	for i := 0; i < 20; i++ {
+		tr.Observe("gold", time.Millisecond, false)
+		clk.advance(10 * time.Millisecond)
+	}
+	if burn := burnOf(tr.BurnRates(), "latency"); burn != 0 {
+		t.Fatalf("healthy burn = %v, want 0", burn)
+	}
+	if len(events) != 0 {
+		t.Fatalf("healthy traffic fired %d breach events", len(events))
+	}
+
+	// Injected latency: every request blows the 10ms target. The bad
+	// fraction heads to 1.0, so the latency burn heads to 1/(1-0.9) = 10.
+	for i := 0; i < 30; i++ {
+		tr.Observe("gold", 50*time.Millisecond, false)
+		clk.advance(10 * time.Millisecond)
+	}
+	if burn := burnOf(tr.BurnRates(), "latency"); burn < 1 {
+		t.Fatalf("burn under injected latency = %v, want >= 1", burn)
+	}
+	var rises int
+	for _, e := range events {
+		if !e.Cleared {
+			rises++
+			if e.SLO != "latency" || e.Tenant != "gold" {
+				t.Fatalf("unexpected breach %+v", e)
+			}
+		}
+	}
+	if rises != 1 {
+		t.Fatalf("edge-triggered hook fired %d rising events, want exactly 1", rises)
+	}
+	if tr.Breaches() != 1 {
+		t.Fatalf("Breaches() = %d, want 1", tr.Breaches())
+	}
+
+	// Recovery: fast requests again. After the window slides past the slow
+	// burst the burn falls below threshold and the clear event fires.
+	for i := 0; i < 150; i++ {
+		tr.Observe("gold", time.Millisecond, false)
+		clk.advance(10 * time.Millisecond)
+	}
+	if burn := burnOf(tr.BurnRates(), "latency"); burn >= 1 {
+		t.Fatalf("burn after recovery = %v, want < 1", burn)
+	}
+	var clears int
+	for _, e := range events {
+		if e.Cleared && e.SLO == "latency" {
+			clears++
+		}
+	}
+	if clears != 1 {
+		t.Fatalf("clear events = %d, want exactly 1", clears)
+	}
+	if tr.Breaches() != 1 {
+		t.Fatalf("Breaches() after recovery = %d, want still 1 (clears are not breaches)", tr.Breaches())
+	}
+}
+
+// TestSLOErrorBudgetBurn pins the error-rate SLO arithmetic: failure
+// fraction divided by the budget.
+func TestSLOErrorBudgetBurn(t *testing.T) {
+	clk := newFakeClock()
+	tr := NewSLOTracker(SLOConfig{
+		Objectives: []SLOObjective{{Tenant: "api", ErrorBudget: 0.01}},
+		Windows:    []time.Duration{time.Minute},
+		Now:        clk.now,
+	})
+	for i := 0; i < 100; i++ {
+		tr.Observe("api", time.Millisecond, i%10 == 0) // 10% failures
+		clk.advance(time.Millisecond)
+	}
+	// 10% failures against a 1% budget: burn 10.
+	if burn := burnOf(tr.BurnRates(), "errors"); burn < 9.9 || burn > 10.1 {
+		t.Fatalf("error burn = %v, want ~10", burn)
+	}
+	// Failed requests count against the latency SLO too — but this
+	// objective declares none, so only "errors" series exist.
+	for _, br := range tr.BurnRates() {
+		if br.SLO != "errors" {
+			t.Fatalf("unexpected SLO series %q", br.SLO)
+		}
+	}
+}
+
+// TestSLOTenantFallback: explicit objectives win over "*", tenants with
+// neither are not tracked.
+func TestSLOTenantFallback(t *testing.T) {
+	clk := newFakeClock()
+	tr := NewSLOTracker(SLOConfig{
+		Objectives: []SLOObjective{
+			{Tenant: "gold", LatencyTarget: 100 * time.Millisecond, LatencyGoal: 0.99},
+			{Tenant: "*", LatencyTarget: time.Millisecond, LatencyGoal: 0.5},
+		},
+		Windows: []time.Duration{time.Minute},
+		Now:     clk.now,
+	})
+	tr.Observe("gold", 10*time.Millisecond, false)   // meets gold's 100ms target
+	tr.Observe("bronze", 10*time.Millisecond, false) // blows the wildcard 1ms target
+	var goldBurn, bronzeBurn float64 = -1, -1
+	for _, br := range tr.BurnRates() {
+		switch br.Tenant {
+		case "gold":
+			goldBurn = br.Burn
+		case "bronze":
+			bronzeBurn = br.Burn
+		}
+	}
+	if goldBurn != 0 {
+		t.Fatalf("gold burn = %v, want 0 (explicit objective)", goldBurn)
+	}
+	if bronzeBurn <= 0 {
+		t.Fatalf("bronze burn = %v, want > 0 (wildcard objective)", bronzeBurn)
+	}
+}
+
+// TestSLORegisterExportsGauges: the tracker's registry series render as
+// darknight_slo_burn_rate{tenant,window,slo} plus the breach counter.
+func TestSLORegisterExportsGauges(t *testing.T) {
+	clk := newFakeClock()
+	tr := NewSLOTracker(SLOConfig{
+		Objectives: []SLOObjective{{Tenant: "*", LatencyTarget: time.Millisecond, LatencyGoal: 0.9}},
+		Windows:    []time.Duration{30 * time.Second},
+		Now:        clk.now,
+	})
+	r := NewRegistry()
+	tr.Register(r)
+	tr.Observe("gold", time.Second, false) // blows the target
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `darknight_slo_burn_rate{slo="latency",tenant="gold",window="30s"}`) {
+		t.Fatalf("burn-rate gauge missing from exposition:\n%s", out)
+	}
+	if !strings.Contains(out, "darknight_slo_breaches_total 1") {
+		t.Fatalf("breach counter missing from exposition:\n%s", out)
+	}
+}
+
+// TestSLONilSafety: a nil tracker and a tracker without objectives are
+// inert on the hot path.
+func TestSLONilSafety(t *testing.T) {
+	var tr *SLOTracker
+	tr.Observe("x", time.Second, true) // must not panic
+	tr.OnBreach(func(Breach) {})
+	if tr.BurnRates() != nil || tr.Breaches() != 0 {
+		t.Fatal("nil tracker not inert")
+	}
+	tr.Register(NewRegistry())
+
+	empty := NewSLOTracker(SLOConfig{})
+	empty.Observe("x", time.Second, true)
+	if got := empty.BurnRates(); len(got) != 0 {
+		t.Fatalf("objective-less tracker reported %v", got)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"darknight/internal/fleet"
 	"darknight/internal/masking"
+	"darknight/internal/obs"
 	"darknight/internal/sched"
 )
 
@@ -42,6 +43,13 @@ type Metrics struct {
 
 	// tenants accumulates per-tenant request outcomes.
 	tenants map[string]*tenantCounts
+
+	// latHist/phaseHist/slo are set once before serving starts (nil when
+	// observability is off): per-tenant end-to-end latency histograms,
+	// per-phase TEE-side histograms, and the SLO burn-rate tracker.
+	latHist   *obs.HistogramVec
+	phaseHist *obs.HistogramVec
+	slo       *obs.SLOTracker
 }
 
 // tenantCounts is one tenant's request accounting.
@@ -80,7 +88,8 @@ func (m *Metrics) continuousAdmit() {
 	m.mu.Unlock()
 }
 
-// phases folds one batch's TEE-side phase deltas into the totals.
+// phases folds one batch's TEE-side phase deltas into the totals and the
+// per-phase latency histograms.
 func (m *Metrics) phases(d sched.PhaseStats) {
 	m.mu.Lock()
 	m.phase.Encode += d.Encode
@@ -92,36 +101,50 @@ func (m *Metrics) phases(d sched.PhaseStats) {
 	m.phase.FusedBlocks += d.FusedBlocks
 	m.phase.FusedLayers += d.FusedLayers
 	m.mu.Unlock()
+	if m.phaseHist != nil {
+		m.phaseHist.Observe("encode", d.Encode.Seconds())
+		m.phaseHist.Observe("dispatch", d.Dispatch.Seconds())
+		m.phaseHist.Observe("decode", d.Decode.Seconds())
+	}
 }
 
 // finished records one dispatched batch outcome at time now.
 func (m *Metrics) finished(b *vbatch, now time.Time, err error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.batches++
 	m.realRows += int64(len(b.reqs))
 	m.padRows += int64(m.k - len(b.reqs))
 	tc := m.tenantLocked(b.tenant)
 	tc.batches++
 	tc.realRows += int64(len(b.reqs))
-	if err != nil {
+	failed := err != nil
+	if failed {
 		m.failed += int64(len(b.reqs))
 		tc.failed += int64(len(b.reqs))
 		if IsIntegrityError(err) {
 			m.integrity += int64(len(b.reqs))
 		}
-		return
+	} else {
+		m.completed += int64(len(b.reqs))
+		tc.completed += int64(len(b.reqs))
+		for _, r := range b.reqs {
+			l := now.Sub(r.enqueued)
+			if len(m.lat) < latWindow {
+				m.lat = append(m.lat, l)
+			} else {
+				m.lat[m.latIdx] = l
+				m.latIdx = (m.latIdx + 1) % latWindow
+			}
+		}
 	}
-	m.completed += int64(len(b.reqs))
-	tc.completed += int64(len(b.reqs))
+	m.mu.Unlock()
+	// Histogram and SLO recording happen outside the counter lock: both
+	// are internally synchronized, and a scrape must never block the
+	// completion path on m.mu longer than the counters need.
 	for _, r := range b.reqs {
 		l := now.Sub(r.enqueued)
-		if len(m.lat) < latWindow {
-			m.lat = append(m.lat, l)
-		} else {
-			m.lat[m.latIdx] = l
-			m.latIdx = (m.latIdx + 1) % latWindow
-		}
+		m.latHist.Observe(b.tenant, l.Seconds())
+		m.slo.Observe(b.tenant, l, failed)
 	}
 }
 
@@ -255,4 +278,17 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	sort.Slice(s.Tenants, func(i, j int) bool { return s.Tenants[i].Name < s.Tenants[j].Name })
 	return s
+}
+
+// snapshotInto fills the serve occupancy fields of a state snapshot
+// under one lock hold.
+func (m *Metrics) snapshotInto(si *obs.ServingInfo) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	si.QueueDepth = m.depth
+	si.BatchesCompleted = m.batches
+	si.Completed = m.completed
+	si.Failed = m.failed
+	si.IntegrityEvents = m.integrity
+	si.ContinuousAdmits = m.continuous
 }

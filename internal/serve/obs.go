@@ -110,6 +110,18 @@ func (s *Server) registerMetrics(r *obs.Registry) {
 	r.GaugeFunc("darknight_noisepool_fallbacks",
 		"Current count of inline-RNG fallbacks — nonzero and growing means the pool is undersized.",
 		func() float64 { return float64(s.poolStats().Misses) })
+	// Live histogram instruments (not scrape-time closures): the hot path
+	// pays one atomic bucket increment plus a short ring append per
+	// observation — the cost the PR 8 overhead gate bounds by pairing
+	// against Config.NoHistograms (nil vecs are inert).
+	if !s.cfg.NoHistograms {
+		m.latHist = r.HistogramVec("darknight_request_latency_hist_seconds",
+			"Per-tenant end-to-end request latency (log buckets, exact ring quantiles).",
+			"tenant", obs.LatencyBuckets())
+		m.phaseHist = r.HistogramVec("darknight_tee_phase_latency_seconds",
+			"Per-batch TEE-side time by phase (encode/dispatch/decode).",
+			"phase", obs.LatencyBuckets())
+	}
 	r.SampleFunc("darknight_tenant_requests_total",
 		"Per-tenant request outcomes.", "counter",
 		func() []obs.Sample {

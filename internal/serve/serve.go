@@ -90,10 +90,23 @@ type Config struct {
 	Continuous bool
 	// Obs, when non-nil, attaches the observability stack: sampled request
 	// traces (admit→seal→batch→offload span trees), serving/fleet/noise-pool
-	// series registered into Obs.Registry, and fleet/sched events recorded
-	// into Obs.Recorder. One Observability per server — series registration
-	// panics on duplicates. Nil keeps the hot path at its untraced cost.
+	// series registered into Obs.Registry, latency histograms, the
+	// completed-batch log behind CaptureSnapshot, and fleet/sched events
+	// recorded into Obs.Recorder. One Observability per server — series
+	// registration panics on duplicates. Nil keeps the hot path at its
+	// untraced cost.
 	Obs *obs.Observability
+	// SLO configures per-tenant objectives evaluated by an obs.SLOTracker
+	// (burn-rate gauges, breach events into the fleet). Only active when
+	// Obs is attached; with no objectives the tracker is not built.
+	SLO obs.SLOConfig
+	// BatchLog bounds the completed-batch ring behind CaptureSnapshot
+	// (0 = DefaultBatchLog). Only kept when Obs is attached.
+	BatchLog int
+	// NoHistograms suppresses the live latency histogram instruments while
+	// keeping every scrape-time series — the A/B knob the histogram
+	// overhead gate pairs against. Production configurations leave it off.
+	NoHistograms bool
 }
 
 // result is what a worker delivers back to one waiting request.
@@ -128,10 +141,11 @@ type Server struct {
 	workers []*sched.Inferencer
 	pipes   []*sched.Pipeline
 
-	admit   chan *request
-	batches chan *vbatch
-	metrics *Metrics
-	obs     *obs.Observability
+	admit    chan *request
+	batches  chan *vbatch
+	metrics  *Metrics
+	obs      *obs.Observability
+	batchlog *batchLog
 
 	gate closeGate
 	wg   sync.WaitGroup
@@ -235,6 +249,12 @@ func New(cfg Config, models []*nn.Model, fm *fleet.Manager, encl *enclave.Enclav
 		}
 		s.registerMetrics(s.obs.Reg())
 		fm.RegisterMetrics(s.obs.Reg())
+		s.batchlog = newBatchLog(cfg.BatchLog)
+		if len(cfg.SLO.Objectives) > 0 {
+			s.metrics.slo = obs.NewSLOTracker(cfg.SLO)
+			s.metrics.slo.Register(s.obs.Reg())
+			fm.SubscribeSLO(s.metrics.slo)
+		}
 	}
 	s.wg.Add(1)
 	go s.batchLoop()

@@ -51,7 +51,12 @@ func (s *Server) workLoop(inf *sched.Inferencer) {
 		inf.SetSpan(bsp)
 		preds, err := inf.Predict(grant, b.images)
 		inf.SetSpan(nil)
-		reportOutcome(grant, inf.Culprits(), err)
+		culprits := inf.Culprits()
+		// The batch log append precedes the release: a device freed by this
+		// grant cannot serve a later batch until the log already holds this
+		// one, which keeps per-device log order equal to dispatch order.
+		s.logBatch(b, grant.Slots(), preds, culprits, err)
+		reportOutcome(grant, culprits, err)
 		grant.Release()
 		bsp.End()
 		s.metrics.phases(inf.PhaseStats().Sub(before))
@@ -131,6 +136,9 @@ func (s *Server) pipeLoop(p *sched.Pipeline) {
 
 	finish := func(f pipeFlight) {
 		err := f.tk.Wait()
+		// Log before release (see workLoop): per-device log order must
+		// equal dispatch order for replay to re-run fault schedules.
+		s.logBatch(f.b, f.grant.Slots(), f.tk.Classes(), f.tk.Culprits(), err)
 		reportOutcome(f.grant, f.tk.Culprits(), err)
 		f.grant.Release()
 		f.bsp.End()

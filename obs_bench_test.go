@@ -2,11 +2,52 @@ package darknight
 
 import (
 	"context"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 )
+
+// gateRequests sizes each overhead-gate measurement run. 192 requests
+// finish in single-digit milliseconds and made the paired gates flake
+// tens of percent either way on shared CI; ~1k requests keeps each run
+// past the scheduler-noise floor while the whole gate stays under a
+// second.
+const gateRequests = 960
+
+// pairedOverhead measures two serving configurations and returns the
+// median of the per-round throughput ratios b/a (1.0 = no overhead,
+// 0.9 = b ten percent slower). One unmeasured warm-up of each side runs
+// first (frequency scaling and page-cache warm-up systematically favor
+// whichever side runs later); each round then measures the pair
+// back-to-back in order alternated between rounds, so slow machine
+// phases hit both sides of a ratio and residual drift alternates sign
+// instead of biasing one side. The median over rounds discards the
+// outlier rounds a best-of cannot.
+func pairedOverhead(t *testing.T, rounds int, a, b ObservabilityConfig) float64 {
+	t.Helper()
+	obsServeThroughput(t, a, 16, gateRequests)
+	obsServeThroughput(t, b, 16, gateRequests)
+	ratios := make([]float64, 0, rounds)
+	for i := 0; i < rounds; i++ {
+		var va, vb float64
+		if i%2 == 0 {
+			va = obsServeThroughput(t, a, 16, gateRequests)
+			vb = obsServeThroughput(t, b, 16, gateRequests)
+		} else {
+			vb = obsServeThroughput(t, b, 16, gateRequests)
+			va = obsServeThroughput(t, a, 16, gateRequests)
+		}
+		ratios = append(ratios, vb/va)
+	}
+	sort.Float64s(ratios)
+	mid := len(ratios) / 2
+	if len(ratios)%2 == 0 {
+		return (ratios[mid-1] + ratios[mid]) / 2
+	}
+	return ratios[mid]
+}
 
 // obsServeThroughput drives n closed-loop requests through a pipelined
 // K=4 server carrying the given observability configuration and returns
@@ -81,23 +122,57 @@ func BenchmarkTracingOverhead(b *testing.B) {
 // (metrics are scrape-time closures, the recorder only sees rare fleet
 // events) must not measurably slow serving. The design budget is <= 1%;
 // the test gate allows 10% because sub-second throughput runs on shared
-// CI carry several percent of scheduler noise — paired best-of-N keeps
-// even that loose gate meaningful. The exact measured delta ships in
-// BENCH_PR6.json via BenchmarkTracingOverhead.
+// CI carry ±15% of scheduler noise — the median-of-paired-ratios
+// protocol (pairedOverhead) keeps even that loose gate meaningful. The
+// exact measured delta ships in BENCH_PR6.json via
+// BenchmarkTracingOverhead.
 func TestTracingDisabledOverheadGate(t *testing.T) {
-	const rounds = 4
-	var off, on float64
-	for i := 0; i < rounds; i++ { // interleaved: both sides see the same machine state
-		if v := obsServeThroughput(t, ObservabilityConfig{}, 16, 192); v > off {
-			off = v
-		}
-		if v := obsServeThroughput(t, ObservabilityConfig{Enabled: true}, 16, 192); v > on {
-			on = v
-		}
+	ratio := pairedOverhead(t, 9, ObservabilityConfig{}, ObservabilityConfig{Enabled: true})
+	t.Logf("attached-unsampled vs obs absent: median paired throughput ratio %.3f (%.2f%% delta)", ratio, 100*(1-ratio))
+	if ratio < 0.90 {
+		t.Fatalf("attached-but-disabled observability costs %.1f%% throughput (median paired ratio %.3f)", 100*(1-ratio), ratio)
 	}
-	delta := 100 * (off - on) / off
-	t.Logf("best throughput: obs absent %.0f req/s, attached-unsampled %.0f req/s (%.2f%% delta)", off, on, delta)
-	if on < 0.90*off {
-		t.Fatalf("attached-but-disabled observability costs %.1f%% throughput (%.0f vs %.0f req/s)", delta, on, off)
+}
+
+// BenchmarkHistogramOverhead measures serving throughput with the live
+// latency histogram instruments on versus suppressed (NoHistograms), the
+// rest of the observability stack identical. The on/off delta is the
+// number the ≤2% histogram budget in ISSUE/DESIGN refers to;
+// BENCH_PR8.json records it.
+func BenchmarkHistogramOverhead(b *testing.B) {
+	modes := []struct {
+		name string
+		oc   ObservabilityConfig
+	}{
+		{"histograms-off", ObservabilityConfig{Enabled: true, NoHistograms: true}},
+		{"histograms-on", ObservabilityConfig{Enabled: true}},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			var tp float64
+			for i := 0; i < b.N; i++ {
+				tp = obsServeThroughput(b, mode.oc, 16, 192)
+			}
+			b.ReportMetric(tp, "req/s")
+		})
+	}
+}
+
+// TestHistogramOverheadGate enforces the histogram recording budget: the
+// per-request latency vec and per-phase vec cost one atomic bucket
+// increment plus a short ring append per observation, which must not
+// measurably dent serving throughput. The design budget is <= 2%; the
+// gate allows 10% for shared-CI scheduler noise, median-of-paired-ratios
+// so both sides of every ratio see the same machine state (the PR 6
+// tracing gate's protocol). The pair isolates the per-request instruments; the
+// per-grant fleet flight histogram (K-fold rarer) stays on in both sides
+// and is bounded with everything else by TestTracingDisabledOverheadGate.
+func TestHistogramOverheadGate(t *testing.T) {
+	ratio := pairedOverhead(t, 9,
+		ObservabilityConfig{Enabled: true, NoHistograms: true},
+		ObservabilityConfig{Enabled: true})
+	t.Logf("histograms on vs off: median paired throughput ratio %.3f (%.2f%% delta)", ratio, 100*(1-ratio))
+	if ratio < 0.90 {
+		t.Fatalf("histogram recording costs %.1f%% throughput (median paired ratio %.3f)", 100*(1-ratio), ratio)
 	}
 }

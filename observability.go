@@ -21,6 +21,29 @@ type TraceSpan = obs.Span
 // integrity verdicts.
 type FlightEvent = obs.Event
 
+// SLOConfig declares per-tenant service-level objectives and the sliding
+// windows / burn threshold they are evaluated over.
+type SLOConfig = obs.SLOConfig
+
+// SLOObjective is one tenant's objective: a latency target at a goal
+// fraction, and an error budget. Tenant "*" applies to all tenants.
+type SLOObjective = obs.SLOObjective
+
+// SLOBreach is one burn-rate threshold crossing (or clearing).
+type SLOBreach = obs.Breach
+
+// BurnRate is one tenant's budget burn over one window.
+type BurnRate = obs.BurnRate
+
+// SLOTracker evaluates objectives over sliding windows; obtain one from
+// Server.SLO.
+type SLOTracker = obs.SLOTracker
+
+// StateSnapshot is a versioned, serializable capture of a running
+// deployment — config, fleet health, tenant occupancy, the completed-batch
+// log and the flight-recorder window — sufficient for deterministic replay.
+type StateSnapshot = obs.Snapshot
+
 // ObservabilityConfig switches on the unified observability layer for a
 // Server (ServerConfig.Observability) or a System (Config.Observability).
 // The zero value disables everything and keeps the hot path at its
@@ -43,12 +66,28 @@ type ObservabilityConfig struct {
 	TraceKeep int
 	// FlightRecorderSize bounds the structured-event ring (default 1024).
 	FlightRecorderSize int
+	// SLO declares per-tenant objectives; when any are set, the server
+	// tracks burn rates (exported as darknight_slo_burn_rate) and records
+	// threshold crossings in the flight recorder.
+	SLO SLOConfig
+	// SnapshotBatchLog bounds the completed-batch replay log (default
+	// 256 batches). Snapshots can only replay what the log retains.
+	SnapshotBatchLog int
+	// SnapshotWeights embeds the full model weights in captured snapshots
+	// (instead of just their hash), making them self-contained — replay
+	// does not need to rebuild the exact model. Costly for large models.
+	SnapshotWeights bool
+	// NoHistograms suppresses the live per-request and per-phase latency
+	// histogram instruments while keeping every scrape-time series — the
+	// A/B knob the histogram overhead gate pairs against. Leave it off in
+	// production.
+	NoHistograms bool
 }
 
 // enabled reports whether any knob asks for the observability stack.
 func (o ObservabilityConfig) enabled() bool {
 	return o.Enabled || o.MetricsAddr != "" || o.TraceSample > 0 ||
-		o.TraceKeep > 0 || o.FlightRecorderSize > 0
+		o.TraceKeep > 0 || o.FlightRecorderSize > 0 || len(o.SLO.Objectives) > 0
 }
 
 // build assembles the bundle (nil when disabled).

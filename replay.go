@@ -1,0 +1,93 @@
+package darknight
+
+import (
+	"fmt"
+
+	"darknight/internal/obs"
+	"darknight/internal/obs/replay"
+)
+
+// ReplayReport is the outcome of a deterministic snapshot replay: batch
+// match counts, any divergences, and the event projections compared.
+type ReplayReport = replay.Report
+
+// ReplayOptions tunes a replay run.
+type ReplayOptions = replay.Options
+
+// LoadSnapshot reads a state snapshot from a JSON file, checking its
+// schema version and internal consistency.
+func LoadSnapshot(path string) (*StateSnapshot, error) { return obs.LoadSnapshot(path) }
+
+// SaveSnapshot writes a state snapshot to a JSON file.
+func SaveSnapshot(snap *StateSnapshot, path string) error { return obs.SaveSnapshot(snap, path) }
+
+// Replay reconstructs the snapshot's cluster and fleet and re-runs its
+// captured batch window through a fresh inference engine, comparing
+// decoded classes, culprit attributions, and event projections against
+// the capture. The model must match the snapshot: pass nil to rebuild it
+// from the recorded arch + seed (BuildModel registry names only), or pass
+// a model whose weights match the recorded hash (snapshots captured with
+// SnapshotWeights restore the weights into it first).
+func Replay(snap *StateSnapshot, model *Model, opts ReplayOptions) (*ReplayReport, error) {
+	if model == nil {
+		var err error
+		model, err = modelFromSnapshot(snap)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return replay.Run(snap, model.m, opts)
+}
+
+// ReplaySnapshot loads a snapshot file and replays it, failing the test
+// on any divergence — the test-harness entry point. A nil model is
+// rebuilt from the snapshot's recorded arch + seed.
+func ReplaySnapshot(t replay.TB, path string, model *Model) *ReplayReport {
+	t.Helper()
+	if model == nil {
+		snap, err := obs.LoadSnapshot(path)
+		if err != nil {
+			t.Fatalf("replay: loading snapshot %s: %v", path, err)
+		}
+		model, err = modelFromSnapshot(snap)
+		if err != nil {
+			t.Fatalf("replay: %v", err)
+		}
+	}
+	return replay.ReplaySnapshot(t, path, model.m)
+}
+
+// modelFromSnapshot rebuilds the served model from a snapshot's recorded
+// identity. Snapshots with embedded weights only need the architecture
+// shape; hash-only snapshots additionally rely on the recorded seed
+// reproducing the exact initialization.
+func modelFromSnapshot(snap *StateSnapshot) (*Model, error) {
+	if snap.Model.Arch == "" {
+		return nil, fmt.Errorf("darknight: snapshot names no model arch (custom model %q) — pass the model explicitly", snap.Model.Name)
+	}
+	m, err := BuildModel(snap.Model.Arch, snap.Model.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("darknight: rebuilding snapshot model: %w", err)
+	}
+	return m, nil
+}
+
+// BuildModel constructs a model by registry name — the architectures the
+// CLI serves and state snapshots record: "tiny", "vgg", "resnet",
+// "mobilenet", "deep". All are sized for the 1×8×8 4-class synthetic
+// workload; the seed fixes the weight initialization.
+func BuildModel(arch string, seed int64) (*Model, error) {
+	switch arch {
+	case "tiny":
+		return TinyCNN(1, 8, 8, 4, seed), nil
+	case "vgg":
+		return VGG16(1, 8, 8, 4, 1, seed), nil
+	case "resnet":
+		return ResNet50(1, 8, 8, 4, 1, seed), nil
+	case "mobilenet":
+		return MobileNetV2(1, 8, 8, 4, 1, seed), nil
+	case "deep":
+		return DeepMLP(1, 8, 8, 4, 16, seed), nil
+	}
+	return nil, fmt.Errorf("darknight: unknown model %q (want tiny|vgg|resnet|mobilenet|deep)", arch)
+}

@@ -89,6 +89,10 @@ type ServerConfig struct {
 	// registry, and the chaos flight recorder. Zero value = off, and the
 	// hot path stays at its untraced cost.
 	Observability ObservabilityConfig
+	// Arch optionally names the model architecture (a BuildModel registry
+	// name such as "tiny" or "vgg"). It is recorded in state snapshots so
+	// `darknight replay` can rebuild the model from arch + seed alone.
+	Arch string
 }
 
 // ServerMetrics is a snapshot of the serving counters.
@@ -105,6 +109,11 @@ type Server struct {
 	encl    *enclave.Enclave
 	obs     *obs.Observability
 	msrv    *obs.MetricsServer
+	// cfg is the fully defaulted configuration (cluster sized, SlowAll
+	// expanded) and ref one worker's model replica — together the model
+	// and cluster sections of a state snapshot.
+	cfg ServerConfig
+	ref *nn.Model
 }
 
 // NewServer stands up a serving deployment. newModel is called once per
@@ -173,11 +182,18 @@ func NewServer(newModel func() *Model, cfg ServerConfig) (*Server, error) {
 		PipelineDepth: cfg.PipelineDepth,
 		Continuous:    cfg.Continuous,
 		Obs:           ob,
+		SLO:           cfg.Observability.SLO,
+		BatchLog:      cfg.Observability.SnapshotBatchLog,
+		NoHistograms:  cfg.Observability.NoHistograms,
 	}, replicas, fm, encl)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{inner: srv, fleet: fm, cluster: cluster, encl: encl, obs: ob}
+	s := &Server{inner: srv, fleet: fm, cluster: cluster, encl: encl, obs: ob,
+		cfg: cfg, ref: replicas[0]}
+	if ob != nil {
+		ob.SetSnapshotProvider(s.CaptureSnapshot)
+	}
 	if addr := cfg.Observability.MetricsAddr; addr != "" {
 		s.msrv, err = ob.Serve(addr)
 		if err != nil {
