@@ -8,11 +8,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"darknight"
@@ -39,11 +41,25 @@ func parseTenants(s string) []darknight.Tenant {
 	return out
 }
 
+// loadResult is one load run's per-error-class outcome breakdown: every
+// client-visible error is classified, so an unexplained failure is exactly
+// Failed.
+type loadResult struct {
+	OK        int64 // answered successfully
+	Integrity int64 // rejected: tampered GPU results detected
+	Deadline  int64 // typed deadline-budget expiries (resil)
+	Shed      int64 // typed admission-control sheds (resil)
+	Failed    int64 // anything else — unexplained
+}
+
+// errors returns the total error count.
+func (r loadResult) errors() int64 { return r.Integrity + r.Deadline + r.Shed + r.Failed }
+
 // runLoad drives closed-loop client goroutines against a server for the
-// given duration, spreading clients round-robin over the tenants (empty =
-// default tenant), and returns (completed, integrityErrors, otherErrors).
-func runLoad(srv *darknight.Server, images [][]float64, clients int, d time.Duration, tenants []darknight.Tenant) (int64, int64, int64) {
-	var ok, integrity, failed int64
+// given duration (or until ctx is done — the graceful-shutdown path),
+// spreading clients round-robin over the tenants (empty = default tenant).
+func runLoad(ctx context.Context, srv *darknight.Server, images [][]float64, clients int, d time.Duration, tenants []darknight.Tenant) loadResult {
+	var r loadResult
 	deadline := time.Now().Add(d)
 	var wg sync.WaitGroup
 	for c := 0; c < clients; c++ {
@@ -54,26 +70,57 @@ func runLoad(srv *darknight.Server, images [][]float64, clients int, d time.Dura
 			if len(tenants) > 0 {
 				tenant = tenants[c%len(tenants)].Name
 			}
-			for i := c; time.Now().Before(deadline); i++ {
+			for i := c; time.Now().Before(deadline) && ctx.Err() == nil; i++ {
 				var err error
 				if tenant == "" {
-					_, err = srv.Infer(context.Background(), images[i%len(images)])
+					_, err = srv.Infer(ctx, images[i%len(images)])
 				} else {
-					_, err = srv.InferAs(context.Background(), tenant, images[i%len(images)])
+					_, err = srv.InferAs(ctx, tenant, images[i%len(images)])
 				}
 				switch {
 				case err == nil:
-					atomic.AddInt64(&ok, 1)
+					atomic.AddInt64(&r.OK, 1)
+				case ctx.Err() != nil:
+					// Shutdown raced the request; not a service error.
 				case darknight.IsIntegrityError(err):
-					atomic.AddInt64(&integrity, 1)
+					atomic.AddInt64(&r.Integrity, 1)
+				case darknight.IsShed(err):
+					atomic.AddInt64(&r.Shed, 1)
+					// A shed is an explicit back-off signal.
+					time.Sleep(500 * time.Microsecond)
+				case darknight.IsDeadline(err):
+					atomic.AddInt64(&r.Deadline, 1)
 				default:
-					atomic.AddInt64(&failed, 1)
+					atomic.AddInt64(&r.Failed, 1)
 				}
 			}
 		}(c)
 	}
 	wg.Wait()
-	return ok, integrity, failed
+	return r
+}
+
+// printResil reports the run's resilience accounting when any of it moved.
+func printResil(r loadResult, rs darknight.ResilSnapshot) {
+	if r.errors() > 0 || rs.Retries > 0 || rs.Hedges > 0 || rs.BrownoutShifts > 0 {
+		fmt.Printf("errors: %d integrity, %d deadline, %d shed, %d other\n",
+			r.Integrity, r.Deadline, r.Shed, r.Failed)
+	}
+	if rs.Retries > 0 || rs.RetriesExhausted > 0 {
+		fmt.Printf("retries: %d re-dispatches, %d batches recovered, %d exhausted\n",
+			rs.Retries, rs.RetrySuccess, rs.RetriesExhausted)
+	}
+	if rs.Hedges > 0 {
+		fmt.Printf("hedging: %d duplicate flights, %d won, %d lost, %d cross-verify mismatches\n",
+			rs.Hedges, rs.HedgeWins, rs.HedgeLosses, rs.HedgeMismatch)
+	}
+	if rs.BrownoutShifts > 0 || rs.BrownoutLevel > 0 {
+		fmt.Printf("brownout: level %d now, %d transitions during the run\n",
+			rs.BrownoutLevel, rs.BrownoutShifts)
+	}
+	if rs.ChaosActions > 0 {
+		fmt.Printf("chaos: %d scripted fault actions applied\n", rs.ChaosActions)
+	}
 }
 
 // printFleet reports the fleet manager's health and fairness state.
@@ -137,6 +184,12 @@ func cmdServe(args []string) {
 	sloP99 := fs.Duration("slo-p99", 0, "per-tenant P99 latency objective (0 = SLO tracking off)")
 	sloGoal := fs.Float64("slo-goal", 0.99, "fraction of requests that must meet -slo-p99")
 	sloErrors := fs.Float64("slo-errors", 0.001, "error-budget fraction of the SLO")
+	budget := fs.Duration("budget", 0, "default end-to-end deadline budget per request (0 = unbounded)")
+	retry := fs.Int("retry", 0, "re-dispatch a failed batch onto a fresh gang up to N times")
+	hedgePct := fs.Float64("hedge-pct", 0, "hedge a batch slower than this latency percentile, e.g. 0.95 (0 = off; serial workers only)")
+	shed := fs.Int("shed", 0, "shed requests with a typed error when the queue holds >= N (0 = off)")
+	brownout := fs.Bool("brownout", false, "SLO-driven brownout degradation (uses -slo-p99, or a default objective)")
+	chaosPath := fs.String("chaos", "", "play this chaos schedule (JSON) against the fleet during the load")
 	seed := fs.Int64("seed", 1, "random seed")
 	fs.Parse(args)
 
@@ -179,8 +232,16 @@ func cmdServe(args []string) {
 			FlightRecorderSize: *flightRec,
 			SnapshotWeights:    *snapWeights,
 		},
+		Resilience: darknight.ResilienceConfig{
+			Budget:        *budget,
+			RetryMax:      *retry,
+			HedgeQuantile: *hedgePct,
+			ShedQueue:     *shed,
+			Brownout:      *brownout,
+		},
 		Arch: *modelName,
 	}
+	cfg.Chaos = *chaosPath != ""
 	if *sloP99 > 0 {
 		cfg.Observability.SLO = darknight.SLOConfig{
 			Objectives: []darknight.SLOObjective{{
@@ -189,6 +250,20 @@ func cmdServe(args []string) {
 				LatencyGoal:   *sloGoal,
 				ErrorBudget:   *sloErrors,
 			}},
+		}
+	}
+	if *brownout && *sloP99 <= 0 {
+		// Brownout consumes SLO breach events; give it a responsive default
+		// objective (and short windows) when the user set none.
+		log.Println("note: -brownout without -slo-p99; defaulting to a 20ms/0.95 objective over 2s/10s windows")
+		cfg.Observability.SLO = darknight.SLOConfig{
+			Objectives: []darknight.SLOObjective{{
+				Tenant:        "*",
+				LatencyTarget: 20 * time.Millisecond,
+				LatencyGoal:   0.95,
+				ErrorBudget:   0.05,
+			}},
+			Windows: []time.Duration{2 * time.Second, 10 * time.Second},
 		}
 	}
 	if *malicious >= 0 {
@@ -209,11 +284,24 @@ func cmdServe(args []string) {
 	if *speculate > 0 && *slack < 1 {
 		log.Println("note: -speculate rides the straggler quorum path; pass -slack >= 1 for it to engage")
 	}
+	var chaosSched *darknight.ChaosSchedule
+	if *chaosPath != "" {
+		var err error
+		chaosSched, err = darknight.LoadChaosSchedule(*chaosPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 	srv, err := darknight.NewServer(func() *darknight.Model { return buildModel(*modelName, *seed) }, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
+
+	// Graceful shutdown: SIGINT/SIGTERM stops admitting new load; in-flight
+	// requests drain through Close, and the final snapshot still writes.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	data := darknight.SyntheticDataset(256, 4, 1, 8, 8, *seed+1)
 	images := make([][]float64, len(data))
@@ -231,7 +319,20 @@ func cmdServe(args []string) {
 	if a := srv.MetricsAddr(); a != "" {
 		fmt.Printf("metrics: http://%s/metrics (also /metrics.json, /traces, /flightrecorder)\n", a)
 	}
-	ok, integ, failed := runLoad(srv, images, *clients, *duration, tenants)
+	if chaosSched != nil {
+		stopChaos, err := srv.StartChaos(chaosSched)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stopChaos()
+		fmt.Printf("chaos: playing schedule %q (%d events over %v)\n",
+			chaosSched.Name, len(chaosSched.Events), chaosSched.Duration())
+	}
+	r := runLoad(ctx, srv, images, *clients, *duration, tenants)
+	if ctx.Err() != nil {
+		fmt.Println("\ninterrupted: draining in-flight requests and finishing the report")
+	}
+	ok, integ := r.OK, r.Integrity
 
 	m := srv.Metrics()
 	fmt.Printf("completed %d requests in %v (%.0f req/s)\n", ok, *duration, m.Throughput)
@@ -270,9 +371,8 @@ func cmdServe(args []string) {
 		} else {
 			fmt.Printf("integrity: %d requests rejected with tampered-GPU detection\n", integ)
 		}
-	} else if integ+failed > 0 {
-		fmt.Printf("errors: %d integrity, %d other\n", integ, failed)
 	}
+	printResil(r, m.Resil)
 	printFleet(srv.FleetStats())
 	tr := srv.GPUTraffic()
 	fmt.Printf("GPUs: %d jobs, %d bytes in, %d bytes out\n", tr.Jobs, tr.BytesIn, tr.BytesOut)
@@ -357,11 +457,27 @@ func cmdLoadgen(args []string) {
 	faultSeed := fs.Int64("faultseed", 1, "seed of the probabilistic fault injector")
 	slow := fs.Int("slow", -1, "index of a deterministically slow GPU (-1 = none)")
 	slowDelay := fs.Duration("slowdelay", 5*time.Millisecond, "added latency of the slow GPU")
+	chaosPath := fs.String("chaos", "", "play this chaos schedule (JSON) during every step; implies recovery + retry headroom")
+	budget := fs.Duration("budget", 0, "default end-to-end deadline budget per request (0 = unbounded)")
+	retry := fs.Int("retry", 0, "re-dispatch a failed batch onto a fresh gang up to N times")
+	hedgePct := fs.Float64("hedge-pct", 0, "hedge a batch slower than this latency percentile (0 = off; serial workers only)")
+	shed := fs.Int("shed", 0, "shed requests with a typed error when the queue holds >= N (0 = off)")
 	seed := fs.Int64("seed", 1, "random seed")
 	fs.Parse(args)
 
 	if *k < 1 {
 		log.Fatalf("loadgen: -k %d invalid, need K >= 1", *k)
+	}
+	var chaosSched *darknight.ChaosSchedule
+	if *chaosPath != "" {
+		var err error
+		chaosSched, err = darknight.LoadChaosSchedule(*chaosPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *retry == 0 {
+			*retry = 2 // a crashed gang's batch deserves a fresh one
+		}
 	}
 	tenants := parseTenants(*tenantsFlag)
 	data := darknight.SyntheticDataset(256, 4, 1, 8, 8, *seed+1)
@@ -379,6 +495,12 @@ func cmdLoadgen(args []string) {
 			PipelineDepth: *pipeline,
 			MaxWait:       *maxWait,
 			Tenants:       tenants,
+			Resilience: darknight.ResilienceConfig{
+				Budget:        *budget,
+				RetryMax:      *retry,
+				HedgeQuantile: *hedgePct,
+				ShedQueue:     *shed,
+			},
 		}
 		if *malicious >= 0 {
 			// Fault injection in a sweep wants the service to survive:
@@ -396,15 +518,38 @@ func cmdLoadgen(args []string) {
 			cfg.SlowGPUs = []int{*slow}
 			cfg.SlowDelay = *slowDelay
 		}
+		if chaosSched != nil {
+			// Chaos survival needs the same headroom: attribution + recovery
+			// so crashed/tampering devices quarantine instead of failing
+			// clients, and spares to refill their gangs.
+			cfg.Chaos = true
+			if cfg.Redundancy < 2 {
+				cfg.Redundancy = 2
+			}
+			cfg.Recover = true
+			if cfg.SpareGPUs < 2 {
+				cfg.SpareGPUs = 2
+			}
+		}
 		srv, err := darknight.NewServer(func() *darknight.Model { return buildModel(*modelName, *seed) }, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		runLoad(srv, images, clients, *duration, tenants)
+		var stopChaos func()
+		if chaosSched != nil {
+			if stopChaos, err = srv.StartChaos(chaosSched); err != nil {
+				log.Fatal(err)
+			}
+		}
+		r := runLoad(context.Background(), srv, images, clients, *duration, tenants)
+		if stopChaos != nil {
+			stopChaos()
+		}
 		m := srv.Metrics()
 		fst := srv.FleetStats()
 		srv.Close()
 		fmt.Printf("%8d %12.0f %12v %12v %10.2f %12d\n", clients, m.Throughput, m.P50, m.P99, m.Occupancy, fst.Quarantined)
+		printResil(r, m.Resil)
 		if len(tenants) > 0 {
 			for _, ts := range m.Tenants {
 				var share float64

@@ -98,6 +98,12 @@ type Config struct {
 	// metrics registry, and the chaos flight recorder. Zero value = off,
 	// and the hot path stays at its untraced cost.
 	Observability ObservabilityConfig
+	// Chaos wraps every device with a runtime fault-injection actuator
+	// (gpu.ChaosDevice): crashes, latency spikes, tamper bursts and
+	// flapping can then be scripted against a live deployment with a chaos
+	// schedule (Server.PlayChaos). The wrappers are inert until a schedule
+	// flips them, so a clean run costs three atomic loads per dispatch.
+	Chaos bool
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -153,7 +159,7 @@ func NewSystem(model *Model, cfg Config) (*System, error) {
 		}
 	}
 
-	cluster, err := buildCluster(cfg)
+	cluster, _, err := buildCluster(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -288,7 +294,10 @@ func (s *trainGangSource) Release(f sched.Fleet, culprits []int, err error) {
 
 // buildCluster assembles the simulated device fleet a Config describes,
 // wrapping the marked indices with fault policies and straggler delays.
-func buildCluster(cfg Config) (*gpu.Cluster, error) {
+// With cfg.Chaos every device is additionally wrapped (outermost) in a
+// runtime fault-injection actuator; the returned slice holds the handles a
+// chaos runner drives, index = device id (nil without Chaos).
+func buildCluster(cfg Config) (*gpu.Cluster, []*gpu.ChaosDevice, error) {
 	devs := make([]gpu.Device, cfg.GPUs)
 	for i := range devs {
 		devs[i] = gpu.NewHonest(i)
@@ -299,7 +308,7 @@ func buildCluster(cfg Config) (*gpu.Cluster, error) {
 	}
 	for _, idx := range cfg.MaliciousGPUs {
 		if idx < 0 || idx >= len(devs) {
-			return nil, fmt.Errorf("darknight: malicious GPU index %d outside cluster of %d", idx, len(devs))
+			return nil, nil, fmt.Errorf("darknight: malicious GPU index %d outside cluster of %d", idx, len(devs))
 		}
 		devs[idx] = gpu.NewMalicious(devs[idx], policy)
 	}
@@ -309,11 +318,20 @@ func buildCluster(cfg Config) (*gpu.Cluster, error) {
 	}
 	for _, idx := range cfg.SlowGPUs {
 		if idx < 0 || idx >= len(devs) {
-			return nil, fmt.Errorf("darknight: slow GPU index %d outside cluster of %d", idx, len(devs))
+			return nil, nil, fmt.Errorf("darknight: slow GPU index %d outside cluster of %d", idx, len(devs))
 		}
 		devs[idx] = gpu.NewSlow(devs[idx], delay)
 	}
-	return gpu.NewCluster(devs...), nil
+	var chaos []*gpu.ChaosDevice
+	if cfg.Chaos {
+		chaos = make([]*gpu.ChaosDevice, len(devs))
+		for i := range devs {
+			cd := gpu.NewChaos(devs[i])
+			chaos[i] = cd
+			devs[i] = cd
+		}
+	}
+	return gpu.NewCluster(devs...), chaos, nil
 }
 
 // buildEnclave creates the software enclave a Config asks for (nil when

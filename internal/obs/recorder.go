@@ -22,6 +22,11 @@ const (
 	KindIntegrity  = "integrity"      // integrity verdict (attributed or suspect)
 	KindNoisePool  = "noisepool-miss" // noise pool exhausted, inline fallback
 	KindSLOBreach  = "slo-breach"     // SLO burn rate crossed the threshold (or cleared)
+	KindBrownout   = "brownout"       // degradation controller changed its level
+	KindShed       = "shed"           // admission control rejected a request
+	KindRetry      = "retry"          // failed virtual batch re-dispatched onto a fresh gang
+	KindHedge      = "hedge"          // speculative duplicate flight launched (or resolved)
+	KindChaos      = "chaos"          // scripted fault-schedule action applied
 )
 
 // Event is one structured entry in the flight recorder. Seq and Time are

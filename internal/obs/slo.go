@@ -100,7 +100,7 @@ type SLOTracker struct {
 	now        func() time.Time
 	rings      map[string]*sloRing
 	breached   map[string]bool
-	onBreach   func(Breach)
+	onBreach   []func(Breach)
 	breaches   int64 // rising crossings observed (monotone)
 }
 
@@ -130,14 +130,16 @@ func NewSLOTracker(cfg SLOConfig) *SLOTracker {
 	return t
 }
 
-// OnBreach installs the threshold callback. The callback runs outside
-// the tracker lock, on the goroutine that called Observe. Nil-safe.
+// OnBreach subscribes a threshold callback; every subscriber sees every
+// crossing (the fleet records breaches while a brownout controller acts
+// on them). Callbacks run outside the tracker lock, on the goroutine that
+// called Observe, in subscription order. Nil-safe.
 func (t *SLOTracker) OnBreach(fn func(Breach)) {
-	if t == nil {
+	if t == nil || fn == nil {
 		return
 	}
 	t.mu.Lock()
-	t.onBreach = fn
+	t.onBreach = append(t.onBreach, fn)
 	t.mu.Unlock()
 }
 
@@ -169,7 +171,7 @@ func (t *SLOTracker) Observe(tenant string, latency time.Duration, failed bool) 
 	}
 	ring.add(sloSample{at: t.now(), lat: latency, failed: failed})
 	var fired []Breach
-	hook := t.onBreach
+	hooks := t.onBreach
 	for _, br := range t.burnsLocked(tenant, obj, ring) {
 		key := fmt.Sprintf("%s|%s|%s", br.Tenant, br.Window, br.SLO)
 		switch {
@@ -183,8 +185,8 @@ func (t *SLOTracker) Observe(tenant string, latency time.Duration, failed bool) 
 		}
 	}
 	t.mu.Unlock()
-	if hook != nil {
-		for _, b := range fired {
+	for _, b := range fired {
+		for _, hook := range hooks {
 			hook(b)
 		}
 	}

@@ -1,0 +1,190 @@
+package resil
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"darknight/internal/gpu"
+	"darknight/internal/obs"
+)
+
+func chaosFleet(n int) []*gpu.ChaosDevice {
+	devs := make([]*gpu.ChaosDevice, n)
+	for i := range devs {
+		devs[i] = gpu.NewChaos(gpu.NewHonest(i))
+	}
+	return devs
+}
+
+func TestScheduleValidate(t *testing.T) {
+	bad := []Schedule{
+		{Events: []ChaosEvent{{Kind: "meteor", Device: 0}}},
+		{Events: []ChaosEvent{{Kind: "latency", Device: 0}}},         // no delay_ms
+		{Events: []ChaosEvent{{Kind: "flap", Device: 0}}},            // no period_ms
+		{Events: []ChaosEvent{{Kind: "partition"}}},                  // no devices
+		{Events: []ChaosEvent{{Kind: "crash", Device: 0, AtMS: -5}}}, // negative time
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad schedule %d validated", i)
+		}
+	}
+	good := Schedule{Events: []ChaosEvent{
+		{Kind: "crash", Device: 0, AtMS: 0, DurationMS: 10},
+		{Kind: "latency", Device: 1, DelayMS: 2, DurationMS: 10},
+		{Kind: "tamper", Device: 2, DurationMS: 10},
+		{Kind: "flap", Device: 3, PeriodMS: 10, Count: 2},
+		{Kind: "partition", Devices: []int{4, 5}, DurationMS: 10},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good schedule rejected: %v", err)
+	}
+}
+
+func TestScheduleDuration(t *testing.T) {
+	s := Schedule{Events: []ChaosEvent{
+		{Kind: "crash", Device: 0, AtMS: 100, DurationMS: 400},
+		{Kind: "flap", Device: 1, AtMS: 200, PeriodMS: 300, Count: 3}, // ends at 1100ms
+	}}
+	if got := s.Duration(); got != 1100*time.Millisecond {
+		t.Errorf("Duration = %v, want 1.1s", got)
+	}
+	if got := (&Schedule{}).Duration(); got != 0 {
+		t.Errorf("empty Duration = %v", got)
+	}
+}
+
+func TestLoadScheduleAndCannedFiles(t *testing.T) {
+	// Every canned schedule shipped with the repo must parse and validate.
+	root := filepath.Join("..", "..", "testdata", "chaos")
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatalf("canned schedules missing: %v", err)
+	}
+	var n int
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		n++
+		s, err := LoadSchedule(filepath.Join(root, e.Name()))
+		if err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+			continue
+		}
+		if s.Name == "" {
+			t.Errorf("%s: schedule has no name", e.Name())
+		}
+	}
+	if n < 4 {
+		t.Errorf("only %d canned schedules found, want at least crash/latency/tamper/flap", n)
+	}
+
+	if _, err := LoadSchedule(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("loading a missing file succeeded")
+	}
+	badPath := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(badPath, []byte("{not json"), 0o644)
+	if _, err := LoadSchedule(badPath); err == nil {
+		t.Error("loading malformed JSON succeeded")
+	}
+}
+
+func TestCompileOrderingAndOutOfRangeSkip(t *testing.T) {
+	devs := chaosFleet(2)
+	s := Schedule{Events: []ChaosEvent{
+		{Kind: "crash", Device: 1, AtMS: 300, DurationMS: 100},
+		{Kind: "tamper", Device: 0, AtMS: 100, DurationMS: 50},
+		{Kind: "crash", Device: 99, AtMS: 0, DurationMS: 10},  // out of range: skipped
+		{Kind: "partition", Devices: []int{0, 42}, AtMS: 200}, // 42 skipped, 0 kept
+	}}
+	acts := s.compile(devs)
+	// Expected surviving actions: tamper@100, tamper-clear@150, partition@200,
+	// crash@300, heal@400 — sorted by time.
+	if len(acts) != 5 {
+		t.Fatalf("compiled %d actions, want 5", len(acts))
+	}
+	for i := 1; i < len(acts); i++ {
+		if acts[i].at < acts[i-1].at {
+			t.Fatalf("actions out of order: %v after %v", acts[i].at, acts[i-1].at)
+		}
+	}
+	for _, a := range acts {
+		if a.device < 0 || a.device >= len(devs) {
+			t.Fatalf("compiled action targets out-of-range device %d", a.device)
+		}
+	}
+}
+
+func TestRunnerPlayAppliesAndResetHeals(t *testing.T) {
+	devs := chaosFleet(3)
+	rec := obs.NewFlightRecorder(64)
+	var c Counters
+	r := NewRunner(devs, rec, &c)
+
+	// No heal events: faults persist past Play so we can assert them.
+	s := &Schedule{Name: "unit", Events: []ChaosEvent{
+		{Kind: "crash", Device: 0, AtMS: 0},
+		{Kind: "tamper", Device: 1, AtMS: 5},
+		{Kind: "latency", Device: 2, AtMS: 10, DelayMS: 1},
+	}}
+	if err := r.Play(context.Background(), s); err != nil {
+		t.Fatalf("Play: %v", err)
+	}
+	if !devs[0].Down() {
+		t.Error("crash action not applied")
+	}
+	if got := c.ChaosActions.Load(); got != 3 {
+		t.Errorf("ChaosActions = %d, want 3", got)
+	}
+	var chaosEvents int
+	for _, ev := range rec.Dump() {
+		if ev.Kind == obs.KindChaos {
+			chaosEvents++
+		}
+	}
+	if chaosEvents != 3 {
+		t.Errorf("flight recorder has %d chaos events, want 3", chaosEvents)
+	}
+
+	r.Reset()
+	if devs[0].Down() {
+		t.Error("Reset did not heal the crashed device")
+	}
+
+	// Cancellation mid-schedule resets the actuators.
+	ctx, cancel := context.WithCancel(context.Background())
+	long := &Schedule{Name: "long", Events: []ChaosEvent{
+		{Kind: "crash", Device: 0, AtMS: 0},
+		{Kind: "crash", Device: 1, AtMS: 60_000},
+	}}
+	done := make(chan error, 1)
+	go func() { done <- r.Play(ctx, long) }()
+	deadline := time.After(5 * time.Second)
+	for !devs[0].Down() {
+		select {
+		case <-deadline:
+			t.Fatal("first action never applied")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	cancel()
+	if err := <-done; err == nil {
+		t.Error("cancelled Play returned nil")
+	}
+	if devs[0].Down() {
+		t.Error("cancelled Play left a device down")
+	}
+
+	// Start/stop wrapper drives the same path.
+	stop := r.Start(long)
+	stop()
+	if devs[0].Down() || devs[1].Down() {
+		t.Error("stopped schedule left devices down")
+	}
+}

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -243,6 +244,14 @@ type engine struct {
 	// backward cache-miss refills and integrity verdicts.
 	rec *obs.FlightRecorder
 
+	// deadline, when non-zero, is the absolute end-to-end deadline of the
+	// batch currently on this engine: checked before every gang dispatch
+	// (per-layer and fused-block), so an expired batch stops occupying
+	// devices at the next layer boundary instead of running to
+	// completion. Installed per batch (SetDeadline / SubmitWithin);
+	// cleared with the span.
+	deadline time.Time
+
 	// recover enables audit-and-recover on integrity violations
 	// (EnableRecovery; needs Redundancy >= 2).
 	recover  bool
@@ -428,7 +437,20 @@ func (e *engine) forwardLayer(code *masking.Code, layer nn.Layer, xs []*tensor.T
 // training mode the noise rows are additionally captured into the trace so
 // a backward cache miss can re-create the device-side coded inputs
 // bit-identically (see refillStores).
+// checkDeadline gates a gang dispatch on the batch's deadline budget: an
+// expired batch fails here — before encoding or occupying devices — with
+// an error matching context.DeadlineExceeded. Zero deadline never fails.
+func (e *engine) checkDeadline() error {
+	if e.deadline.IsZero() || time.Now().Before(e.deadline) {
+		return nil
+	}
+	return fmt.Errorf("sched: batch deadline passed before dispatch: %w", context.DeadlineExceeded)
+}
+
 func (e *engine) offloadForward(code *masking.Code, tr *trace, lin nn.Linear, xs []*tensor.Tensor, train bool) ([]*tensor.Tensor, error) {
+	if err := e.checkDeadline(); err != nil {
+		return nil, err
+	}
 	key := tr.key
 	osp := e.sp.Child("offload")
 	if osp != nil {

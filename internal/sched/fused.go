@@ -31,6 +31,9 @@ import (
 // flight, returning the block's outputs and one trace per layer (the last
 // trace carries blockLen so the backward walk re-fuses the run).
 func (e *engine) offloadForwardBlock(code *masking.Code, bf BlockFleet, blk nn.FusedBlock, xs []*tensor.Tensor, train bool) ([]*tensor.Tensor, []*trace, error) {
+	if err := e.checkDeadline(); err != nil {
+		return nil, nil, err
+	}
 	depth := blk.Depth()
 	bsp := e.sp.Child("offload-block")
 	if bsp != nil {

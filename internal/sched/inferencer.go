@@ -111,6 +111,14 @@ func (inf *Inferencer) SetSpan(sp *obs.Span) { inf.eng.sp = sp }
 // verdicts are recorded as they happen. Call before traffic starts.
 func (inf *Inferencer) SetObserver(rec *obs.FlightRecorder) { inf.eng.rec = rec }
 
+// SetDeadline installs the absolute deadline of the next Forward/Predict
+// call: the engine re-checks it before every gang dispatch, failing the
+// batch with an error matching context.DeadlineExceeded rather than
+// occupying devices it cannot use in time. The zero time (the default)
+// disables the check. Like SetSpan, not safe for concurrent use and the
+// deadline stays installed until replaced.
+func (inf *Inferencer) SetDeadline(t time.Time) { inf.eng.deadline = t }
+
 // PhaseStats returns the pipeline's cumulative encode/dispatch/decode
 // latency breakdown (plus Wall, the summed per-batch forward wall-clock).
 // Callers window measurements with PhaseStats.Sub.

@@ -218,6 +218,14 @@ func (p *Pipeline) Submit(fleet Fleet, images [][]float64) (*Ticket, error) {
 // encode/dispatch/decode children hang off sp, annotated with the lane
 // that carried it. A nil sp is exactly Submit.
 func (p *Pipeline) SubmitTraced(fleet Fleet, images [][]float64, sp *obs.Span) (*Ticket, error) {
+	return p.SubmitWithin(fleet, images, sp, time.Time{})
+}
+
+// SubmitWithin is SubmitTraced with a deadline budget: the lane re-checks
+// the absolute deadline before every gang dispatch and fails the batch
+// with an error matching context.DeadlineExceeded once it passes. The
+// zero time is exactly SubmitTraced.
+func (p *Pipeline) SubmitWithin(fleet Fleet, images [][]float64, sp *obs.Span, deadline time.Time) (*Ticket, error) {
 	k := p.cfg.VirtualBatch
 	if len(images) != k {
 		return nil, fmt.Errorf("sched: inference needs exactly %d images, got %d", k, len(images))
@@ -242,7 +250,7 @@ func (p *Pipeline) SubmitTraced(fleet Fleet, images [][]float64, sp *obs.Span) (
 		}
 	}
 	t := &Ticket{done: make(chan struct{})}
-	go p.run(lane, fleet, images, sp, t)
+	go p.run(lane, fleet, images, sp, deadline, t)
 	return t, nil
 }
 
@@ -261,9 +269,10 @@ func (p *Pipeline) Predict(fleet Fleet, images [][]float64) ([]int, error) {
 // run drives one batch down a lane: lane-private setup without the token,
 // then the forward walk under the TEE token (released by the engine during
 // each GPU flight).
-func (p *Pipeline) run(lane *engine, fleet Fleet, images [][]float64, sp *obs.Span, t *Ticket) {
+func (p *Pipeline) run(lane *engine, fleet Fleet, images [][]float64, sp *obs.Span, deadline time.Time, t *Ticket) {
 	lane.fleet = fleet
 	lane.sp = sp
+	lane.deadline = deadline
 	lane.beginStep()
 	code, err := masking.New(lane.cfg.maskParams(), lane.rng)
 	var logits []*tensor.Tensor
@@ -282,8 +291,9 @@ func (p *Pipeline) run(lane *engine, fleet Fleet, images [][]float64, sp *obs.Sp
 	}
 	lane.fleet = nil
 	// Cleared before the lane re-enters the free channel: the next batch's
-	// Submit may install its own span immediately.
+	// Submit may install its own span (and deadline) immediately.
 	lane.sp = nil
+	lane.deadline = time.Time{}
 	if err == nil {
 		t.logits = logits
 		t.classes = make([]int, len(logits))

@@ -48,6 +48,11 @@ func TestContinuousBatchingAdmitsRiders(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			// Ramped arrival: later requests land while earlier padded
+			// batches are still queued behind the slow worker — the rider
+			// window the test is about. An all-at-once burst can coalesce
+			// into full batches before any pad exists to replace.
+			time.Sleep(time.Duration(i) * 300 * time.Microsecond)
 			p, err := srv.Infer(context.Background(), imgs[i])
 			if err != nil {
 				t.Errorf("request %d: %v", i, err)

@@ -9,6 +9,7 @@ import (
 	"darknight/internal/fleet"
 	"darknight/internal/masking"
 	"darknight/internal/obs"
+	"darknight/internal/resil"
 	"darknight/internal/sched"
 )
 
@@ -85,6 +86,25 @@ func (m *Metrics) queued(delta int) {
 func (m *Metrics) continuousAdmit() {
 	m.mu.Lock()
 	m.continuous++
+	m.mu.Unlock()
+}
+
+// queueDepth reads the queue-depth gauge — the admission controller's
+// shedding signal.
+func (m *Metrics) queueDepth() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.depth
+}
+
+// deadlineExpired accounts n requests of a tenant pruned from a batch
+// because their end-to-end budget expired before dispatch. They never
+// reach finished (they leave the batch), so the failure counters move
+// here.
+func (m *Metrics) deadlineExpired(tenant string, n int) {
+	m.mu.Lock()
+	m.failed += int64(n)
+	m.tenantLocked(tenant).failed += int64(n)
 	m.mu.Unlock()
 }
 
@@ -222,6 +242,10 @@ type Snapshot struct {
 	// Fleet is the device health / quarantine / fair-share snapshot
 	// (populated by Server.Metrics).
 	Fleet fleet.Stats
+
+	// Resil is the resilience accounting — sheds, deadline expiries,
+	// retries, hedges, brownout level (populated by Server.Metrics).
+	Resil resil.Snapshot
 }
 
 // TenantSnapshot is one tenant's serving counters.

@@ -1,0 +1,421 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"darknight/internal/fleet"
+	"darknight/internal/gpu"
+	"darknight/internal/nn"
+	"darknight/internal/resil"
+	"darknight/internal/sched"
+)
+
+// TestExpiredContextNeverDispatched: a request whose deadline has already
+// passed must fail promptly with context.DeadlineExceeded and never reach
+// a gang.
+func TestExpiredContextNeverDispatched(t *testing.T) {
+	const k = 4
+	fm := fleet.NewManager(gpu.NewHonestCluster(k+1), fleet.Config{})
+	srv, err := New(Config{
+		Sched:   sched.Config{VirtualBatch: k, Seed: 11},
+		MaxWait: 500 * time.Millisecond,
+	}, replicas(1, 11), fm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// The deadline is comfortably after admission but far before MaxWait:
+	// the row is admitted, then expires waiting for K-1 peers. The batcher
+	// flushes it at the deadline and the worker must prune, not dispatch.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = srv.Infer(ctx, sampleImages(1, 12)[0])
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired request returned %v, want DeadlineExceeded", err)
+	}
+	if el := time.Since(start); el > 250*time.Millisecond {
+		t.Errorf("expired request took %v, want prompt failure", el)
+	}
+
+	// The worker must prune the expired row instead of dispatching it.
+	deadline := time.After(3 * time.Second)
+	for srv.ResilCounters().Deadline.Load() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("pruned-deadline counter never moved")
+		default:
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	if got := srv.Metrics().Completed; got != 0 {
+		t.Errorf("expired request was dispatched and completed (%d)", got)
+	}
+}
+
+// TestBudgetBoundsBatchWait: with a default deadline budget, a lone
+// request must not sit out the full MaxWait — the batch phase gets only
+// its budget share.
+func TestBudgetBoundsBatchWait(t *testing.T) {
+	const k = 4
+	fm := fleet.NewManager(gpu.NewHonestCluster(k+1), fleet.Config{})
+	srv, err := New(Config{
+		Sched:   sched.Config{VirtualBatch: k, Seed: 13},
+		MaxWait: 2 * time.Second,
+		Resil:   resil.Config{Budget: resil.BudgetPolicy{Default: 100 * time.Millisecond}},
+	}, replicas(1, 13), fm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	start := time.Now()
+	_, err = srv.Infer(context.Background(), sampleImages(1, 14)[0])
+	el := time.Since(start)
+	// Either the padded batch made it inside the budget or it was failed
+	// with the typed deadline error — both honor the budget; waiting the
+	// full 2s MaxWait does not.
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("budgeted request returned %v", err)
+	}
+	if el > time.Second {
+		t.Errorf("budgeted request took %v, budget was 100ms", el)
+	}
+}
+
+// TestShedTypedError: once the admission queue reaches the tenant's
+// allowance, further requests fail fast with resil.ErrShed.
+func TestShedTypedError(t *testing.T) {
+	const k = 4
+	fm := fleet.NewManager(gpu.NewHonestCluster(k+1), fleet.Config{})
+	srv, err := New(Config{
+		Sched:      sched.Config{VirtualBatch: k, Seed: 17},
+		QueueDepth: 16,
+		MaxWait:    400 * time.Millisecond,
+		Resil:      resil.Config{Shed: resil.ShedPolicy{MaxQueue: 2}},
+	}, replicas(1, 17), fm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	imgs := sampleImages(3, 18)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// These park in the batcher waiting for peers; errors (none
+			// expected) are irrelevant to the shed assertion.
+			srv.Infer(context.Background(), imgs[i])
+		}(i)
+	}
+	// Wait until both requests are visibly queued.
+	deadline := time.After(3 * time.Second)
+	for srv.metrics.queueDepth() < 2 {
+		select {
+		case <-deadline:
+			t.Fatal("queue depth never reached 2")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	_, err = srv.Infer(context.Background(), imgs[2])
+	if !errors.Is(err, resil.ErrShed) {
+		t.Fatalf("overloaded request returned %v, want ErrShed", err)
+	}
+	if got := srv.ResilCounters().Shed.Load(); got != 1 {
+		t.Errorf("shed counter = %d, want 1", got)
+	}
+	wg.Wait()
+	srv.Close()
+}
+
+// tamperedFleet builds a manager over gang+spares honest devices with one
+// always-tampering device, instant quarantine, no probation.
+func tamperedFleet(gang, spares, bad int) *fleet.Manager {
+	devs := make([]gpu.Device, gang+spares)
+	for i := range devs {
+		devs[i] = gpu.NewHonest(i)
+		if i == bad {
+			devs[i] = gpu.NewMalicious(devs[i], gpu.FaultPolicy{EveryNth: 1})
+		}
+	}
+	return fleet.NewManager(gpu.NewCluster(devs...), fleet.Config{ProbationProbability: -1})
+}
+
+// TestRetryRecoversTamperedBatch: without Recover a tampered batch is a
+// client-visible integrity error — unless retry re-dispatches it onto a
+// fresh gang after the culprit is quarantined. The client must see a clean
+// answer and the counters must show the retry.
+func TestRetryRecoversTamperedBatch(t *testing.T) {
+	const (
+		k    = 2
+		gang = k + 1 + 2 // M=1, E=2: exact attribution on the first batch
+		bad  = 1
+	)
+	fm := tamperedFleet(gang, 2, bad)
+	srv, err := New(Config{
+		Sched:   sched.Config{VirtualBatch: k, Redundancy: 2, Seed: 19},
+		MaxWait: time.Millisecond,
+		Resil:   resil.Config{Retry: resil.RetryPolicy{Max: 2}},
+	}, replicas(1, 19), fm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	imgs := sampleImages(8, 20)
+	ref := nn.TinyCNN(1, 8, 8, 4, rand.New(rand.NewSource(19)))
+	for i, img := range imgs {
+		got, err := srv.Infer(context.Background(), img)
+		if err != nil {
+			t.Fatalf("request %d failed despite retry: %v", i, err)
+		}
+		if want := nn.Argmax(ref.Forward(img, false)); got != want {
+			t.Errorf("request %d: retried answer %d, float %d", i, got, want)
+		}
+	}
+
+	rc := srv.ResilCounters()
+	if rc.Retries.Load() == 0 || rc.RetrySuccess.Load() == 0 {
+		t.Errorf("retry counters: retries=%d success=%d, want both > 0",
+			rc.Retries.Load(), rc.RetrySuccess.Load())
+	}
+	if got := fm.Stats().Quarantined; got != 1 {
+		t.Errorf("quarantined = %d, want 1", got)
+	}
+	snap := srv.Metrics()
+	if snap.Failed != 0 {
+		t.Errorf("client-visible failures = %d, want 0", snap.Failed)
+	}
+}
+
+// TestPipelineRetryRecovers exercises the overlapped engine's resubmission
+// path: a tampered in-flight batch is re-encoded onto a fresh gang.
+func TestPipelineRetryRecovers(t *testing.T) {
+	const (
+		k    = 2
+		gang = k + 1 + 2
+		bad  = 2
+	)
+	fm := tamperedFleet(gang, gang+2, bad) // enough spares for two overlapped gangs
+	srv, err := New(Config{
+		Sched:         sched.Config{VirtualBatch: k, Redundancy: 2, Seed: 23},
+		MaxWait:       time.Millisecond,
+		PipelineDepth: 2,
+		Resil:         resil.Config{Retry: resil.RetryPolicy{Max: 2}},
+	}, replicas(1, 23), fm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	imgs := sampleImages(12, 24)
+	ref := nn.TinyCNN(1, 8, 8, 4, rand.New(rand.NewSource(23)))
+	var wg sync.WaitGroup
+	errs := make([]error, len(imgs))
+	preds := make([]int, len(imgs))
+	for i := range imgs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			preds[i], errs[i] = srv.Infer(context.Background(), imgs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := range imgs {
+		if errs[i] != nil {
+			t.Fatalf("pipelined request %d failed despite retry: %v", i, errs[i])
+		}
+		if want := nn.Argmax(ref.Forward(imgs[i], false)); preds[i] != want {
+			t.Errorf("pipelined request %d: %d, float %d", i, preds[i], want)
+		}
+	}
+	rc := srv.ResilCounters()
+	if rc.Retries.Load() == 0 {
+		t.Error("pipeline retry counter never moved")
+	}
+	if got := fm.Stats().Quarantined; got != 1 {
+		t.Errorf("quarantined = %d, want 1", got)
+	}
+}
+
+// TestHedgeBitIdentityNoLeaks forces aggressive hedging and checks the
+// three hedging invariants: every answer is bit-identical to the float
+// reference (cross-verification never trips), the counters reconcile, and
+// neither gang leases nor goroutines leak once the load drains.
+func TestHedgeBitIdentityNoLeaks(t *testing.T) {
+	const (
+		k        = 2
+		gangSize = k + 1
+		requests = 48
+	)
+	baseline := runtime.NumGoroutine()
+
+	fm := fleet.NewManager(gpu.NewHonestCluster(2*gangSize), fleet.Config{})
+	srv, err := New(Config{
+		Sched:   sched.Config{VirtualBatch: k, Seed: 29},
+		MaxWait: time.Millisecond,
+		Resil: resil.Config{Hedge: resil.HedgePolicy{
+			Enabled: true, Quantile: 0.01, Min: time.Nanosecond, Warmup: 1,
+		}},
+		HedgeModels: replicas(1, 29),
+	}, replicas(1, 29), fm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	imgs := sampleImages(requests, 30)
+	ref := nn.TinyCNN(1, 8, 8, 4, rand.New(rand.NewSource(29)))
+	for i, img := range imgs {
+		got, err := srv.Infer(context.Background(), img)
+		if err != nil {
+			t.Fatalf("hedged request %d: %v", i, err)
+		}
+		if want := nn.Argmax(ref.Forward(img, false)); got != want {
+			t.Errorf("hedged request %d: %d, float %d", i, got, want)
+		}
+	}
+
+	// The client is answered before the losing flight settles, so wait for
+	// the worker to finish classifying the final hedge before asserting.
+	rc := srv.ResilCounters()
+	settleBy := time.After(5 * time.Second)
+	for rc.HedgeWins.Load()+rc.HedgeLosses.Load() != rc.Hedges.Load() {
+		select {
+		case <-settleBy:
+			t.Fatalf("hedge accounting never settled: %d hedges, %d wins + %d losses",
+				rc.Hedges.Load(), rc.HedgeWins.Load(), rc.HedgeLosses.Load())
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if rc.Hedges.Load() == 0 {
+		t.Fatal("aggressive hedge policy never hedged")
+	}
+	if rc.HedgeMismatch.Load() != 0 {
+		t.Fatalf("hedge cross-verification tripped %d times on an honest fleet",
+			rc.HedgeMismatch.Load())
+	}
+
+	// No leaked leases: once the flights settle, both full gangs must be
+	// acquirable (brief retry: the last settle releases just after the
+	// counters move).
+	var grants []*fleet.Grant
+	leaseBy := time.After(5 * time.Second)
+	for len(grants) < 2 {
+		g, err := fm.TryAcquire("leakcheck", gangSize)
+		if err != nil {
+			t.Fatalf("gang acquisition failed: %v", err)
+		}
+		if g != nil {
+			grants = append(grants, g)
+			continue
+		}
+		select {
+		case <-leaseBy:
+			t.Fatalf("only %d of 2 gangs acquirable after drain — leaked lease", len(grants))
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	for _, g := range grants {
+		g.Release()
+	}
+
+	// No leaked goroutines: after Close the count returns to the baseline
+	// (slack for runtime helpers and test plumbing).
+	srv.Close()
+	deadline := time.After(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= baseline+5 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("goroutines leaked: %d now vs %d baseline", runtime.NumGoroutine(), baseline)
+		default:
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// TestBrownoutActuators drives the level transitions directly and checks
+// each actuator: flush window, shed factor, hedge gate, pipeline depth.
+func TestBrownoutActuators(t *testing.T) {
+	const k = 2
+	fm := fleet.NewManager(gpu.NewHonestCluster(2*(k+1)), fleet.Config{})
+	srv, err := New(Config{
+		Sched:         sched.Config{VirtualBatch: k, Seed: 31},
+		MaxWait:       100 * time.Millisecond,
+		PipelineDepth: 4,
+		Resil: resil.Config{
+			Shed: resil.ShedPolicy{MaxQueue: 8},
+		},
+	}, replicas(1, 31), fm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	if got := srv.effMaxWait(); got != 100*time.Millisecond {
+		t.Fatalf("clean effMaxWait = %v", got)
+	}
+	srv.applyBrownout(1)
+	if got := srv.effMaxWait(); got != 50*time.Millisecond {
+		t.Errorf("level-1 effMaxWait = %v, want 50ms", got)
+	}
+	srv.applyBrownout(3)
+	if got := srv.effMaxWait(); got != 25*time.Millisecond {
+		t.Errorf("level-3 effMaxWait = %v, want 25ms", got)
+	}
+	if got := srv.depthLimit.Load(); got != 1 {
+		t.Errorf("level-3 depth limit = %d, want 1", got)
+	}
+	srv.applyBrownout(0)
+	if got := srv.effMaxWait(); got != 100*time.Millisecond {
+		t.Errorf("restored effMaxWait = %v", got)
+	}
+	if got := srv.depthLimit.Load(); got != 0 {
+		t.Errorf("restored depth limit = %d", got)
+	}
+}
+
+// TestResilConfigRejections: invalid resilience configurations fail at
+// construction, not at serving time.
+func TestResilConfigRejections(t *testing.T) {
+	const k = 2
+	mk := func(cfg Config) error {
+		fm := fleet.NewManager(gpu.NewHonestCluster(2*(k+1)), fleet.Config{})
+		cfg.Sched = sched.Config{VirtualBatch: k, Seed: 37}
+		srv, err := New(cfg, replicas(1, 37), fm, nil)
+		if err == nil {
+			srv.Close()
+		}
+		return err
+	}
+	if err := mk(Config{
+		PipelineDepth: 2,
+		Resil:         resil.Config{Hedge: resil.HedgePolicy{Enabled: true}},
+		HedgeModels:   replicas(1, 37),
+	}); err == nil {
+		t.Error("hedging with a pipelined engine was accepted")
+	}
+	if err := mk(Config{
+		Resil: resil.Config{Hedge: resil.HedgePolicy{Enabled: true}},
+	}); err == nil {
+		t.Error("hedging without hedge models was accepted")
+	}
+	if err := mk(Config{
+		Resil: resil.Config{Brownout: resil.BrownoutPolicy{Enabled: true}},
+	}); err == nil {
+		t.Error("brownout without SLO objectives was accepted")
+	}
+}

@@ -35,13 +35,16 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"darknight/internal/enclave"
 	"darknight/internal/fleet"
 	"darknight/internal/nn"
 	"darknight/internal/obs"
+	"darknight/internal/resil"
 	"darknight/internal/sched"
 )
 
@@ -107,6 +110,17 @@ type Config struct {
 	// keeping every scrape-time series — the A/B knob the histogram
 	// overhead gate pairs against. Production configurations leave it off.
 	NoHistograms bool
+	// Resil configures the resilience layer: deadline budgets, retry onto
+	// fresh gangs, hedged dispatch, admission control and the brownout
+	// degradation controller. The zero value disables all of it and the
+	// hot path stays at its previous cost.
+	Resil resil.Config
+	// HedgeModels supplies one extra private model replica per worker for
+	// hedged dispatch (engines cache forward state, so a hedge flight
+	// cannot share the primary's model). Required, with len >=
+	// len(models), when Resil.Hedge.Enabled; weights and geometry must
+	// match the worker models.
+	HedgeModels []*nn.Model
 }
 
 // result is what a worker delivers back to one waiting request.
@@ -120,7 +134,12 @@ type request struct {
 	tenant   string
 	image    []float64
 	enqueued time.Time
-	flushBy  time.Time // batching deadline: enqueued+MaxWait or ctx deadline
+	flushBy  time.Time // batching deadline: enqueued+MaxWait or budget share
+	// deadline is the absolute end-to-end deadline (caller context
+	// deadline, or the budget default); zero = unbounded. A request whose
+	// deadline passes before dispatch is failed with resil.ErrDeadline
+	// instead of riding a gang it can no longer use.
+	deadline time.Time
 	done     chan result
 
 	// sp is the request's sampled root span (nil when unsampled — every
@@ -146,6 +165,21 @@ type Server struct {
 	metrics  *Metrics
 	obs      *obs.Observability
 	batchlog *batchLog
+
+	// Resilience layer (PR9). rcount/shedder always exist (nil-safe and
+	// cheap); hedgers/hedge/brown only when the matching policy is on.
+	resil   resil.Config
+	rcount  *resil.Counters
+	shedder *resil.Shedder
+	hedge   *resil.HedgeGovernor
+	brown   *resil.Brownout
+	// hedgers are the workers' hedge engines, index-aligned with workers
+	// (serial mode only).
+	hedgers []*sched.Inferencer
+	// flushFactor (Float64bits) scales MaxWait and depthLimit caps the
+	// effective pipeline depth — the brownout actuators.
+	flushFactor atomic.Uint64
+	depthLimit  atomic.Int32
 
 	gate closeGate
 	wg   sync.WaitGroup
@@ -235,6 +269,39 @@ func New(cfg Config, models []*nn.Model, fm *fleet.Manager, encl *enclave.Enclav
 		batches: make(chan *vbatch, len(models)),
 		metrics: newMetrics(k),
 		obs:     cfg.Obs,
+		resil:   cfg.Resil,
+		rcount:  &resil.Counters{},
+		shedder: resil.NewShedder(cfg.Resil.Shed),
+	}
+	s.flushFactor.Store(math.Float64bits(1))
+	if cfg.Resil.Hedge.Enabled {
+		if cfg.PipelineDepth >= 2 {
+			closePipes(pipes)
+			return nil, fmt.Errorf("serve: hedged dispatch needs serial workers (PipelineDepth <= 1); pipelined lanes already overlap flights")
+		}
+		if len(cfg.HedgeModels) < len(models) {
+			return nil, fmt.Errorf("serve: hedging needs one hedge model replica per worker, have %d for %d workers",
+				len(cfg.HedgeModels), len(models))
+		}
+		s.hedge = resil.NewHedgeGovernor(cfg.Resil.Hedge)
+		for i := range models {
+			// Hedge engines draw from a disjoint seed range: a hedge
+			// flight re-encodes the same rows, and reusing the primary's
+			// noise stream would hand a gang-spanning observer two coded
+			// views under correlated masks.
+			wcfg := cfg.Sched
+			wcfg.Seed += int64(1000 + i)
+			h, err := sched.NewInferencer(wcfg, cfg.HedgeModels[i], encl, fmt.Sprintf("h%d/", i))
+			if err != nil {
+				return nil, err
+			}
+			if cfg.Recover {
+				if err := h.EnableRecovery(); err != nil {
+					return nil, err
+				}
+			}
+			s.hedgers = append(s.hedgers, h)
+		}
 	}
 	if s.obs != nil {
 		// Wire the observability stack: the fleet and every engine record
@@ -244,11 +311,15 @@ func New(cfg Config, models []*nn.Model, fm *fleet.Manager, encl *enclave.Enclav
 		for _, inf := range workers {
 			inf.SetObserver(s.obs.Recorder)
 		}
+		for _, h := range s.hedgers {
+			h.SetObserver(s.obs.Recorder)
+		}
 		for _, p := range pipes {
 			p.SetObserver(s.obs.Recorder)
 		}
 		s.registerMetrics(s.obs.Reg())
 		fm.RegisterMetrics(s.obs.Reg())
+		s.rcount.Register(s.obs.Reg())
 		s.batchlog = newBatchLog(cfg.BatchLog)
 		if len(cfg.SLO.Objectives) > 0 {
 			s.metrics.slo = obs.NewSLOTracker(cfg.SLO)
@@ -256,11 +327,34 @@ func New(cfg Config, models []*nn.Model, fm *fleet.Manager, encl *enclave.Enclav
 			fm.SubscribeSLO(s.metrics.slo)
 		}
 	}
+	if cfg.Resil.Brownout.Enabled {
+		var rec *obs.FlightRecorder
+		if s.obs != nil {
+			rec = s.obs.Recorder
+		}
+		s.brown = resil.NewBrownout(cfg.Resil.Brownout, rec, s.rcount)
+		s.brown.OnChange(s.applyBrownout)
+		if s.metrics.slo == nil {
+			// Brownout consumes SLO breach events; without objectives the
+			// controller would never engage. Build the tracker even when
+			// the caller attached no registry (nil-safe everywhere).
+			if len(cfg.SLO.Objectives) == 0 {
+				return nil, fmt.Errorf("serve: brownout needs SLO objectives to consume (Config.SLO)")
+			}
+			s.metrics.slo = obs.NewSLOTracker(cfg.SLO)
+			fm.SubscribeSLO(s.metrics.slo)
+		}
+		s.brown.Subscribe(s.metrics.slo)
+	}
 	s.wg.Add(1)
 	go s.batchLoop()
-	for _, inf := range workers {
+	for i, inf := range workers {
 		s.wg.Add(1)
-		go s.workLoop(inf)
+		var hedger *sched.Inferencer
+		if i < len(s.hedgers) {
+			hedger = s.hedgers[i]
+		}
+		go s.workLoop(inf, hedger)
 	}
 	for _, p := range pipes {
 		s.wg.Add(1)
@@ -290,6 +384,10 @@ func (s *Server) Metrics() Snapshot {
 	snap := s.metrics.Snapshot()
 	snap.Fleet = s.fleet.Stats()
 	snap.NoisePool = s.poolStats()
+	snap.Resil = s.rcount.Snapshot()
+	if s.brown != nil {
+		snap.Resil.BrownoutLevel = int64(s.brown.Level())
+	}
 	return snap
 }
 
@@ -319,12 +417,33 @@ func (s *Server) InferTenant(ctx context.Context, tenant string, image []float64
 	if !s.gate.enter() {
 		return 0, ErrClosed
 	}
-	now := time.Now()
-	flushBy := now.Add(s.cfg.MaxWait)
-	if d, ok := ctx.Deadline(); ok && d.Before(flushBy) {
-		flushBy = d
+	// Admission control: shed before any work when the tenant's queue
+	// allowance is full (typed resil.ErrShed; the client never blocks).
+	if err := s.shedder.Admit(tenant, s.metrics.queueDepth()); err != nil {
+		s.gate.leave()
+		s.rcount.Shed.Add(1)
+		s.recordResil(obs.KindShed, tenant, "admission queue allowance full")
+		return 0, err
 	}
-	r := &request{tenant: tenant, image: image, enqueued: now, flushBy: flushBy, done: make(chan result, 1)}
+	now := time.Now()
+	// Deadline budget: the caller's context deadline (or the configured
+	// default) is the absolute end-to-end bound; the batching phase may
+	// spend at most its budget share waiting for peers.
+	cd, hasCD := ctx.Deadline()
+	deadline := s.resil.Budget.Deadline(now, cd, hasCD)
+	maxWait := s.effMaxWait()
+	var flushBy time.Time
+	if s.resil.Budget.Enabled() {
+		flushBy = s.resil.Budget.FlushBy(now, deadline, maxWait)
+	} else {
+		// Legacy split: the whole remaining budget may be spent batching.
+		flushBy = now.Add(maxWait)
+		if hasCD && cd.Before(flushBy) {
+			flushBy = cd
+		}
+	}
+	r := &request{tenant: tenant, image: image, enqueued: now, flushBy: flushBy,
+		deadline: deadline, done: make(chan result, 1)}
 	// Sampled tracing: the root span covers the request end to end; the
 	// "admit" child covers queueing until the batcher flushes it. A nil
 	// span (tracing off, or the sampling draw declined) no-ops throughout.
@@ -374,6 +493,74 @@ func (s *Server) Close() {
 	for _, inf := range s.workers {
 		inf.Close()
 	}
+	for _, h := range s.hedgers {
+		h.Close()
+	}
+}
+
+// ResilCounters exposes the resilience accounting (always non-nil).
+func (s *Server) ResilCounters() *resil.Counters { return s.rcount }
+
+// BrownoutLevel returns the current degradation level (0 when the
+// controller is off or at full service).
+func (s *Server) BrownoutLevel() int { return s.brown.Level() }
+
+// effMaxWait is the brownout-scaled batching window: at degradation the
+// flush window shrinks, so batches seal with fewer real rows (a smaller
+// effective K) and per-request latency drops at the cost of padding.
+func (s *Server) effMaxWait() time.Duration {
+	f := math.Float64frombits(s.flushFactor.Load())
+	if f >= 1 || f <= 0 {
+		return s.cfg.MaxWait
+	}
+	return time.Duration(float64(s.cfg.MaxWait) * f)
+}
+
+// effDepth is the brownout-capped pipeline depth.
+func (s *Server) effDepth(p *sched.Pipeline) int {
+	d := p.Depth()
+	if lim := int(s.depthLimit.Load()); lim > 0 && lim < d {
+		d = lim
+	}
+	return d
+}
+
+// applyBrownout is the degradation actuator, invoked by the controller on
+// every level transition. The structural coding point (K, M, E) is fixed
+// — instead the actuators trade serving headroom: shorter flush windows
+// (smaller effective batches → lower latency, more padding), hedging off
+// (duplicate flights are the first capacity returned), tighter admission
+// allowances, and a shallower effective pipeline.
+func (s *Server) applyBrownout(level int) {
+	flushF, shedF := 1.0, 1.0
+	var depthLim int32
+	hedgeOff := false
+	switch {
+	case level <= 0:
+	case level == 1:
+		flushF, hedgeOff = 0.5, true
+	case level == 2:
+		flushF, shedF, hedgeOff = 0.5, 0.5, true
+		if d := s.cfg.PipelineDepth; d >= 2 {
+			depthLim = int32((d + 1) / 2)
+		}
+	default:
+		flushF, shedF, hedgeOff, depthLim = 0.25, 0.25, true, 1
+	}
+	s.flushFactor.Store(math.Float64bits(flushF))
+	s.shedder.SetFactor(shedF)
+	s.hedge.SetDisabled(hedgeOff)
+	s.depthLimit.Store(depthLim)
+}
+
+// recordResil emits one resilience event into the flight recorder (no-op
+// without observability).
+func (s *Server) recordResil(kind, tenant, detail string) {
+	if s.obs == nil {
+		return
+	}
+	s.obs.Recorder.Record(obs.Event{Kind: kind, Subsystem: "resil",
+		Device: -1, Slot: -1, Tenant: tenant, Detail: detail})
 }
 
 // closeGate lets Close wait out in-flight admissions before closing the

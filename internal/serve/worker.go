@@ -3,11 +3,13 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"time"
 
 	"darknight/internal/fleet"
 	"darknight/internal/masking"
 	"darknight/internal/obs"
+	"darknight/internal/resil"
 	"darknight/internal/sched"
 )
 
@@ -23,56 +25,325 @@ import (
 // the fault) are reported to the grant so the health tracker can
 // quarantine the physical device; unattributed violations cast suspicion
 // over the whole gang.
-func (s *Server) workLoop(inf *sched.Inferencer) {
+//
+// With the resilience layer on, the worker additionally prunes
+// deadline-expired requests before dispatch, re-dispatches failed batches
+// onto fresh gangs with capped backoff, and hedges slow primaries with a
+// speculative duplicate flight on hedger (its own engine over its own
+// model replica — first answer wins, both gangs always released).
+func (s *Server) workLoop(inf, hedger *sched.Inferencer) {
 	defer s.wg.Done()
 	gang := inf.Gang()
 	for b := range s.batches {
 		b.sealAdmission() // continuous riders stop here; the rows are ours
 		b.seal.End()      // handoff complete: a worker owns the batch now
+		if s.pruneExpired(b, time.Now()) == 0 {
+			continue // every rider expired; nothing left to dispatch
+		}
 		bsp := b.leaderSpan().Child("batch")
 		if bsp != nil {
 			bsp.Annotate("tenant", b.tenant)
 			bsp.Annotatef("rows", "%d/%d", len(b.reqs), s.k)
 		}
-		gsp := bsp.Child("grant")
-		grant, err := s.fleet.Acquire(context.Background(), b.tenant, gang)
-		gsp.End()
-		if err != nil {
-			bsp.Annotate("error", err.Error())
-			bsp.End()
-			b.fail(err)
-			s.metrics.finished(b, time.Now(), err)
-			continue
-		}
-		if bsp != nil {
-			bsp.Annotatef("gang", "%v", grant.DeviceIDs())
-		}
-		before := inf.PhaseStats()
-		inf.SetSpan(bsp)
-		preds, err := inf.Predict(grant, b.images)
-		inf.SetSpan(nil)
-		culprits := inf.Culprits()
-		// The batch log append precedes the release: a device freed by this
-		// grant cannot serve a later batch until the log already holds this
-		// one, which keeps per-device log order equal to dispatch order.
-		s.logBatch(b, grant.Slots(), preds, culprits, err)
-		reportOutcome(grant, culprits, err)
-		grant.Release()
+		s.dispatchBatch(inf, hedger, b, bsp, gang)
 		bsp.End()
-		s.metrics.phases(inf.PhaseStats().Sub(before))
-		now := time.Now()
-		if err != nil {
-			// One tampered GPU poisons the whole coded batch: every rider
-			// sees the integrity error (wrapping masking.ErrIntegrity).
-			b.fail(err)
-			s.metrics.finished(b, now, err)
+	}
+}
+
+// pruneExpired expels requests whose end-to-end deadline has already
+// passed: each is answered with the typed resil.ErrDeadline now, and its
+// image slot becomes a de-facto pad row (still coded, output dropped), so
+// the survivors' row pairing is preserved. Returns the live row count.
+func (s *Server) pruneExpired(b *vbatch, now time.Time) int {
+	n := len(b.reqs)
+	expired := 0
+	for i := 0; i < n; {
+		r := b.reqs[i]
+		if r.deadline.IsZero() || now.Before(r.deadline) {
+			i++
 			continue
 		}
-		for i, r := range b.reqs {
-			r.done <- result{class: preds[i]}
-		}
-		s.metrics.finished(b, now, nil)
+		r.sp.Annotate("outcome", "deadline-before-dispatch")
+		r.done <- result{err: resil.ErrDeadline}
+		n--
+		expired++
+		b.reqs[i] = b.reqs[n]
+		b.images[i], b.images[n] = b.images[n], b.images[i]
 	}
+	if expired > 0 {
+		b.reqs = b.reqs[:n]
+		s.rcount.Deadline.Add(int64(expired))
+		s.metrics.deadlineExpired(b.tenant, expired)
+		s.recordResil(obs.KindRetry, b.tenant,
+			fmt.Sprintf("pruned %d deadline-expired rows before dispatch", expired))
+	}
+	return n
+}
+
+// batchDeadline is the dispatch budget of a batch: the latest deadline
+// among its rows — the batch keeps running while any rider can still use
+// the answer. One unbounded rider unbounds the batch.
+func batchDeadline(b *vbatch) time.Time {
+	var d time.Time
+	for _, r := range b.reqs {
+		if r.deadline.IsZero() {
+			return time.Time{}
+		}
+		if r.deadline.After(d) {
+			d = r.deadline
+		}
+	}
+	return d
+}
+
+// dispatchBatch drives one sealed batch to completion: dispatch, and — on
+// a retryable failure — re-dispatch onto a fresh gang under capped
+// exponential backoff while the deadline budget lasts. Exactly one
+// Metrics.finished call per batch, whatever the attempt count.
+func (s *Server) dispatchBatch(inf, hedger *sched.Inferencer, b *vbatch, bsp *obs.Span, gang int) {
+	deadline := batchDeadline(b)
+	maxRetry := s.resil.Retry.Max
+	for attempt := 0; ; attempt++ {
+		delivered, err := s.dispatchAttempt(inf, hedger, b, bsp, gang, deadline)
+		if delivered {
+			if attempt > 0 {
+				s.rcount.RetrySuccess.Add(1)
+				s.recordResil(obs.KindRetry, b.tenant,
+					fmt.Sprintf("retry %d succeeded", attempt))
+			}
+			return
+		}
+		expired := !deadline.IsZero() && !time.Now().Before(deadline)
+		if resil.Retryable(err) && attempt < maxRetry && !expired {
+			s.rcount.Retries.Add(1)
+			s.recordResil(obs.KindRetry, b.tenant,
+				fmt.Sprintf("attempt %d failed (%v); re-dispatching on a fresh gang", attempt+1, err))
+			backoff := s.resil.Retry.Backoff(attempt + 1)
+			if !deadline.IsZero() {
+				if left := time.Until(deadline); left < backoff {
+					backoff = left
+				}
+			}
+			if backoff > 0 {
+				time.Sleep(backoff)
+			}
+			continue
+		}
+		// Terminal: classify the failure for the client.
+		final := err
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			final = resil.ErrDeadline
+			s.rcount.Deadline.Add(int64(len(b.reqs)))
+		case resil.Retryable(err) && maxRetry > 0 && attempt >= maxRetry:
+			final = fmt.Errorf("%w: %d attempts, last: %v", resil.ErrRetriesExhausted, attempt+1, err)
+			s.rcount.RetriesExhausted.Add(1)
+		}
+		bsp.Annotate("error", final.Error())
+		b.fail(final)
+		s.metrics.finished(b, time.Now(), final)
+		return
+	}
+}
+
+// flightRes is one gang flight's outcome.
+type flightRes struct {
+	preds    []int
+	culprits []int
+	err      error
+	lat      time.Duration
+}
+
+// runFlight dispatches the batch on one engine/grant pair asynchronously.
+// The engine belongs exclusively to this flight until the result is read.
+func (s *Server) runFlight(inf *sched.Inferencer, grant *fleet.Grant, b *vbatch,
+	sp *obs.Span, deadline time.Time, out chan<- flightRes) {
+	go func() {
+		inf.SetSpan(sp)
+		inf.SetDeadline(deadline)
+		t0 := time.Now()
+		preds, err := inf.Predict(grant, b.images)
+		lat := time.Since(t0)
+		inf.SetDeadline(time.Time{})
+		inf.SetSpan(nil)
+		out <- flightRes{preds: preds,
+			culprits: append([]int(nil), inf.Culprits()...), err: err, lat: lat}
+	}()
+}
+
+// settleFlight does the post-flight bookkeeping for one grant: batch log,
+// integrity verdict, release. Log precedes release so per-device log
+// order equals dispatch order (the replay invariant).
+func (s *Server) settleFlight(b *vbatch, grant *fleet.Grant, res flightRes) {
+	s.logBatch(b, grant.Slots(), res.preds, res.culprits, res.err)
+	reportOutcome(grant, res.culprits, res.err)
+	grant.Release()
+}
+
+// dispatchAttempt runs one gang flight for the batch — hedged by a
+// speculative duplicate on hedger when the primary outlives the
+// latency-percentile trigger — delivers the first clean answer to the
+// waiting requests, and only returns once every launched flight has
+// completed and released its grant (the engines are single-threaded; the
+// next attempt reuses them). delivered reports whether clients were
+// answered; err is the primary's failure otherwise.
+func (s *Server) dispatchAttempt(inf, hedger *sched.Inferencer, b *vbatch,
+	bsp *obs.Span, gang int, deadline time.Time) (delivered bool, err error) {
+	actx := context.Background()
+	if !deadline.IsZero() {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithDeadline(actx, deadline)
+		defer cancel()
+	}
+	gsp := bsp.Child("grant")
+	grant, err := s.fleet.Acquire(actx, b.tenant, gang)
+	gsp.End()
+	if err != nil {
+		if actx.Err() != nil {
+			return false, fmt.Errorf("gang wait outlived the deadline budget: %w", context.DeadlineExceeded)
+		}
+		return false, err
+	}
+	if bsp != nil {
+		bsp.Annotatef("gang", "%v", grant.DeviceIDs())
+	}
+
+	infBefore := inf.PhaseStats()
+	primary := make(chan flightRes, 1)
+	s.runFlight(inf, grant, b, bsp, deadline, primary)
+
+	// Hedge arm: wait out the trigger; if the primary is still flying,
+	// duplicate it on spare capacity (TryAcquire — a hedge never queues
+	// against primary traffic and never deadlocks the worker).
+	var (
+		pres, hres   flightRes
+		hgrant       *fleet.Grant
+		hedgeCh      chan flightRes
+		hsp          *obs.Span
+		hedgerBefore sched.PhaseStats
+	)
+	gotPrimary := false
+	if delay, ok := s.hedge.Delay(); ok && hedger != nil {
+		timer := time.NewTimer(delay)
+		select {
+		case pres = <-primary:
+			timer.Stop()
+			gotPrimary = true
+		case <-timer.C:
+			if hg, herr := s.fleet.TryAcquire(b.tenant, gang); herr == nil && hg != nil {
+				hgrant = hg
+				s.rcount.Hedges.Add(1)
+				s.recordResil(obs.KindHedge, b.tenant,
+					fmt.Sprintf("primary past p%d trigger (%v); duplicate flight on gang %v",
+						int(100*hedgeQuantile(s.resil.Hedge)), delay, hg.DeviceIDs()))
+				hsp = bsp.Child("hedge")
+				hedgerBefore = hedger.PhaseStats()
+				hedgeCh = make(chan flightRes, 1)
+				s.runFlight(hedger, hgrant, b, hsp, deadline, hedgeCh)
+			}
+		}
+	}
+
+	if hedgeCh == nil {
+		// Unhedged path: no trigger, primary answered inside it, or no
+		// spare gang was free for the duplicate.
+		if !gotPrimary {
+			pres = <-primary
+		}
+		s.hedge.Observe(pres.lat)
+		s.settleFlight(b, grant, pres)
+		s.metrics.phases(inf.PhaseStats().Sub(infBefore))
+		if pres.err != nil {
+			return false, pres.err
+		}
+		s.deliver(b, pres.preds, time.Now())
+		return true, nil
+	}
+
+	// Both flights are up: first clean answer is delivered immediately;
+	// the loser always runs to completion and settles (no lease leaks, no
+	// engine reuse while in flight).
+	var first, second *flightRes
+	firstIsHedge := false
+	select {
+	case pres = <-primary:
+		first = &pres
+	case hres = <-hedgeCh:
+		first = &hres
+		firstIsHedge = true
+	}
+	if first.err == nil {
+		s.deliver(b, first.preds, time.Now())
+		delivered = true
+	}
+	if firstIsHedge {
+		hres = *first
+		pres = <-primary
+		second = &pres
+	} else {
+		pres = *first
+		hres = <-hedgeCh
+		second = &hres
+	}
+	if !delivered && second.err == nil {
+		s.deliver(b, second.preds, time.Now())
+		delivered = true
+	}
+
+	// Cross-verification: when both flights decoded cleanly they must be
+	// bit-identical — the decode is exact over F_p, so any divergence
+	// means an undetected fault; count it and suspect both gangs.
+	if pres.err == nil && hres.err == nil && !equalPreds(pres.preds, hres.preds) {
+		s.rcount.HedgeMismatch.Add(1)
+		s.recordResil(obs.KindHedge, b.tenant, "cross-verify FAILED: primary and hedge disagree")
+		grant.ReportSuspect()
+		hgrant.ReportSuspect()
+	}
+	if firstIsHedge && first.err == nil {
+		s.rcount.HedgeWins.Add(1)
+		s.recordResil(obs.KindHedge, b.tenant,
+			fmt.Sprintf("hedge won by %v", pres.lat-hres.lat))
+	} else {
+		s.rcount.HedgeLosses.Add(1)
+	}
+	s.hedge.Observe(pres.lat)
+	s.settleFlight(b, grant, pres)
+	s.settleFlight(b, hgrant, hres)
+	hsp.End()
+	s.metrics.phases(inf.PhaseStats().Sub(infBefore))
+	s.metrics.phases(hedger.PhaseStats().Sub(hedgerBefore))
+	if delivered {
+		return true, nil
+	}
+	return false, pres.err
+}
+
+// deliver answers every rider and closes the batch's metrics accounting.
+func (s *Server) deliver(b *vbatch, preds []int, now time.Time) {
+	for i, r := range b.reqs {
+		r.done <- result{class: preds[i]}
+	}
+	s.metrics.finished(b, now, nil)
+}
+
+func equalPreds(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// hedgeQuantile surfaces the effective trigger percentile for event text.
+func hedgeQuantile(p resil.HedgePolicy) float64 {
+	if p.Quantile <= 0 || p.Quantile >= 1 {
+		return 0.95
+	}
+	return p.Quantile
 }
 
 // IsIntegrityError reports whether a per-request serving error was caused
@@ -100,12 +371,15 @@ func reportOutcome(grant *fleet.Grant, culprits []int, err error) {
 }
 
 // pipeFlight is one virtual batch in flight through a worker's pipeline:
-// its gang grant and the completion ticket.
+// its gang grant, the completion ticket, and its retry budget.
 type pipeFlight struct {
 	b     *vbatch
 	grant *fleet.Grant
 	tk    *sched.Ticket
 	bsp   *obs.Span // the batch span, closed when the flight retires
+	// attempt counts re-dispatches of this batch (0 = original flight).
+	attempt  int
+	deadline time.Time
 }
 
 // pipeLoop is the overlapped serving worker: it owns a sched.Pipeline over
@@ -113,7 +387,9 @@ type pipeFlight struct {
 // at once, each under its own gang grant — while one batch's coded shares
 // are on the devices, the TEE encodes the next batch and decodes the
 // previous one. The fault-reporting duties are identical to workLoop's;
-// they act on each batch's ticket as it completes.
+// they act on each batch's ticket as it completes. Failed flights with
+// retry budget re-enter the pipeline on a fresh gang (non-blocking
+// acquisition only — a retry never deadlocks the lanes).
 func (s *Server) pipeLoop(p *sched.Pipeline) {
 	defer s.wg.Done()
 	gang := p.Gang()
@@ -125,13 +401,47 @@ func (s *Server) pipeLoop(p *sched.Pipeline) {
 	// in-flight batches finishes first, so a fast batch is never parked
 	// behind a slow older one (finished clients answered, and the finished
 	// gang released, in completion order, not submission order). Capacity
-	// Depth bounds the outstanding tokens: one per lane.
-	completions := make(chan struct{}, p.Depth())
+	// 2×Depth bounds the outstanding tokens: one per lane plus retry
+	// re-submissions minted while their predecessors' tokens are unread.
+	completions := make(chan struct{}, 2*p.Depth())
 	watch := func(tk *sched.Ticket) {
 		go func() {
 			<-tk.Done()
 			completions <- struct{}{}
 		}()
+	}
+
+	// resubmit re-enters a failed flight on a fresh gang: non-blocking
+	// acquisition (blocking here could deadlock — this goroutine is the
+	// only one that releases the other in-flight gangs). Returns false
+	// when no gang or no pipeline slot is free; the caller then fails the
+	// batch terminally.
+	resubmit := func(f pipeFlight, ferr error) bool {
+		expired := !f.deadline.IsZero() && !time.Now().Before(f.deadline)
+		if !resil.Retryable(ferr) || f.attempt >= s.resil.Retry.Max || expired {
+			return false
+		}
+		grant, err := s.fleet.TryAcquire(f.b.tenant, gang)
+		if err != nil || grant == nil {
+			return false
+		}
+		s.rcount.Retries.Add(1)
+		s.recordResil(obs.KindRetry, f.b.tenant,
+			fmt.Sprintf("pipeline attempt %d failed (%v); re-dispatching", f.attempt+1, ferr))
+		if backoff := s.resil.Retry.Backoff(f.attempt + 1); backoff > 0 {
+			// Bounded pause (Cap defaults to 8ms): the loop, not the
+			// batch, pays it — acceptable for the failure path.
+			time.Sleep(backoff)
+		}
+		tk, err := p.SubmitWithin(grant, f.b.images, f.bsp, f.deadline)
+		if err != nil {
+			grant.Release()
+			return false
+		}
+		q = append(q, pipeFlight{b: f.b, grant: grant, tk: tk, bsp: f.bsp,
+			attempt: f.attempt + 1, deadline: f.deadline})
+		watch(tk)
+		return true
 	}
 
 	finish := func(f pipeFlight) {
@@ -141,7 +451,6 @@ func (s *Server) pipeLoop(p *sched.Pipeline) {
 		s.logBatch(f.b, f.grant.Slots(), f.tk.Classes(), f.tk.Culprits(), err)
 		reportOutcome(f.grant, f.tk.Culprits(), err)
 		f.grant.Release()
-		f.bsp.End()
 		// Windowed phase accounting: the pipeline's aggregate counters are
 		// monotone, so per-completion deltas sum to the true totals even
 		// while other batches are mid-flight.
@@ -150,10 +459,27 @@ func (s *Server) pipeLoop(p *sched.Pipeline) {
 		last = cur
 		now := time.Now()
 		if err != nil {
-			f.b.fail(err)
-			s.metrics.finished(f.b, now, err)
+			if resubmit(f, err) {
+				return // the batch lives on under a fresh gang
+			}
+			final := err
+			switch {
+			case errors.Is(err, context.DeadlineExceeded):
+				final = resil.ErrDeadline
+				s.rcount.Deadline.Add(int64(len(f.b.reqs)))
+			case resil.Retryable(err) && s.resil.Retry.Max > 0 && f.attempt >= s.resil.Retry.Max:
+				final = fmt.Errorf("%w: %d attempts, last: %v", resil.ErrRetriesExhausted, f.attempt+1, err)
+				s.rcount.RetriesExhausted.Add(1)
+			}
+			f.bsp.End()
+			f.b.fail(final)
+			s.metrics.finished(f.b, now, final)
 			return
 		}
+		if f.attempt > 0 {
+			s.rcount.RetrySuccess.Add(1)
+		}
+		f.bsp.End()
 		preds := f.tk.Classes()
 		for i, r := range f.b.reqs {
 			r.done <- result{class: preds[i]}
@@ -163,13 +489,15 @@ func (s *Server) pipeLoop(p *sched.Pipeline) {
 
 	// retireCompleted consumes one already-received completion token:
 	// it finds a flight whose ticket is done — one must exist, tokens are
-	// only minted for flights in q — and retires it without blocking.
+	// only minted for flights in q — and retires it without blocking. The
+	// flight leaves q before finish runs so a retry resubmission can
+	// append safely.
 	retireCompleted := func() {
 		for i, f := range q {
 			select {
 			case <-f.tk.Done():
-				finish(f)
 				q = append(q[:i], q[i+1:]...)
+				finish(f)
 				return
 			default:
 			}
@@ -191,10 +519,16 @@ func (s *Server) pipeLoop(p *sched.Pipeline) {
 	// the next batch to complete — freeing its gang — and retries,
 	// degrading gracefully toward serial execution exactly when the fleet
 	// cannot support the overlap.
-	acquire := func(tenant string) (*fleet.Grant, error) {
+	acquire := func(tenant string, deadline time.Time) (*fleet.Grant, error) {
 		for {
 			if len(q) == 0 {
-				return s.fleet.Acquire(context.Background(), tenant, gang)
+				actx := context.Background()
+				if !deadline.IsZero() {
+					var cancel context.CancelFunc
+					actx, cancel = context.WithDeadline(actx, deadline)
+					defer cancel()
+				}
+				return s.fleet.Acquire(actx, tenant, gang)
 			}
 			grant, err := s.fleet.TryAcquire(tenant, gang)
 			if grant != nil || err != nil {
@@ -207,15 +541,23 @@ func (s *Server) pipeLoop(p *sched.Pipeline) {
 	submit := func(b *vbatch) {
 		b.sealAdmission() // continuous riders stop here; the rows are ours
 		b.seal.End()      // handoff complete: this worker owns the batch now
+		if s.pruneExpired(b, time.Now()) == 0 {
+			return
+		}
 		bsp := b.leaderSpan().Child("batch")
 		if bsp != nil {
 			bsp.Annotate("tenant", b.tenant)
 			bsp.Annotatef("rows", "%d/%d", len(b.reqs), s.k)
 		}
+		deadline := batchDeadline(b)
 		gsp := bsp.Child("grant")
-		grant, err := acquire(b.tenant)
+		grant, err := acquire(b.tenant, deadline)
 		gsp.End()
 		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				err = resil.ErrDeadline
+				s.rcount.Deadline.Add(int64(len(b.reqs)))
+			}
 			bsp.Annotate("error", err.Error())
 			bsp.End()
 			b.fail(err)
@@ -225,7 +567,7 @@ func (s *Server) pipeLoop(p *sched.Pipeline) {
 		if bsp != nil {
 			bsp.Annotatef("gang", "%v", grant.DeviceIDs())
 		}
-		tk, err := p.SubmitTraced(grant, b.images, bsp)
+		tk, err := p.SubmitWithin(grant, b.images, bsp, deadline)
 		if err != nil {
 			grant.Release()
 			bsp.End()
@@ -233,7 +575,7 @@ func (s *Server) pipeLoop(p *sched.Pipeline) {
 			s.metrics.finished(b, time.Now(), err)
 			return
 		}
-		q = append(q, pipeFlight{b: b, grant: grant, tk: tk, bsp: bsp})
+		q = append(q, pipeFlight{b: b, grant: grant, tk: tk, bsp: bsp, deadline: deadline})
 		watch(tk)
 	}
 
@@ -247,9 +589,9 @@ func (s *Server) pipeLoop(p *sched.Pipeline) {
 			submit(b)
 			continue
 		}
-		if len(q) >= p.Depth() {
-			// Pipeline full: retire the next completion before admitting
-			// more.
+		if len(q) >= s.effDepth(p) {
+			// Pipeline full (or brownout-capped): retire the next
+			// completion before admitting more.
 			retire()
 			continue
 		}

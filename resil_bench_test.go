@@ -1,0 +1,137 @@
+package darknight
+
+// PR9 benchmarks: what the resilience layer costs when nothing goes wrong.
+// Deadline budgets, retry bookkeeping, hedge arming and admission control
+// all sit on the hot path, so the clean-schedule throughput with the full
+// stack enabled must stay within a few percent of the resilience-off
+// baseline. Measured numbers are recorded in BENCH_PR9.json; the CI gate
+// (TestResilienceOverheadGate) bounds the paired-median slowdown at 10% to
+// stay meaningful under shared-runner noise, with the design budget at 5%.
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// resilGateRequests is the closed-loop run length of one overhead sample.
+const resilGateRequests = 960
+
+// fullResilience is the clean-path configuration under test: retries armed
+// (never taken on a healthy fleet), hedging at a high percentile trigger,
+// admission control with headroom, and a generous deadline budget.
+func fullResilience() ResilienceConfig {
+	return ResilienceConfig{
+		Budget:        2 * time.Second,
+		RetryMax:      2,
+		HedgeQuantile: 0.99,
+		ShedQueue:     4096,
+	}
+}
+
+// resilServeThroughput drives n closed-loop requests through a one-worker
+// K=4 server (hedging requires serial workers) with extra fleet headroom
+// for hedge gangs, and returns requests/second.
+func resilServeThroughput(tb testing.TB, rc ResilienceConfig, clients, n int) float64 {
+	tb.Helper()
+	srv, err := NewServer(func() *Model { return TinyCNN(1, 8, 8, 4, 1) }, ServerConfig{
+		Config: Config{
+			VirtualBatch: 4,
+			Seed:         1,
+			EnclaveBytes: -1,
+			SpareGPUs:    6,
+		},
+		Workers:    1,
+		MaxWait:    5 * time.Millisecond,
+		Resilience: rc,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer srv.Close()
+	data := SyntheticDataset(n, 4, 1, 8, 8, 2)
+
+	var next atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if _, err := srv.Infer(context.Background(), data[i].Image); err != nil {
+					tb.Errorf("request %d: %v", i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return float64(n) / time.Since(start).Seconds()
+}
+
+// resilPairedRatio returns the median paired throughput ratio (resilience
+// on / resilience off) over `rounds` back-to-back runs in alternating
+// order, after one warm-up pass per side. Pairing cancels the machine's
+// slow drift; the median discards outlier rounds.
+func resilPairedRatio(t *testing.T, rounds int) float64 {
+	t.Helper()
+	off, on := ResilienceConfig{}, fullResilience()
+	resilServeThroughput(t, off, 16, resilGateRequests)
+	resilServeThroughput(t, on, 16, resilGateRequests)
+	ratios := make([]float64, 0, rounds)
+	for i := 0; i < rounds; i++ {
+		var vOff, vOn float64
+		if i%2 == 0 {
+			vOff = resilServeThroughput(t, off, 16, resilGateRequests)
+			vOn = resilServeThroughput(t, on, 16, resilGateRequests)
+		} else {
+			vOn = resilServeThroughput(t, on, 16, resilGateRequests)
+			vOff = resilServeThroughput(t, off, 16, resilGateRequests)
+		}
+		ratios = append(ratios, vOn/vOff)
+	}
+	sort.Float64s(ratios)
+	mid := len(ratios) / 2
+	if len(ratios)%2 == 0 {
+		return (ratios[mid-1] + ratios[mid]) / 2
+	}
+	return ratios[mid]
+}
+
+// TestResilienceOverheadGate bounds the clean-path cost of the full
+// resilience stack: the paired-median throughput with budgets, retries,
+// hedging and admission control enabled must stay within 10% of the
+// resilience-off baseline (design budget 5%; the CI gate leaves room for
+// shared-runner noise). Wall-clock sensitive, so skipped under the race
+// detector and -short.
+func TestResilienceOverheadGate(t *testing.T) {
+	if raceEnabled || testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	ratio := resilPairedRatio(t, 9)
+	t.Logf("resilience-on vs resilience-off paired-median throughput ratio: %.3f", ratio)
+	if ratio < 0.90 {
+		t.Fatalf("resilience stack costs %.1f%% clean-path throughput, budget 10%%",
+			100*(1-ratio))
+	}
+}
+
+// BenchmarkResilientServing records both sides for the BENCH_PR9 artifact.
+func BenchmarkResilientServing(b *testing.B) {
+	var off, on float64
+	for i := 0; i < b.N; i++ {
+		off = resilServeThroughput(b, ResilienceConfig{}, 16, resilGateRequests)
+		on = resilServeThroughput(b, fullResilience(), 16, resilGateRequests)
+	}
+	b.ReportMetric(off, "resil-off-req/s")
+	b.ReportMetric(on, "resil-on-req/s")
+	b.ReportMetric(on/off, "on-vs-off-x")
+}

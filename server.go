@@ -2,6 +2,8 @@ package darknight
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"time"
 
 	"darknight/internal/enclave"
@@ -9,9 +11,93 @@ import (
 	"darknight/internal/gpu"
 	"darknight/internal/nn"
 	"darknight/internal/obs"
+	"darknight/internal/resil"
 	"darknight/internal/sched"
 	"darknight/internal/serve"
 )
+
+// Typed resilience outcomes a client can observe. ErrDeadline additionally
+// matches errors.Is(err, context.DeadlineExceeded).
+var (
+	// ErrDeadline reports a request whose end-to-end deadline budget
+	// expired before (or during) dispatch.
+	ErrDeadline = resil.ErrDeadline
+	// ErrShed reports a request rejected by admission control before any
+	// work was done; clients should back off and retry.
+	ErrShed = resil.ErrShed
+	// ErrRetriesExhausted reports a request whose batch failed on its
+	// original gang and on every permitted retry gang.
+	ErrRetriesExhausted = resil.ErrRetriesExhausted
+)
+
+// ChaosSchedule is a deterministic fault script playable against a
+// chaos-enabled server: timed device crashes, latency spikes, tamper
+// bursts, flapping and partitions (see internal/resil for the format).
+type ChaosSchedule = resil.Schedule
+
+// ChaosEvent is one scripted fault of a ChaosSchedule.
+type ChaosEvent = resil.ChaosEvent
+
+// ResilSnapshot is the resilience accounting: sheds, deadline expiries,
+// retries, hedges, brownout transitions, chaos actions.
+type ResilSnapshot = resil.Snapshot
+
+// LoadChaosSchedule reads and validates a chaos schedule file.
+func LoadChaosSchedule(path string) (*ChaosSchedule, error) {
+	return resil.LoadSchedule(path)
+}
+
+// ResilienceConfig selects the adaptive resilience layer of a Server: the
+// zero value disables all of it and the serving hot path stays at its
+// previous cost.
+type ResilienceConfig struct {
+	// Budget is the default end-to-end deadline applied to requests whose
+	// context carries none (0 = unbounded). A caller deadline always wins
+	// when earlier. At most half the budget (BatchFraction) is spent
+	// batching; the offload layer re-checks the deadline before every gang
+	// dispatch.
+	Budget time.Duration
+	// BatchFraction overrides the batching share of the budget (0 picks
+	// the 0.5 default).
+	BatchFraction float64
+	// RetryMax re-dispatches a failed or integrity-rejected virtual batch
+	// onto a fresh gang up to this many times, under capped exponential
+	// backoff (0 disables retry).
+	RetryMax int
+	// HedgeQuantile > 0 enables hedged dispatch: a batch whose primary
+	// gang has not answered within this observed latency percentile (e.g.
+	// 0.95) is speculatively duplicated on spare capacity, and the first
+	// answer wins. Requires serial workers (PipelineDepth <= 1).
+	HedgeQuantile float64
+	// ShedQueue > 0 enables admission control: a tenant's request is shed
+	// with ErrShed when the queue holds at least this many requests
+	// (scaled by its ShedPriorities share).
+	ShedQueue int
+	// ShedPriorities maps tenant names to their share of ShedQueue in
+	// (0, 1]; "*" sets the default (1 when absent). High-priority tenants
+	// keep admitting while lower ones shed.
+	ShedPriorities map[string]float64
+	// Brownout enables the SLO-driven degradation controller: sustained
+	// burn-rate breaches shrink the flush window, disable hedging, tighten
+	// shedding and cap pipeline depth — stepwise, and stepwise restored
+	// when the burn recovers. Requires SLO objectives
+	// (Observability.SLO); enabling it implies the observability stack.
+	Brownout bool
+}
+
+// toResil lowers the facade knobs onto the internal policy set.
+func (rc ResilienceConfig) toResil() resil.Config {
+	c := resil.Config{
+		Budget:   resil.BudgetPolicy{Default: rc.Budget, BatchFraction: rc.BatchFraction},
+		Retry:    resil.RetryPolicy{Max: rc.RetryMax},
+		Shed:     resil.ShedPolicy{MaxQueue: rc.ShedQueue, Priorities: rc.ShedPriorities},
+		Brownout: resil.BrownoutPolicy{Enabled: rc.Brownout},
+	}
+	if rc.HedgeQuantile > 0 {
+		c.Hedge = resil.HedgePolicy{Enabled: true, Quantile: rc.HedgeQuantile}
+	}
+	return c
+}
 
 // Tenant names a traffic source and its fair-share weight.
 type Tenant = fleet.TenantConfig
@@ -89,6 +175,10 @@ type ServerConfig struct {
 	// registry, and the chaos flight recorder. Zero value = off, and the
 	// hot path stays at its untraced cost.
 	Observability ObservabilityConfig
+	// Resilience selects the adaptive resilience layer: deadline budgets,
+	// retry onto fresh gangs, hedged dispatch, load shedding and brownout
+	// degradation. Zero value = off.
+	Resilience ResilienceConfig
 	// Arch optionally names the model architecture (a BuildModel registry
 	// name such as "tiny" or "vgg"). It is recorded in state snapshots so
 	// `darknight replay` can rebuild the model from arch + seed alone.
@@ -109,6 +199,10 @@ type Server struct {
 	encl    *enclave.Enclave
 	obs     *obs.Observability
 	msrv    *obs.MetricsServer
+	// chaos holds the per-device fault actuators (Config.Chaos) and runner
+	// the schedule player over them; both nil on a chaos-free server.
+	chaos  []*gpu.ChaosDevice
+	runner *resil.Runner
 	// cfg is the fully defaulted configuration (cluster sized, SlowAll
 	// expanded) and ref one worker's model replica — together the model
 	// and cluster sections of a state snapshot.
@@ -149,7 +243,7 @@ func NewServer(newModel func() *Model, cfg ServerConfig) (*Server, error) {
 			cfg.SlowGPUs[i] = i
 		}
 	}
-	cluster, err := buildCluster(cfg.Config)
+	cluster, chaosDevs, err := buildCluster(cfg.Config)
 	if err != nil {
 		return nil, err
 	}
@@ -160,6 +254,17 @@ func NewServer(newModel func() *Model, cfg ServerConfig) (*Server, error) {
 	replicas := make([]*nn.Model, cfg.Workers)
 	for i := range replicas {
 		replicas[i] = newModel().m
+	}
+	rcfg := cfg.Resilience.toResil()
+	var hedgeModels []*nn.Model
+	if rcfg.Hedge.Enabled {
+		// One extra private replica per worker: a hedge flight re-runs the
+		// batch concurrently with the primary, and nn layers cache forward
+		// state, so the flights cannot share a model.
+		hedgeModels = make([]*nn.Model, cfg.Workers)
+		for i := range hedgeModels {
+			hedgeModels[i] = newModel().m
+		}
 	}
 	fcfg := cfg.Fleet
 	fcfg.Tenants = cfg.Tenants
@@ -185,12 +290,21 @@ func NewServer(newModel func() *Model, cfg ServerConfig) (*Server, error) {
 		SLO:           cfg.Observability.SLO,
 		BatchLog:      cfg.Observability.SnapshotBatchLog,
 		NoHistograms:  cfg.Observability.NoHistograms,
+		Resil:         rcfg,
+		HedgeModels:   hedgeModels,
 	}, replicas, fm, encl)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{inner: srv, fleet: fm, cluster: cluster, encl: encl, obs: ob,
-		cfg: cfg, ref: replicas[0]}
+		chaos: chaosDevs, cfg: cfg, ref: replicas[0]}
+	if len(chaosDevs) > 0 {
+		var rec *obs.FlightRecorder
+		if ob != nil {
+			rec = ob.Recorder
+		}
+		s.runner = resil.NewRunner(chaosDevs, rec, srv.ResilCounters())
+	}
 	if ob != nil {
 		ob.SetSnapshotProvider(s.CaptureSnapshot)
 	}
@@ -251,3 +365,56 @@ func (s *Server) Close() {
 // IsIntegrityError reports whether a serving error was caused by tampered
 // GPU results.
 func IsIntegrityError(err error) bool { return serve.IsIntegrityError(err) }
+
+// IsShed reports whether a serving error is an admission-control shed —
+// the client did no work and should back off and retry.
+func IsShed(err error) bool { return errors.Is(err, ErrShed) }
+
+// IsDeadline reports whether a serving error is a deadline-budget expiry
+// (it also matches plain context.DeadlineExceeded checks).
+func IsDeadline(err error) bool { return errors.Is(err, context.DeadlineExceeded) }
+
+// ErrNoChaos is returned by the chaos methods of a server built without
+// Config.Chaos.
+var ErrNoChaos = errors.New("darknight: server built without Config.Chaos")
+
+// PlayChaos applies a fault schedule to the live fleet in real time,
+// blocking until the last scripted action fires or ctx is done (on
+// cancellation every actuator resets to clean). Requires Config.Chaos.
+func (s *Server) PlayChaos(ctx context.Context, sched *ChaosSchedule) error {
+	if s.runner == nil {
+		return ErrNoChaos
+	}
+	if err := sched.Validate(); err != nil {
+		return fmt.Errorf("darknight: bad chaos schedule: %w", err)
+	}
+	return s.runner.Play(ctx, sched)
+}
+
+// StartChaos plays a fault schedule on a background goroutine; the
+// returned stop function cancels it (resetting the actuators) and waits
+// for exit. Requires Config.Chaos.
+func (s *Server) StartChaos(sched *ChaosSchedule) (stop func(), err error) {
+	if s.runner == nil {
+		return nil, ErrNoChaos
+	}
+	if err := sched.Validate(); err != nil {
+		return nil, fmt.Errorf("darknight: bad chaos schedule: %w", err)
+	}
+	return s.runner.Start(sched), nil
+}
+
+// ResetChaos returns every fault actuator to the clean state (no-op
+// without Config.Chaos).
+func (s *Server) ResetChaos() {
+	if s.runner != nil {
+		s.runner.Reset()
+	}
+}
+
+// ResilStats returns the resilience accounting: sheds, deadline expiries,
+// retries, hedges, brownout transitions and chaos actions.
+func (s *Server) ResilStats() ResilSnapshot { return s.Metrics().Resil }
+
+// BrownoutLevel returns the current degradation level (0 = full service).
+func (s *Server) BrownoutLevel() int { return s.inner.BrownoutLevel() }
