@@ -1,0 +1,179 @@
+// Package analysis is darknightlint's core: a deliberately small,
+// dependency-free re-implementation of the golang.org/x/tools/go/analysis
+// contract (Analyzer, Pass, Diagnostic) plus the suppression and
+// formatting machinery shared by the standalone CLI, the `go vet
+// -vettool` unit-checker mode and the in-repo regression tests.
+//
+// The repository's correctness rests on invariants the compiler cannot
+// see: lazy-reduction accumulators must reduce every field.MaxLazyTerms
+// products or the 25-bit prime silently overflows; GPU leases, fleet
+// grants and block flights must be released on every return path or
+// serving deadlocks; hot paths must stay allocation-free; deadline
+// contexts must be threaded, not replaced; and the darknight_* metric
+// namespace must not drift from its canonical list. Each analyzer in the
+// sibling packages machine-checks one of those invariants at go-vet
+// speed, so every future refactor gets them checked mechanically instead
+// of by hand-written tests alone.
+//
+// x/tools is intentionally not imported: the build environment is
+// hermetic (stdlib only), and the five analyzers need no facts, no
+// cross-analyzer dependencies and no SSA — a Pass with parsed files,
+// type information and a Report sink covers them.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in findings, suppression comments
+	// (`//lint:ignore <name> <reason>`) and CLI selection.
+	Name string
+	// Doc is the one-paragraph description shown by `darknightlint -list`.
+	Doc string
+	// Run executes the analyzer on one package. Findings go through
+	// pass.Report*; the returned value (may be nil) is collected by the
+	// driver for cross-package checks (metricname uses it).
+	Run func(pass *Pass) (any, error)
+}
+
+// Pass is one analyzer's view of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+	// Suppressed marks findings matched by a //lint:ignore comment; the
+	// suppression reason is retained for reporting.
+	Suppressed bool
+	Reason     string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// suppressKey locates one //lint:ignore comment by file and line.
+type suppressKey struct {
+	file string
+	line int
+}
+
+// suppression is one parsed //lint:ignore directive.
+type suppression struct {
+	analyzers map[string]bool // nil means all ("*")
+	reason    string
+	used      bool
+}
+
+var (
+	ignoreRe = regexp.MustCompile(`^//\s*lint:ignore\s+(\S+)\s+(.+)$`)
+	// directiveRe gates malformedness checking: only comments that begin
+	// with the directive count, so prose mentioning lint:ignore does not.
+	directiveRe = regexp.MustCompile(`^//\s*lint:ignore\b`)
+)
+
+// parseSuppressions indexes every `//lint:ignore name[,name...] reason`
+// comment in the files. A directive suppresses matching findings reported
+// on its own line or on the line immediately below it (the conventional
+// "comment above the offending statement" placement). The reason is
+// mandatory: a bare //lint:ignore is itself reported by the driver.
+func parseSuppressions(fset *token.FileSet, files []*ast.File) (map[suppressKey]*suppression, []Diagnostic) {
+	out := make(map[suppressKey]*suppression)
+	var malformed []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !directiveRe.MatchString(text) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := ignoreRe.FindStringSubmatch(text)
+				if m == nil {
+					malformed = append(malformed, Diagnostic{
+						Pos:      pos,
+						Analyzer: "lint",
+						Message:  "malformed //lint:ignore directive: want `//lint:ignore analyzer[,analyzer] reason`",
+					})
+					continue
+				}
+				s := &suppression{reason: strings.TrimSpace(m[2])}
+				if m[1] != "*" {
+					s.analyzers = make(map[string]bool)
+					for _, name := range strings.Split(m[1], ",") {
+						s.analyzers[name] = true
+					}
+				}
+				out[suppressKey{pos.Filename, pos.Line}] = s
+			}
+		}
+	}
+	return out, malformed
+}
+
+// matches reports whether the suppression covers the analyzer.
+func (s *suppression) matches(analyzer string) bool {
+	return s.analyzers == nil || s.analyzers[analyzer]
+}
+
+// applySuppressions marks findings covered by a directive on their own
+// line or the line above.
+func applySuppressions(diags []Diagnostic, sup map[suppressKey]*suppression) []Diagnostic {
+	for i := range diags {
+		d := &diags[i]
+		for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+			if s, ok := sup[suppressKey{d.Pos.Filename, line}]; ok && s.matches(d.Analyzer) {
+				d.Suppressed = true
+				d.Reason = s.reason
+				s.used = true
+				break
+			}
+		}
+	}
+	return diags
+}
+
+// sortDiags orders findings by file, line, column, analyzer.
+func sortDiags(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

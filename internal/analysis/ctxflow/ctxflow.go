@@ -1,0 +1,98 @@
+// Package ctxflow keeps deadline contexts threaded through the request
+// path.
+//
+// The serving stack's latency guarantees flow through context deadlines:
+// resil computes per-attempt budgets, serve and sched propagate them into
+// fleet acquisition and GPU flights. Writing context.Background() (or
+// TODO()) inside that chain severs the deadline — the downstream call
+// waits forever while the caller's SLO clock keeps running, which is how
+// a 250ms budget turns into a stuck worker.
+//
+// The analyzer fires only in request-path packages (serve, sched, fleet,
+// resil) and only where the mistake is unambiguous: a
+// context.Background()/TODO() call inside a function that has a
+// context.Context parameter in scope — its own, or one captured from an
+// enclosing function. Functions without a ctx parameter (goroutine
+// roots, lifecycle managers) are legitimate places to mint a fresh
+// context and are not flagged.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"darknight/internal/analysis"
+)
+
+// Analyzer is the ctxflow checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "flag context.Background()/TODO() in serve/sched/fleet/resil functions that already have a deadline-carrying ctx parameter in scope",
+	Run:  run,
+}
+
+// requestPathPkgs are the import-path suffixes where deadlines must flow.
+var requestPathPkgs = []string{
+	"internal/serve", "internal/sched", "internal/fleet", "internal/resil",
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !analysis.PathHasSuffix(pass.Pkg, requestPathPkgs...) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			check(pass, fd.Body, hasCtxParam(pass, fd.Type))
+		}
+	}
+	return nil, nil
+}
+
+// check walks a body; ctxInScope tracks whether a context.Context
+// parameter is visible here, recursing into function literals with their
+// own parameter lists layered on top (a closure captures the enclosing
+// ctx, so scope is inherited, never reset).
+func check(pass *analysis.Pass, body *ast.BlockStmt, ctxInScope bool) {
+	analysis.InspectOwn(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && ctxInScope {
+			if analysis.IsPkgFunc(pass.TypesInfo, call, "context", "Background", "TODO") {
+				pass.Reportf(call.Pos(),
+					"fresh context severs the request deadline: a context.Context parameter is in scope; derive from it (context.WithTimeout/WithCancel) instead")
+			}
+		}
+		return true
+	})
+	// Recurse into literals, adding their own ctx params to scope.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			check(pass, fl.Body, ctxInScope || hasCtxParam(pass, fl.Type))
+			return false
+		}
+		return true
+	})
+}
+
+// hasCtxParam reports whether the function type declares a parameter of
+// type context.Context.
+func hasCtxParam(pass *analysis.Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, f := range ft.Params.List {
+		tv, ok := pass.TypesInfo.Types[f.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if named, isNamed := tv.Type.(*types.Named); isNamed {
+			obj := named.Obj()
+			if obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,24 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"darknight/internal/analysis/atest"
+	"darknight/internal/analysis/ctxflow"
+)
+
+// TestCorpus runs the corpus under a request-path import path (suffix
+// internal/serve) where the analyzer is live.
+func TestCorpus(t *testing.T) {
+	atest.Run(t, ctxflow.Analyzer, "ctxflow", "darknightlint/corpus/ctxflow/internal/serve")
+}
+
+// TestSilentOutsideRequestPath pins the package gate: the same corpus
+// under a neutral import path produces nothing.
+func TestSilentOutsideRequestPath(t *testing.T) {
+	atest.RunExpectNone(t, ctxflow.Analyzer, "ctxflow", "darknightlint/corpus/ctxflow")
+}
+
+func TestBlessedCaseStillFires(t *testing.T) {
+	atest.MustSuppress(t, ctxflow.Analyzer, "ctxflow", "darknightlint/corpus/ctxflow/internal/serve")
+}

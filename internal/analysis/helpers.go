@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// FuncObj resolves a call expression's callee to its types.Func (package
+// function or method), nil when unresolvable (builtin, conversion,
+// function-typed variable).
+func FuncObj(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// IsPkgFunc reports whether the call resolves to one of the named
+// package-level functions of a package whose import path ends in
+// pathSuffix (suffix matching keeps analyzers working on corpus copies
+// and vendored paths alike).
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, pathSuffix string, names ...string) bool {
+	f := FuncObj(info, call)
+	if f == nil || f.Pkg() == nil || !strings.HasSuffix(f.Pkg().Path(), pathSuffix) {
+		return false
+	}
+	if f.Type().(*types.Signature).Recv() != nil {
+		return false
+	}
+	for _, n := range names {
+		if f.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// IsMethod reports whether the call resolves to a method with one of the
+// given names on a named type recvType declared in a package whose path
+// ends in pathSuffix.
+func IsMethod(info *types.Info, call *ast.CallExpr, pathSuffix, recvType string, names ...string) bool {
+	f := FuncObj(info, call)
+	if f == nil {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != recvType || obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), pathSuffix) {
+		return false
+	}
+	for _, n := range names {
+		if f.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// ConstString returns the compile-time constant string value of expr, if
+// it has one (literals and constant concatenations both qualify).
+func ConstString(info *types.Info, expr ast.Expr) (string, bool) {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// UsesConst reports whether the identifier resolves to the named
+// package-level constant of a package with the given path suffix.
+func UsesConst(info *types.Info, id *ast.Ident, pathSuffix, name string) bool {
+	c, ok := info.Uses[id].(*types.Const)
+	return ok && c.Name() == name && c.Pkg() != nil && strings.HasSuffix(c.Pkg().Path(), pathSuffix)
+}
+
+// PathHasSuffix reports whether the package under analysis matches one of
+// the import-path suffixes.
+func PathHasSuffix(pkg *types.Package, suffixes ...string) bool {
+	for _, s := range suffixes {
+		if strings.HasSuffix(pkg.Path(), s) {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncBodies yields every function body in the file — declarations and
+// literals — with its doc comment (nil for literals) and a printable
+// name. Literal bodies are yielded separately from their enclosing
+// declaration and excluded from it, so per-function analyses do not leak
+// across closure boundaries.
+type FuncBody struct {
+	Name string
+	Doc  *ast.CommentGroup
+	Node ast.Node // *ast.FuncDecl or *ast.FuncLit
+	Body *ast.BlockStmt
+	Type *ast.FuncType
+}
+
+// FuncBodies collects the file's function bodies in source order.
+func FuncBodies(file *ast.File) []FuncBody {
+	var out []FuncBody
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		out = append(out, FuncBody{Name: fd.Name.Name, Doc: fd.Doc, Node: fd, Body: fd.Body, Type: fd.Type})
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				out = append(out, FuncBody{Name: fd.Name.Name + ".func", Node: fl, Body: fl.Body, Type: fl.Type})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// InspectOwn walks the function body but does not descend into nested
+// function literals (their bodies are analyzed as their own scopes).
+func InspectOwn(body *ast.BlockStmt, fn func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}

@@ -1,0 +1,16 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"darknight/internal/analysis/atest"
+	"darknight/internal/analysis/hotpathalloc"
+)
+
+func TestCorpus(t *testing.T) {
+	atest.Run(t, hotpathalloc.Analyzer, "hotpathalloc", "darknightlint/corpus/hotpathalloc")
+}
+
+func TestBlessedCaseStillFires(t *testing.T) {
+	atest.MustSuppress(t, hotpathalloc.Analyzer, "hotpathalloc", "darknightlint/corpus/hotpathalloc")
+}

@@ -1,0 +1,111 @@
+// Package lazyterms flags loops that accumulate lazy field products
+// without a reachable term-budget guard.
+//
+// The invariant: field.LazyAXPY and field.LazyAXPY2 add products as large
+// as (P-1)^2 into uint64 accumulators without reducing mod P. A uint64
+// absorbs at most field.MaxLazyTerms such products before the next
+// addition can wrap, which silently corrupts every value decoded from the
+// accumulator — no panic, no error, just wrong ciphertext. Any loop that
+// issues lazy kernels must therefore also count terms and reduce: either
+// through a field.Budget (Tick1/Tick2), an explicit ReduceAcc /
+// ReduceAccInto call, or an open-coded comparison against
+// field.MaxLazyTerms.
+//
+// The analyzer looks at the innermost loop enclosing each lazy kernel
+// call and reports the call when none of those guard forms appears in the
+// loop body. Loops whose trip count is provably below the budget may
+// suppress the finding with //lint:ignore lazyterms <why the bound holds>.
+package lazyterms
+
+import (
+	"go/ast"
+
+	"darknight/internal/analysis"
+)
+
+// Analyzer is the lazyterms checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "lazyterms",
+	Doc:  "flag loops issuing field.LazyAXPY/LazyAXPY2 without a MaxLazyTerms guard (Budget.Tick, ReduceAcc, or explicit comparison) in the same loop",
+	Run:  run,
+}
+
+const fieldPkg = "internal/field"
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, fb := range analysis.FuncBodies(file) {
+			checkBody(pass, fb.Body)
+		}
+	}
+	return nil, nil
+}
+
+// loopOf returns the innermost loop in loops whose body strictly contains
+// pos.
+func loopOf(loops []ast.Stmt, pos ast.Node) ast.Stmt {
+	var best ast.Stmt
+	for _, l := range loops {
+		if l.Pos() <= pos.Pos() && pos.End() <= l.End() {
+			if best == nil || (best.Pos() <= l.Pos() && l.End() <= best.End()) {
+				best = l
+			}
+		}
+	}
+	return best
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	var loops []ast.Stmt
+	var lazyCalls []*ast.CallExpr
+	analysis.InspectOwn(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n.(ast.Stmt))
+		case *ast.CallExpr:
+			if analysis.IsPkgFunc(pass.TypesInfo, n, fieldPkg, "LazyAXPY", "LazyAXPY2") {
+				lazyCalls = append(lazyCalls, n)
+			}
+		}
+		return true
+	})
+	for _, call := range lazyCalls {
+		loop := loopOf(loops, call)
+		if loop == nil {
+			// A single un-looped lazy call cannot exceed the budget.
+			continue
+		}
+		if !hasGuard(pass, loop) {
+			pass.Reportf(call.Pos(),
+				"loop accumulates lazy field products without a MaxLazyTerms guard: add a field.Budget Tick, a ReduceAcc/ReduceAccInto call, or an explicit terms == field.MaxLazyTerms check inside the loop")
+		}
+	}
+}
+
+// hasGuard reports whether the loop body contains any accepted guard
+// form: a Budget.Tick1/Tick2 call, a ReduceAcc/ReduceAccInto call, or a
+// reference to the field.MaxLazyTerms constant (the open-coded
+// comparison idiom).
+func hasGuard(pass *analysis.Pass, loop ast.Stmt) bool {
+	found := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if analysis.IsPkgFunc(pass.TypesInfo, n, fieldPkg, "ReduceAcc", "ReduceAccInto") ||
+				analysis.IsMethod(pass.TypesInfo, n, fieldPkg, "Budget", "Tick1", "Tick2") {
+				found = true
+				return false
+			}
+		case *ast.Ident:
+			if analysis.UsesConst(pass.TypesInfo, n, fieldPkg, "MaxLazyTerms") {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

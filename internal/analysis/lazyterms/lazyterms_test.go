@@ -1,0 +1,18 @@
+package lazyterms_test
+
+import (
+	"testing"
+
+	"darknight/internal/analysis/atest"
+	"darknight/internal/analysis/lazyterms"
+)
+
+func TestCorpus(t *testing.T) {
+	atest.Run(t, lazyterms.Analyzer, "lazyterms", "darknightlint/corpus/lazyterms")
+}
+
+// TestBlessedCaseStillFires pins that the //lint:ignore in the corpus is
+// suppressing a real finding, not papering over a check that never ran.
+func TestBlessedCaseStillFires(t *testing.T) {
+	atest.MustSuppress(t, lazyterms.Analyzer, "lazyterms", "darknightlint/corpus/lazyterms")
+}

@@ -1,0 +1,16 @@
+package leasepair_test
+
+import (
+	"testing"
+
+	"darknight/internal/analysis/atest"
+	"darknight/internal/analysis/leasepair"
+)
+
+func TestCorpus(t *testing.T) {
+	atest.Run(t, leasepair.Analyzer, "leasepair", "darknightlint/corpus/leasepair")
+}
+
+func TestBlessedCasesStillFire(t *testing.T) {
+	atest.MustSuppress(t, leasepair.Analyzer, "leasepair", "darknightlint/corpus/leasepair")
+}

@@ -1,0 +1,99 @@
+// Package metricname pins the darknight_* metric namespace to one
+// canonical list.
+//
+// Metric families are stringly-typed: a registration whose name drifts
+// from what DESIGN.md documents (or what the Grafana dashboards query)
+// fails no test — the series simply appears under a name nobody reads.
+// The analyzer treats any function call whose first argument is a
+// constant string starting with "darknight_" as a namespace use (this
+// deliberately catches both direct obs.Registry registrations and local
+// wrappers like resil's counter helper) and reports names that are
+// malformed or absent from Canonical. The per-package result is the set
+// of names seen, which the driver aggregates so Unregistered can report
+// canonical families no code registers anymore — the other direction of
+// the same drift.
+package metricname
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"darknight/internal/analysis"
+)
+
+// Analyzer is the metricname checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricname",
+	Doc:  "cross-check darknight_* metric family names used in code against the canonical list in internal/analysis/metricname/canonical.go",
+	Run:  run,
+}
+
+// Prefix is the reserved metric namespace.
+const Prefix = "darknight_"
+
+// wellFormed is the Prometheus-compatible shape canonical names take.
+var wellFormed = regexp.MustCompile(`^[a-z][a-z0-9_]*[a-z0-9]$`)
+
+// run returns the set of namespace names seen in this package (used by
+// Unregistered for the coverage direction).
+func run(pass *analysis.Pass) (any, error) {
+	seen := make(map[string]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			// Real function calls only: conversions like []byte("...") have
+			// a type, not a signature, as their Fun.
+			tv, ok := pass.TypesInfo.Types[call.Fun]
+			if !ok || tv.IsType() {
+				return true
+			}
+			if _, isSig := tv.Type.Underlying().(*types.Signature); !isSig {
+				return true
+			}
+			name, ok := analysis.ConstString(pass.TypesInfo, call.Args[0])
+			if !ok || !strings.HasPrefix(name, Prefix) {
+				return true
+			}
+			seen[name] = true
+			if !wellFormed.MatchString(name) {
+				pass.Reportf(call.Args[0].Pos(),
+					"malformed metric family name %q: want lowercase snake_case", name)
+				return true
+			}
+			if !Canonical[name] {
+				pass.Reportf(call.Args[0].Pos(),
+					"unknown metric family %q: not in the canonical list (internal/analysis/metricname/canonical.go); fix the name or add it there",
+					name)
+			}
+			return true
+		})
+	}
+	return seen, nil
+}
+
+// Unregistered aggregates per-package results and returns the canonical
+// families never seen in any analyzed package, sorted. The driver calls
+// this after a whole-tree run; a non-empty result means canonical.go
+// documents metrics the code no longer exports.
+func Unregistered(perPkg []map[string]bool) []string {
+	seen := make(map[string]bool)
+	for _, m := range perPkg {
+		for k := range m {
+			seen[k] = true
+		}
+	}
+	var missing []string
+	for k := range Canonical {
+		if !seen[k] {
+			missing = append(missing, k)
+		}
+	}
+	sort.Strings(missing)
+	return missing
+}

@@ -1,0 +1,78 @@
+package metricname_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"darknight/internal/analysis/atest"
+	"darknight/internal/analysis/metricname"
+)
+
+func TestCorpus(t *testing.T) {
+	atest.Run(t, metricname.Analyzer, "metricname", "darknightlint/corpus/metricname")
+}
+
+func TestBlessedCaseStillFires(t *testing.T) {
+	atest.MustSuppress(t, metricname.Analyzer, "metricname", "darknightlint/corpus/metricname")
+}
+
+// TestUnregistered covers the aggregation direction.
+func TestUnregistered(t *testing.T) {
+	seen := []map[string]bool{
+		{"darknight_requests_completed_total": true},
+		{"darknight_fleet_devices": true},
+	}
+	missing := metricname.Unregistered(seen)
+	if len(missing) != len(metricname.Canonical)-2 {
+		t.Fatalf("Unregistered returned %d families, want %d", len(missing), len(metricname.Canonical)-2)
+	}
+	for _, name := range missing {
+		if name == "darknight_requests_completed_total" || name == "darknight_fleet_devices" {
+			t.Errorf("Unregistered reported a registered family: %s", name)
+		}
+	}
+}
+
+// TestDocsMentionOnlyCanonicalFamilies is the prose half of the
+// cross-check: every darknight_* token in DESIGN.md and README.md must
+// be a canonical family, so documentation cannot describe metrics the
+// code does not export.
+func TestDocsMentionOnlyCanonicalFamilies(t *testing.T) {
+	root := filepath.Dir(filepath.Dir(filepath.Dir(mustGetwd(t))))
+	//lint:ignore metricname this constant is a regexp over the namespace, not a family name
+	re := regexp.MustCompile(`darknight_[a-z0-9_]*[a-z0-9]`)
+	for _, doc := range []string{"DESIGN.md", "README.md"} {
+		data, err := os.ReadFile(filepath.Join(root, doc))
+		if err != nil {
+			t.Fatalf("reading %s: %v", doc, err)
+		}
+		for _, tok := range re.FindAllString(string(data), -1) {
+			if !metricname.Canonical[tok] && !prefixOfCanonical(tok) {
+				t.Errorf("%s mentions %s, which is not a canonical metric family", doc, tok)
+			}
+		}
+	}
+}
+
+// prefixOfCanonical accepts family-prefix mentions — glob prose like
+// darknight_requests_* or `grep darknight_slo` pipelines — which name a
+// group of canonical families rather than one.
+func prefixOfCanonical(tok string) bool {
+	for name := range metricname.Canonical {
+		if len(name) > len(tok) && name[:len(tok)] == tok {
+			return true
+		}
+	}
+	return false
+}
+
+func mustGetwd(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wd
+}

@@ -1,0 +1,69 @@
+// Package corpus exercises ctxflow. The harness loads it under an import
+// path ending in internal/serve so the request-path gate opens; the
+// companion test loads the same files under a neutral path and expects
+// silence.
+package corpus
+
+import "context"
+
+func dial(ctx context.Context) error { return ctx.Err() }
+
+// severed is the bug class: a deadline ctx is right there in the
+// signature and the call mints a fresh one instead.
+func severed(ctx context.Context) error {
+	actx := context.Background() // want "severs the request deadline"
+	return dial(actx)
+}
+
+// severedTODO: TODO is the same mistake with a different name.
+func severedTODO(ctx context.Context, n int) error {
+	if n > 0 {
+		return dial(context.TODO()) // want "severs the request deadline"
+	}
+	return dial(ctx)
+}
+
+// severedInClosure: the closure captures the enclosing ctx, so minting a
+// fresh one inside it severs the deadline just the same.
+func severedInClosure(ctx context.Context) func() error {
+	return func() error {
+		return dial(context.Background()) // want "severs the request deadline"
+	}
+}
+
+// threaded is the correct shape: derive, don't replace.
+func threaded(ctx context.Context) error {
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return dial(actx)
+}
+
+// goroutineRoot has no ctx parameter: a lifecycle entry point is a
+// legitimate place to mint a context. Clean.
+func goroutineRoot() error {
+	return dial(context.Background())
+}
+
+// rootClosure: neither the closure nor its encloser has a ctx parameter.
+// Clean.
+func rootClosure() func() error {
+	return func() error {
+		return dial(context.Background())
+	}
+}
+
+// closureOwnCtx: the literal declares its own ctx parameter; Background
+// inside it is flagged even though the encloser has none.
+func closureOwnCtx() func(context.Context) error {
+	return func(ctx context.Context) error {
+		return dial(context.Background()) // want "severs the request deadline"
+	}
+}
+
+// blessedDetach: a deliberately detached audit write outlives the
+// request on purpose and says so.
+func blessedDetach(ctx context.Context) error {
+	//lint:ignore ctxflow audit write must survive request cancellation by design
+	bg := context.Background()
+	return dial(bg)
+}

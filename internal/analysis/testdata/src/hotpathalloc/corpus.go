@@ -1,0 +1,69 @@
+// Package corpus exercises hotpathalloc: allocation constructs inside
+// //darknight:hotpath functions are findings; the same constructs in
+// unannotated functions are not.
+package corpus
+
+import (
+	"fmt"
+
+	"darknight/internal/field"
+)
+
+// hotKernel is annotated: every allocating construct inside it fires.
+//
+//darknight:hotpath
+func hotKernel(dst field.Vec, src field.Vec, n int) {
+	buf := make([]uint64, n) // want "make"
+	tmp := []int{1, 2, 3}    // want "slice literal"
+	m := map[int]int{}       // want "map literal"
+	p := new(int)            // want "hot path allocates: new"
+	tmp = append(tmp, n)     // want "append may grow"
+	fmt.Println("hot", n)    // want "fmt.Println"
+	_ = fmt.Sprintf("%d", n) // want "fmt.Sprintf"
+	var sink any = n         // assignment boxing is out of scope; call-boundary boxing below
+	takesAny(n)              // want "boxed into interface"
+	takesAny(sink)           // already an interface: clean
+	_, _, _, _ = buf, m, p, sink
+}
+
+func takesAny(v any) { _ = v }
+
+// hotClosure: closures spawned by a hot function run on the hot path too.
+//
+//darknight:hotpath
+func hotClosure(vs []field.Vec) func() int {
+	return func() int {
+		grown := append(vs, nil) // want "append may grow"
+		return len(grown)
+	}
+}
+
+// coldTwin does exactly what hotKernel does without the annotation:
+// clean, the analyzer only polices opted-in functions.
+func coldTwin(n int) {
+	buf := make([]uint64, n)
+	tmp := []int{1, 2, 3}
+	tmp = append(tmp, n)
+	fmt.Println("cold", n)
+	_, _ = buf, tmp
+}
+
+// hotPooled is the approved shape: pooled scratch in, no allocation.
+//
+//darknight:hotpath
+func hotPooled(dst field.Vec, src field.Vec) {
+	scratch := field.GetScratchVec(len(src))
+	copy(scratch, src)
+	copy(dst, scratch)
+	field.PutScratchVec(scratch)
+}
+
+// hotBlessed: the result vector must escape to the caller — a deliberate,
+// documented once-per-call allocation.
+//
+//darknight:hotpath
+func hotBlessed(n int) field.Vec {
+	//lint:ignore hotpathalloc result escapes to the caller; one make per call by design
+	out := make(field.Vec, n)
+	return out
+}

@@ -1,0 +1,94 @@
+// Package corpus exercises the lazyterms analyzer: loops that accumulate
+// lazy field products with and without a term-budget guard.
+package corpus
+
+import (
+	"darknight/internal/field"
+)
+
+// unguardedLoop is the bug class: every iteration stacks another
+// ≤(P-1)² product into acc and nothing ever reduces.
+func unguardedLoop(acc []uint64, coeffs []field.Elem, srcs []field.Vec) {
+	for j, c := range coeffs {
+		field.LazyAXPY(acc, c, srcs[j]) // want "without a MaxLazyTerms guard"
+	}
+}
+
+// unguardedPair is the two-row variant of the same bug.
+func unguardedPair(a0, a1 []uint64, c0, c1 []field.Elem, srcs []field.Vec) {
+	for j := range srcs {
+		field.LazyAXPY2(a0, a1, c0[j], c1[j], srcs[j]) // want "without a MaxLazyTerms guard"
+	}
+}
+
+// unguardedNested: the guard must sit in the INNERMOST loop enclosing the
+// lazy call; a reduction in the outer loop only runs once per block and
+// does not bound the inner accumulation.
+func unguardedNested(acc []uint64, coeffs []field.Elem, srcs []field.Vec) {
+	for b := 0; b < 4; b++ {
+		for j, c := range coeffs {
+			field.LazyAXPY(acc, c, srcs[j]) // want "without a MaxLazyTerms guard"
+		}
+		field.ReduceAcc(acc)
+	}
+}
+
+// budgetGuarded is the canonical idiom: a field.Budget ticked after every
+// lazy call. Clean.
+func budgetGuarded(acc []uint64, coeffs []field.Elem, srcs []field.Vec) {
+	var terms field.Budget
+	for j, c := range coeffs {
+		field.LazyAXPY(acc, c, srcs[j])
+		terms.Tick1(acc)
+	}
+}
+
+// pairGuarded: Tick2 blesses lockstep accumulator pairs. Clean.
+func pairGuarded(a0, a1 []uint64, c0, c1 []field.Elem, srcs []field.Vec) {
+	var terms field.Budget
+	for j := range srcs {
+		field.LazyAXPY2(a0, a1, c0[j], c1[j], srcs[j])
+		terms.Tick2(a0, a1)
+	}
+}
+
+// openCoded: the pre-Budget spelling — an explicit counter compared
+// against field.MaxLazyTerms — remains blessed so older kernels and
+// vendored copies do not need rewriting to pass. Clean.
+func openCoded(acc []uint64, coeffs []field.Elem, srcs []field.Vec) {
+	terms := 0
+	for j, c := range coeffs {
+		field.LazyAXPY(acc, c, srcs[j])
+		terms++
+		if terms == field.MaxLazyTerms {
+			field.ReduceAcc(acc)
+			terms = 0
+		}
+	}
+}
+
+// reduceEveryIteration: reducing unconditionally inside the loop is
+// wasteful but safe. Clean.
+func reduceEveryIteration(dst field.Vec, acc []uint64, coeffs []field.Elem, srcs []field.Vec) {
+	for j, c := range coeffs {
+		field.LazyAXPY(acc, c, srcs[j])
+		field.ReduceAccInto(dst, acc)
+	}
+}
+
+// single: a lone lazy call outside any loop cannot exceed the budget.
+// Clean.
+func single(acc []uint64, c field.Elem, src field.Vec) {
+	field.LazyAXPY(acc, c, src)
+}
+
+// boundedBlessed: the trip count is provably tiny, so the author takes
+// responsibility with a suppression. The analyzer still fires (the
+// harness checks the finding exists in suppressed form) but the tree
+// stays clean.
+func boundedBlessed(acc []uint64, coeffs [3]field.Elem, srcs []field.Vec) {
+	for j, c := range coeffs {
+		//lint:ignore lazyterms three iterations cannot reach MaxLazyTerms
+		field.LazyAXPY(acc, c, srcs[j])
+	}
+}

@@ -1,0 +1,82 @@
+package corpus
+
+import "sync"
+
+// engine mirrors the scheduler's TEE-token shape: a mutex field named
+// tee plus the lockTEE re-acquire hook.
+type engine struct {
+	tee     *sync.Mutex
+	onToken func()
+}
+
+func (e *engine) lockTEE() {
+	e.tee.Lock()
+	if e.onToken != nil {
+		e.onToken()
+	}
+}
+
+func (e *engine) wait() {}
+
+// goodWindow is the dispatch-window discipline done right: called
+// holding the token, opens the window to overlap the flight, re-acquires
+// before returning.
+func (e *engine) goodWindow() {
+	e.tee.Unlock()
+	e.wait()
+	e.lockTEE()
+}
+
+// guardedWindow: the nil-guarded form (TEE disabled in plaintext mode)
+// is the same discipline.
+func (e *engine) guardedWindow() {
+	if e.tee != nil {
+		e.tee.Unlock()
+	}
+	e.wait()
+	if e.tee != nil {
+		e.lockTEE()
+	}
+}
+
+// returnInWindow is the bug class: an early error return added inside
+// the open window hands a released token back to a caller that still
+// believes it holds it.
+func (e *engine) returnInWindow(err error) error {
+	e.tee.Unlock()
+	if err != nil {
+		return err // want "open TEE-token window"
+	}
+	e.wait()
+	e.lockTEE()
+	return nil
+}
+
+// neverRelocked: the window is opened and the function just ends.
+func (e *engine) neverRelocked() {
+	e.tee.Unlock() // want "never re-acquired"
+	e.wait()
+}
+
+// owner locks first: a plain critical section, exempt from the window
+// rule — the final Unlock is the balanced release, not a window.
+func (e *engine) owner() {
+	e.tee.Lock()
+	e.wait()
+	e.tee.Unlock()
+}
+
+// ownerDefer: the defer idiom is likewise exempt.
+func (e *engine) ownerDefer() {
+	e.tee.Lock()
+	defer e.tee.Unlock()
+	e.wait()
+}
+
+// blessedHandoff: a deliberate token handoff to another goroutine — the
+// one legitimate reason to end released — is suppressed with its reason.
+func (e *engine) blessedHandoff(done chan struct{}) {
+	//lint:ignore leasepair token intentionally handed to the drain goroutine, re-locked in drainLoop
+	e.tee.Unlock()
+	done <- struct{}{}
+}

@@ -1,0 +1,59 @@
+// Package corpus exercises metricname: constant darknight_* first
+// arguments to any real function call are namespace uses and must match
+// the canonical list.
+package corpus
+
+// register stands in for obs.Registry methods and local wrappers alike —
+// the analyzer keys on the constant argument, not the callee.
+func register(name, help string) { _, _ = name, help }
+
+// registerCanonical: names from the canonical list are clean.
+func registerCanonical() {
+	register("darknight_requests_completed_total", "requests finished")
+	register("darknight_fleet_devices", "device count")
+	register("darknight_resil_shed_total", "requests shed")
+}
+
+// registerTypo is the bug class: one character off and the dashboard
+// reads zero forever.
+func registerTypo() {
+	register("darknight_request_completed_total", "typo'd family") // want "unknown metric family"
+}
+
+// registerUnknown: a new family that skipped the canonical list.
+func registerUnknown() {
+	register("darknight_bogus_queue_len", "never canonicalized") // want "unknown metric family"
+}
+
+// registerMalformed: uppercase and trailing underscores are not
+// Prometheus-compatible shapes.
+func registerMalformed() {
+	register("darknight_BadName_total", "uppercase")       // want "malformed metric family name"
+	register("darknight_trailing_", "dangling underscore") // want "malformed metric family name"
+}
+
+// wrapped: the constant survives through a closure-typed wrapper, the
+// resil counters idiom.
+func wrapped() {
+	counter := func(name string, v int) { _, _ = name, v }
+	counter("darknight_resil_bogus_total", 1) // want "unknown metric family"
+}
+
+// nonConstant: runtime-built names are invisible to the analyzer (the
+// wrapper body's variable arg) — no finding, by design.
+func nonConstant(suffix string) {
+	register("darknight_"+suffix, "dynamic")
+}
+
+// conversionNotCall: a type conversion with a matching constant is not a
+// namespace use.
+func conversionNotCall() []byte {
+	return []byte("darknight_requests_completed_total explanatory prose")
+}
+
+// blessedExperiment: a deliberately off-list name during a rollout,
+// suppressed with its reason.
+func blessedExperiment() {
+	//lint:ignore metricname staging-only family, promoted to canonical.go before GA
+	register("darknight_experimental_decode_ns", "staging probe")
+}

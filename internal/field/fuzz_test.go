@@ -1,0 +1,77 @@
+package field_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"darknight/internal/field"
+)
+
+// FuzzCombine pins the lazy-reduction combine kernels to the obvious
+// per-element reference: dst[i] = Σ_j c[j]·srcs[j][i] mod p computed with
+// one MulAdd (full reduction) per term. Equality must be bit-exact for
+// every shape the fuzzer finds — and in particular PAST the term budget,
+// where combineRange's internal Budget has fired at least once and the
+// result flows through ReduceAcc mid-loop. The seeded corpus crosses
+// MaxLazyTerms explicitly with length-1 vectors so the overflow guard is
+// exercised on every CI run, not only when the fuzzer stumbles into it.
+func FuzzCombine(f *testing.F) {
+	f.Add(uint64(1), 8, 3)
+	f.Add(uint64(2), 129, 17)
+	f.Add(uint64(3), 1, field.MaxLazyTerms+7) // crosses the term budget
+	f.Add(uint64(4), 2, field.MaxLazyTerms)   // lands exactly on it
+	f.Add(uint64(5), 4096+33, 5)              // straddles a combine block boundary
+	f.Fuzz(func(t *testing.T, seed uint64, n, nsrc int) {
+		if n < 1 {
+			n = 1
+		}
+		if nsrc < 1 {
+			nsrc = 1
+		}
+		n %= 1 << 13
+		if n == 0 {
+			n = 1
+		}
+		nsrc %= field.MaxLazyTerms + 64
+		if nsrc == 0 {
+			nsrc = 1
+		}
+		// Keep one iteration's work bounded; shrink the vector, never the
+		// source count (the budget crossing is the interesting axis).
+		for n > 1 && n*nsrc > 1<<21 {
+			n /= 2
+		}
+		rng := rand.New(rand.NewSource(int64(seed)))
+		coeffs := field.RandVec(rng, nsrc)
+		c1 := field.RandVec(rng, nsrc)
+		srcs := make([]field.Vec, nsrc)
+		for j := range srcs {
+			srcs[j] = field.RandVec(rng, n)
+		}
+		// Reference: MulAdd reduces every term, so it cannot overflow.
+		want := make(field.Vec, n)
+		want1 := make(field.Vec, n)
+		for j := range srcs {
+			for i, v := range srcs[j] {
+				want[i] = field.MulAdd(want[i], coeffs[j], v)
+				want1[i] = field.MulAdd(want1[i], c1[j], v)
+			}
+		}
+		dst := make(field.Vec, n)
+		field.Combine(dst, coeffs, srcs)
+		for i := range dst {
+			if dst[i] != want[i] {
+				t.Fatalf("Combine[%d] = %d, reference %d (seed=%d n=%d nsrc=%d)", i, dst[i], want[i], seed, n, nsrc)
+			}
+		}
+		d0 := make(field.Vec, n)
+		d1 := make(field.Vec, n)
+		field.Combine2(d0, d1, coeffs, c1, srcs)
+		for i := range d0 {
+			if d0[i] != want[i] || d1[i] != want1[i] {
+				t.Fatalf("Combine2[%d] = (%d,%d), reference (%d,%d) (seed=%d n=%d nsrc=%d)",
+					i, d0[i], d1[i], want[i], want1[i], seed, n, nsrc)
+			}
+		}
+	})
+}

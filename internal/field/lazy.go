@@ -67,10 +67,49 @@ func getAcc(n int) *[]uint64 {
 
 func putAcc(p *[]uint64) { accPool.Put(p) }
 
+// Budget tracks how many ≤(P-1)² lazy products an accumulator (or a pair
+// of accumulators fed in lockstep) has absorbed since its last reduction.
+// It is THE canonical guard idiom for lazy-accumulation loops: every loop
+// that calls LazyAXPY/LazyAXPY2 must either tick a Budget, test
+// MaxLazyTerms directly, or reduce inside the loop — an invariant the
+// lazyterms analyzer (internal/analysis/lazyterms) machine-checks, so the
+// overflow arithmetic lives here and nowhere else. The zero value is a
+// fresh budget.
+type Budget int
+
+// Tick1 charges one lazy term against acc's budget, reducing acc and
+// resetting the budget when MaxLazyTerms is reached. Call it after every
+// LazyAXPY on acc.
+//
+//darknight:hotpath
+func (b *Budget) Tick1(acc []uint64) {
+	*b++
+	if *b == MaxLazyTerms {
+		ReduceAcc(acc)
+		*b = 0
+	}
+}
+
+// Tick2 charges one lazy term against the shared budget of an accumulator
+// pair fed in lockstep (LazyAXPY2, or LazyAXPY on either row), reducing
+// both and resetting the budget when MaxLazyTerms is reached.
+//
+//darknight:hotpath
+func (b *Budget) Tick2(acc0, acc1 []uint64) {
+	*b++
+	if *b == MaxLazyTerms {
+		ReduceAcc(acc0)
+		ReduceAcc(acc1)
+		*b = 0
+	}
+}
+
 // LazyAXPY accumulates acc[i] += s·v[i] without reduction. The caller owns
 // the term budget: after MaxLazyTerms calls on the same accumulator (since
 // the last ReduceAcc) the sums may wrap. The 4-way slice-advance unroll
 // keeps the inner loop free of bounds checks.
+//
+//darknight:hotpath
 func LazyAXPY(acc []uint64, s Elem, v Vec) {
 	n := len(v)
 	a := acc[:n]
@@ -92,6 +131,8 @@ func LazyAXPY(acc []uint64, s Elem, v Vec) {
 // acc0 += c0·v and acc1 += c1·v — halving source traffic for kernels that
 // produce multiple output rows from one patch matrix (the conv GPU
 // kernel). Both accumulators share one term budget against MaxLazyTerms.
+//
+//darknight:hotpath
 func LazyAXPY2(acc0, acc1 []uint64, c0, c1 Elem, v Vec) {
 	n := len(v)
 	a0 := acc0[:n]
@@ -118,6 +159,8 @@ func LazyAXPY2(acc0, acc1 []uint64, c0, c1 Elem, v Vec) {
 
 // ReduceAcc reduces every accumulator into [0, P), resetting the lazy-term
 // budget to MaxLazyTerms.
+//
+//darknight:hotpath
 func ReduceAcc(acc []uint64) {
 	for i, v := range acc {
 		acc[i] = v % uint64(P)
@@ -125,6 +168,8 @@ func ReduceAcc(acc []uint64) {
 }
 
 // ReduceAccInto reduces the accumulators into a reduced Vec.
+//
+//darknight:hotpath
 func ReduceAccInto(dst Vec, acc []uint64) {
 	acc = acc[:len(dst)]
 	for i := range acc {
@@ -161,6 +206,8 @@ func Combine(dst Vec, coeffs []Elem, srcs []Vec) {
 
 // combineRange is Combine over the column range [lo, hi), sweeping one
 // pooled accumulator — two column blocks wide — at a time.
+//
+//darknight:hotpath
 func combineRange(dst Vec, coeffs []Elem, srcs []Vec, lo, hi int) {
 	accp := getAcc(combineSpan)
 	acc := *accp
@@ -173,17 +220,13 @@ func combineRange(dst Vec, coeffs []Elem, srcs []Vec, lo, hi int) {
 		for i := range blk {
 			blk[i] = 0
 		}
-		terms := 0
+		var terms Budget
 		for j, c := range coeffs {
 			if c == 0 {
 				continue
 			}
 			LazyAXPY(blk, c, srcs[j][b:be])
-			terms++
-			if terms == MaxLazyTerms {
-				ReduceAcc(blk)
-				terms = 0
-			}
+			terms.Tick1(blk)
 		}
 		ReduceAccInto(dst[b:be], blk)
 	}
@@ -221,6 +264,8 @@ func Combine2(dst0, dst1 Vec, c0, c1 []Elem, srcs []Vec) {
 
 // combineRange2 is Combine2 over the column range [lo, hi): the pooled
 // accumulator's first block carries dst0's columns, the second dst1's.
+//
+//darknight:hotpath
 func combineRange2(dst0, dst1 Vec, c0, c1 []Elem, srcs []Vec, lo, hi int) {
 	accp := getAcc(combineSpan)
 	acc := *accp
@@ -236,19 +281,14 @@ func combineRange2(dst0, dst1 Vec, c0, c1 []Elem, srcs []Vec, lo, hi int) {
 			blk0[i] = 0
 			blk1[i] = 0
 		}
-		terms := 0
+		var terms Budget
 		for j := range srcs {
 			u0, u1 := c0[j], c1[j]
 			if u0 == 0 && u1 == 0 {
 				continue
 			}
 			LazyAXPY2(blk0, blk1, u0, u1, srcs[j][b:be])
-			terms++
-			if terms == MaxLazyTerms {
-				ReduceAcc(blk0)
-				ReduceAcc(blk1)
-				terms = 0
-			}
+			terms.Tick2(blk0, blk1)
 		}
 		ReduceAccInto(dst0[b:be], blk0)
 		ReduceAccInto(dst1[b:be], blk1)

@@ -155,6 +155,7 @@ func TestLazyAXPYAndReduce(t *testing.T) {
 	for j := 0; j < 50; j++ {
 		s := Rand(rng)
 		v := RandVec(rng, n)
+		//lint:ignore lazyterms 50 terms is far below MaxLazyTerms; this test exercises the raw kernel deliberately
 		LazyAXPY(acc, s, v)
 		AXPY(want, s, v)
 	}

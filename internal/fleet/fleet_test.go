@@ -543,6 +543,7 @@ func TestTryAcquireNonBlocking(t *testing.T) {
 	if gb == nil {
 		t.Fatal("blocked waiter never granted after release")
 	}
+	//lint:ignore leasepair TryAcquire must fail here; a non-nil grant fails the test before any leak matters
 	if g, _ := m.TryAcquire("a", 4); g != nil {
 		t.Fatalf("TryAcquire succeeded while tenant b holds the gang")
 	}

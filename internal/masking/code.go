@@ -53,6 +53,15 @@ func (p Params) Validate() error {
 	if p.Redundancy < 0 {
 		return fmt.Errorf("masking: negative redundancy %d", p.Redundancy)
 	}
+	// The backward pass decodes through two S-column windows: the primary
+	// [0, S) and the secondary [E, S+E). With E > S the equations in
+	// [S, E) fall in neither window and have no backward row at all (the
+	// B merge in New would index bsec negatively). The paper's scheme is
+	// E = 1; anything up to S works, beyond it cannot.
+	if p.Redundancy > p.K+p.M {
+		return fmt.Errorf("masking: redundancy %d exceeds S = K+M = %d; the dual-window backward decode supports at most E = S",
+			p.Redundancy, p.K+p.M)
+	}
 	return nil
 }
 

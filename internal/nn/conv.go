@@ -111,6 +111,8 @@ func (c *Conv2D) LinearForwardFloat(x []float64) []float64 {
 // per element per field.MaxLazyTerms terms instead of one per term), and
 // the im2col patch matrix comes from the shared scratch pool instead of a
 // fresh allocation per dispatch.
+//
+//darknight:hotpath
 func (c *Conv2D) LinearForwardField(wq, x field.Vec) field.Vec {
 	p := c.p
 	cols, rows, npix := fieldIm2ColPooled(x, p)
@@ -120,6 +122,7 @@ func (c *Conv2D) LinearForwardField(wq, x field.Vec) field.Vec {
 	defer field.PutScratchAcc(acc0)
 	defer field.PutScratchAcc(acc1)
 	ocpg := p.OutC / p.Groups
+	//lint:ignore hotpathalloc the output vector escapes to the GPU flight; one make per dispatch by design
 	out := make(field.Vec, p.OutC*npix)
 	for g := 0; g < p.Groups; g++ {
 		gcols := cols[g*rows*npix : (g+1)*rows*npix]
@@ -131,7 +134,7 @@ func (c *Conv2D) LinearForwardField(wq, x field.Vec) field.Vec {
 			w1 := wq[(g*ocpg+oc+1)*rows : (g*ocpg+oc+2)*rows]
 			clearAcc(acc0)
 			clearAcc(acc1)
-			terms := 0
+			var terms field.Budget
 			for r := 0; r < rows; r++ {
 				c0, c1 := w0[r], w1[r]
 				if c0 == 0 && c1 == 0 {
@@ -146,11 +149,7 @@ func (c *Conv2D) LinearForwardField(wq, x field.Vec) field.Vec {
 				default:
 					field.LazyAXPY2(acc0, acc1, c0, c1, cRow)
 				}
-				if terms++; terms == field.MaxLazyTerms {
-					field.ReduceAcc(acc0)
-					field.ReduceAcc(acc1)
-					terms = 0
-				}
+				terms.Tick2(acc0, acc1)
 			}
 			field.ReduceAccInto(out[(g*ocpg+oc)*npix:(g*ocpg+oc+1)*npix], acc0)
 			field.ReduceAccInto(out[(g*ocpg+oc+1)*npix:(g*ocpg+oc+2)*npix], acc1)
@@ -158,16 +157,13 @@ func (c *Conv2D) LinearForwardField(wq, x field.Vec) field.Vec {
 		for ; oc < ocpg; oc++ {
 			wRow := wq[(g*ocpg+oc)*rows : (g*ocpg+oc+1)*rows]
 			clearAcc(acc0)
-			terms := 0
+			var terms field.Budget
 			for r, wv := range wRow {
 				if wv == 0 {
 					continue
 				}
 				field.LazyAXPY(acc0, wv, gcols[r*npix:(r+1)*npix])
-				if terms++; terms == field.MaxLazyTerms {
-					field.ReduceAcc(acc0)
-					terms = 0
-				}
+				terms.Tick1(acc0)
 			}
 			field.ReduceAccInto(out[(g*ocpg+oc)*npix:(g*ocpg+oc+1)*npix], acc0)
 		}

@@ -105,7 +105,10 @@ func (d *Dense) LinearForwardFloat(x []float64) []float64 {
 }
 
 // LinearForwardField implements Linear over F_p.
+//
+//darknight:hotpath
 func (d *Dense) LinearForwardField(wq, x field.Vec) field.Vec {
+	//lint:ignore hotpathalloc the output vector escapes to the caller; one make per dispatch by design
 	y := make(field.Vec, d.out)
 	for i := 0; i < d.out; i++ {
 		y[i] = field.Dot(wq[i*d.in:(i+1)*d.in], x)
